@@ -1,0 +1,179 @@
+// Command analyze recomputes the §V-G safety metrics from saved run
+// logs — the paper's workflow of collecting CARLA sensor logs during the
+// session and analysing them offline. It also renders an ASCII
+// trajectory map and can diff a golden against a faulty run.
+//
+// Usage:
+//
+//	analyze RUN.json                 # metrics + trajectory of one run
+//	analyze -compare GOLD.json FAULTY.json
+//	analyze -map RUN.json            # trajectory map only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+
+	"teledrive/internal/core"
+	"teledrive/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "analyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	var (
+		compare = fs.Bool("compare", false, "compare two runs (golden faulty)")
+		mapOnly = fs.Bool("map", false, "print the trajectory map only")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	paths := fs.Args()
+	switch {
+	case *compare:
+		if len(paths) != 2 {
+			return fmt.Errorf("-compare needs exactly two run logs")
+		}
+		golden, err := trace.LoadJSONFile(paths[0])
+		if err != nil {
+			return err
+		}
+		faulty, err := trace.LoadJSONFile(paths[1])
+		if err != nil {
+			return err
+		}
+		return compareRuns(golden, faulty)
+	case len(paths) != 1:
+		return fmt.Errorf("need exactly one run log (or -compare with two)")
+	}
+	log, err := trace.LoadJSONFile(paths[0])
+	if err != nil {
+		return err
+	}
+	if *mapOnly {
+		printMap(log)
+		return nil
+	}
+	printAnalysis(log)
+	printMap(log)
+	return nil
+}
+
+func printAnalysis(log *trace.RunLog) {
+	a := core.AnalyzeRun(log, nil)
+	fmt.Printf("run: subject %s, scenario %s, %s, seed %d\n", log.Subject, log.Scenario, log.RunType, log.Seed)
+	fmt.Printf("duration: %v, ego samples: %d\n", log.Duration().Truncate(1e8), len(log.Ego))
+	fmt.Printf("SRR (whole run): %.1f rev/min\n", a.SRRWholeRun)
+	fmt.Printf("collisions: %d, lane invasions: %d\n", a.EgoCollisions, a.LaneInvasions)
+	fmt.Printf("speed: mean %.1f, max %.1f m/s; headway mean %.1f s\n",
+		a.SpeedStats.Mean, a.SpeedStats.Max, a.MeanHeadway)
+
+	labels := make([]string, 0, len(a.TTCByCondition))
+	for l := range a.TTCByCondition {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		t := a.TTCByCondition[l]
+		fmt.Printf("TTC[%-4s] min %6.2f  avg %6.2f  max %7.2f  (n=%d, %d violations, TET %v)\n",
+			l, t.Min, t.Avg, t.Max, t.N, t.Violations, t.TET.Truncate(1e7))
+	}
+	for _, l := range labels {
+		if r, ok := a.SRRByCondition[l]; ok {
+			fmt.Printf("SRR[%-4s] %.1f rev/min over %v\n", l, r, a.SRRExposure[l].Truncate(1e8))
+		}
+	}
+	if len(log.Faults) > 0 {
+		fmt.Println("fault log:")
+		for _, f := range log.Faults {
+			fmt.Printf("  %8.1fs %-8s %-6s %s\n", f.Time.Seconds(), f.Link, f.Action, f.Desc)
+		}
+	}
+}
+
+func compareRuns(golden, faulty *trace.RunLog) error {
+	ga := core.AnalyzeRun(golden, nil)
+	fa := core.AnalyzeRun(faulty, nil)
+	fmt.Printf("comparison: subject %s, scenario %s\n", golden.Subject, golden.Scenario)
+	fmt.Printf("%-22s %12s %12s\n", "metric", "golden", "faulty")
+	row := func(name string, g, f float64, unit string) {
+		fmt.Printf("%-22s %12.2f %12.2f  %s\n", name, g, f, unit)
+	}
+	row("duration", golden.Duration().Seconds(), faulty.Duration().Seconds(), "s")
+	row("SRR", ga.SRRWholeRun, fa.SRRWholeRun, "rev/min")
+	row("mean speed", ga.SpeedStats.Mean, fa.SpeedStats.Mean, "m/s")
+	row("collisions", float64(ga.EgoCollisions), float64(fa.EgoCollisions), "")
+	row("lane invasions", float64(ga.LaneInvasions), float64(fa.LaneInvasions), "")
+	if g, ok := ga.TTCByCondition["NFI"]; ok {
+		fmt.Printf("%-22s %12.2f %12s  s (golden NFI)\n", "TTC min", g.Min, "-")
+	}
+	worst := math.Inf(1)
+	for label, t := range fa.TTCByCondition {
+		if label != "NFI" && t.Min < worst {
+			worst = t.Min
+		}
+	}
+	if !math.IsInf(worst, 1) {
+		fmt.Printf("%-22s %12s %12.2f  s (worst fault window)\n", "TTC min", "-", worst)
+	}
+	return nil
+}
+
+// printMap draws the ego trajectory as an ASCII top-down map, marking
+// collisions (X) and the start/end.
+func printMap(log *trace.RunLog) {
+	if len(log.Ego) == 0 {
+		return
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, e := range log.Ego {
+		minX, maxX = math.Min(minX, e.X), math.Max(maxX, e.X)
+		minY, maxY = math.Min(minY, e.Y), math.Max(maxY, e.Y)
+	}
+	const w, h = 110, 28
+	spanX := math.Max(maxX-minX, 1)
+	spanY := math.Max(maxY-minY, 1)
+	grid := make([][]rune, h)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", w))
+	}
+	plot := func(x, y float64, r rune) {
+		cx := int((x - minX) / spanX * float64(w-1))
+		cy := int((y - minY) / spanY * float64(h-1))
+		cy = h - 1 - cy // screen Y grows downward
+		if cx >= 0 && cx < w && cy >= 0 && cy < h {
+			grid[cy][cx] = r
+		}
+	}
+	for _, e := range log.Ego {
+		plot(e.X, e.Y, '.')
+	}
+	for _, c := range log.Collisions {
+		// Find the ego position at collision time.
+		for _, e := range log.Ego {
+			if e.Time >= c.Time {
+				plot(e.X, e.Y, 'X')
+				break
+			}
+		}
+	}
+	plot(log.Ego[0].X, log.Ego[0].Y, 'S')
+	last := log.Ego[len(log.Ego)-1]
+	plot(last.X, last.Y, 'E')
+
+	fmt.Printf("trajectory (%.0fx%.0f m, S=start E=end X=collision):\n", spanX, spanY)
+	for _, row := range grid {
+		fmt.Println(string(row))
+	}
+}

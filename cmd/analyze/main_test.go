@@ -1,0 +1,74 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"teledrive/internal/trace"
+)
+
+func fixtureLog(subject, runType string) *trace.RunLog {
+	log := &trace.RunLog{Subject: subject, Scenario: "follow-vehicle", RunType: runType, Seed: 1}
+	for i := 0; i < 600; i++ {
+		now := time.Duration(i) * 20 * time.Millisecond
+		log.Ego = append(log.Ego, trace.EgoRecord{
+			Time: now, Station: float64(i) * 0.2, Speed: 10,
+			X: float64(i) * 0.2, Y: 0.5, Steer: 0.01 * float64(i%9-4),
+		})
+		log.Others = append(log.Others, trace.OtherRecord{
+			Actor: 2, Time: now, Station: float64(i)*0.18 + 30, Speed: 9, Lateral: 0,
+		})
+	}
+	if runType == "faulty" {
+		log.ConditionSpans = []trace.ConditionSpan{{Label: "50ms", From: time.Second, To: 6 * time.Second}}
+		log.Faults = []trace.FaultRecord{
+			{Time: time.Second, Link: "downlink", Action: "add", Desc: "delay 50ms", Label: "50ms"},
+		}
+		log.Collisions = []trace.CollisionRecord{{Time: 3 * time.Second, Actor: 1, Other: 2, Label: "50ms"}}
+	}
+	return log
+}
+
+func writeFixture(t *testing.T, name string, log *trace.RunLog) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := trace.SaveJSONFile(path, log); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestAnalyzeSingleRun(t *testing.T) {
+	path := writeFixture(t, "run.json", fixtureLog("T5", "faulty"))
+	if err := run([]string{path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnalyzeMapOnly(t *testing.T) {
+	path := writeFixture(t, "run.json", fixtureLog("T5", "golden"))
+	if err := run([]string{"-map", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnalyzeCompare(t *testing.T) {
+	golden := writeFixture(t, "golden.json", fixtureLog("T5", "golden"))
+	faulty := writeFixture(t, "faulty.json", fixtureLog("T5", "faulty"))
+	if err := run([]string{"-compare", golden, faulty}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Fatal("no args accepted")
+	}
+	if err := run([]string{"/no/such/file.json"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := run([]string{"-compare", "only-one.json"}); err == nil {
+		t.Fatal("compare with one file accepted")
+	}
+}

@@ -1,0 +1,154 @@
+// Command campaign runs the full human-in-the-loop test campaign of the
+// paper — every subject through training (optional), a golden run, and a
+// faulty run over the three scenarios — and prints the result tables
+// (Tables II–IV), the collision analysis, the questionnaire summary, and
+// the Fig-4 steering-profile comparison.
+//
+// Usage:
+//
+//	campaign [-seed N] [-plan paper|random] [-training] [-spec]
+//	         [-fig4-subject T6] [-fig4-scenario 1] [-logs DIR] [-csv DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"teledrive/internal/campaign"
+	"teledrive/internal/questionnaire"
+	"teledrive/internal/rds"
+	"teledrive/internal/report"
+	"teledrive/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "campaign:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("campaign", flag.ContinueOnError)
+	var (
+		seed      = fs.Int64("seed", 4, "campaign seed (fault placement)")
+		plan      = fs.String("plan", "paper", "fault plan: paper (Table II counts) or random")
+		training  = fs.Bool("training", false, "include the training drive (slower)")
+		spec      = fs.Bool("spec", false, "print Table I (station spec) and exit")
+		fig4Sub   = fs.String("fig4-subject", "auto", "subject for the Fig 4 profile (auto = largest task-time inflation)")
+		fig4Scn   = fs.Int("fig4-scenario", 1, "scenario index for Fig 4 (0=follow, 1=slalom, 2=overtake)")
+		logsDir   = fs.String("logs", "", "write per-run JSON logs to this directory")
+		htmlOut   = fs.String("html", "", "write a self-contained HTML dashboard to this file")
+		csvDir    = fs.String("csv", "", "export per-run CSV logs to this directory")
+		noExclude = fs.Bool("no-exclusions", false, "keep T7 and skip the paper's missing-data masks")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *spec {
+		report.WriteTableI(os.Stdout, rds.PaperStation())
+		return nil
+	}
+
+	mode := campaign.PlanPaper
+	switch *plan {
+	case "paper":
+	case "random":
+		mode = campaign.PlanRandom
+	default:
+		return fmt.Errorf("unknown plan %q", *plan)
+	}
+
+	fmt.Printf("running campaign: seed=%d plan=%s training=%v ...\n", *seed, *plan, *training)
+	res, err := campaign.Run(campaign.Config{
+		Seed:                 *seed,
+		Plan:                 mode,
+		IncludeTraining:      *training,
+		ApplyPaperExclusions: !*noExclude,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("completed %d subjects in %v (wall clock)\n\n", len(res.Subjects), res.Elapsed.Truncate(1e7))
+
+	report.WriteTableI(os.Stdout, rds.PaperStation())
+	fmt.Println()
+	report.WriteTableII(os.Stdout, res.BuildTableII())
+	fmt.Println()
+	report.WriteTableIII(os.Stdout, res.BuildTableIII())
+	fmt.Println()
+	report.WriteTableIV(os.Stdout, res.BuildTableIV())
+	fmt.Println()
+	report.WriteCollisionAnalysis(os.Stdout, res.BuildCollisionAnalysis())
+	fmt.Println()
+	report.WriteQuestionnaire(os.Stdout, questionnaire.Summarize(res))
+	fmt.Println()
+	report.WriteSignificance(os.Stdout, res.BuildSignificance())
+	fmt.Println()
+	fig4Subject := *fig4Sub
+	if fig4Subject == "auto" {
+		if name, ok := res.Fig4AutoSubject(*fig4Scn); ok {
+			fig4Subject = name
+		}
+	}
+	if fig, ok := res.BuildFig4(fig4Subject, *fig4Scn); ok {
+		report.WriteFig4(os.Stdout, fig)
+	}
+
+	if *logsDir != "" || *csvDir != "" {
+		if err := exportLogs(res, *logsDir, *csvDir); err != nil {
+			return err
+		}
+	}
+	if *htmlOut != "" {
+		f, err := os.Create(*htmlOut)
+		if err != nil {
+			return err
+		}
+		if err := report.WriteCampaignHTML(f, res); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote HTML dashboard to %s\n", *htmlOut)
+	}
+	return nil
+}
+
+func exportLogs(res *campaign.Result, logsDir, csvDir string) error {
+	for _, sub := range res.Subjects {
+		for _, run := range sub.Runs {
+			for _, r := range []struct {
+				kind string
+				log  *trace.RunLog
+			}{
+				{"golden", run.Golden.Outcome.Log},
+				{"faulty", run.Faulty.Outcome.Log},
+			} {
+				name := fmt.Sprintf("%s_%s_%s", sub.Profile.Name, run.Scenario.Name, r.kind)
+				if logsDir != "" {
+					if err := trace.SaveJSONFile(filepath.Join(logsDir, name+".json"), r.log); err != nil {
+						return err
+					}
+				}
+				if csvDir != "" {
+					if err := trace.ExportCSV(filepath.Join(csvDir, name), r.log); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	if logsDir != "" {
+		fmt.Printf("wrote JSON logs to %s\n", logsDir)
+	}
+	if csvDir != "" {
+		fmt.Printf("wrote CSV logs to %s\n", csvDir)
+	}
+	return nil
+}

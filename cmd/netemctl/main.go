@@ -1,0 +1,217 @@
+// Command netemctl exercises the NETEM-equivalent link emulator on a
+// synthetic packet stream, in a tc-like syntax, and prints delivery
+// statistics — a quick way to inspect what a rule does before using it
+// in an experiment.
+//
+// Usage:
+//
+//	netemctl [-packets N] [-size BYTES] [-rate PPS] [-seed N] RULE...
+//
+// where RULE is tc-netem-like, e.g.:
+//
+//	netemctl delay 50ms
+//	netemctl delay 50ms jitter 20ms loss 5% duplicate 1%
+//	netemctl loss 5% corrupt 0.1% rate 1mbit limit 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"teledrive/internal/netem"
+	"teledrive/internal/simclock"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "netemctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("netemctl", flag.ContinueOnError)
+	var (
+		packets = fs.Int("packets", 10000, "packets to send")
+		size    = fs.Int("size", 1400, "packet size in bytes")
+		rate    = fs.Float64("rate", 1000, "send rate, packets/second")
+		seed    = fs.Int64("seed", 1, "emulator seed")
+		hist    = fs.Bool("hist", false, "print a latency histogram")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rule, err := parseRule(fs.Args())
+	if err != nil {
+		return err
+	}
+
+	clk := simclock.New()
+	var latencies []time.Duration
+	received := 0
+	capture := netem.Tap(func(p netem.Packet) {
+		received++
+		latencies = append(latencies, p.Latency())
+	}, 0)
+	link := netem.NewLink("netemctl", clk, *seed, capture.Receive)
+	if err := link.AddRule(rule); err != nil {
+		return err
+	}
+
+	interval := time.Duration(float64(time.Second) / *rate)
+	payload := make([]byte, *size)
+	for i := 0; i < *packets; i++ {
+		link.Send(payload)
+		clk.Advance(interval)
+	}
+	clk.Advance(time.Minute) // drain
+
+	st := link.Stats()
+	fmt.Printf("rule: %s\n", rule)
+	fmt.Printf("sent         %8d packets (%d bytes each)\n", st.Sent, *size)
+	fmt.Printf("delivered    %8d\n", st.Delivered)
+	fmt.Printf("lost         %8d (%.2f%%)\n", st.Lost, pct(st.Lost, st.Sent))
+	fmt.Printf("tail-dropped %8d (%.2f%%)\n", st.TailDropped, pct(st.TailDropped, st.Sent))
+	fmt.Printf("duplicated   %8d\n", st.Duplicated)
+	fmt.Printf("corrupted    %8d\n", st.CorruptedN)
+	fmt.Printf("reordered    %8d\n", st.Reordered)
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		q := func(f float64) time.Duration { return latencies[int(f*float64(len(latencies)-1))] }
+		fmt.Printf("latency      p0=%v p50=%v p95=%v p99=%v p100=%v\n",
+			q(0), q(0.5), q(0.95), q(0.99), q(1))
+	}
+	if sum := capture.Summarize(); sum.Packets > 0 {
+		fmt.Printf("reorders     %8d, max inter-delivery gap %v\n", sum.Reordered, sum.MaxGap)
+	}
+	if *hist {
+		fmt.Println("latency histogram:")
+		capture.WriteHistogram(os.Stdout, 16)
+	}
+	return nil
+}
+
+func pct(n, total uint64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(total)
+}
+
+// parseRule understands a tc-netem-like keyword syntax.
+func parseRule(args []string) (netem.Rule, error) {
+	var r netem.Rule
+	i := 0
+	next := func(keyword string) (string, error) {
+		i++
+		if i >= len(args) {
+			return "", fmt.Errorf("%s needs a value", keyword)
+		}
+		return args[i], nil
+	}
+	for ; i < len(args); i++ {
+		switch kw := args[i]; kw {
+		case "delay", "jitter":
+			v, err := next(kw)
+			if err != nil {
+				return r, err
+			}
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				return r, fmt.Errorf("%s %q: %w", kw, v, err)
+			}
+			if kw == "delay" {
+				r.Delay = d
+			} else {
+				r.Jitter = d
+			}
+		case "loss", "duplicate", "corrupt", "reorder":
+			v, err := next(kw)
+			if err != nil {
+				return r, err
+			}
+			p, err := parsePercent(v)
+			if err != nil {
+				return r, fmt.Errorf("%s %q: %w", kw, v, err)
+			}
+			switch kw {
+			case "loss":
+				r.Loss = p
+			case "duplicate":
+				r.Duplicate = p
+			case "corrupt":
+				r.Corrupt = p
+			case "reorder":
+				r.Reorder = p
+			}
+		case "rate":
+			v, err := next(kw)
+			if err != nil {
+				return r, err
+			}
+			bps, err := parseRate(v)
+			if err != nil {
+				return r, fmt.Errorf("rate %q: %w", v, err)
+			}
+			r.Rate = bps / 8 // bytes per second
+		case "limit":
+			v, err := next(kw)
+			if err != nil {
+				return r, err
+			}
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return r, fmt.Errorf("limit %q: %w", v, err)
+			}
+			r.Limit = n
+		case "gap":
+			v, err := next(kw)
+			if err != nil {
+				return r, err
+			}
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return r, fmt.Errorf("gap %q: %w", v, err)
+			}
+			r.Gap = n
+		default:
+			return r, fmt.Errorf("unknown keyword %q", kw)
+		}
+	}
+	return r, r.Validate()
+}
+
+func parsePercent(s string) (float64, error) {
+	s = strings.TrimSuffix(s, "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	return v / 100, nil
+}
+
+// parseRate parses "1mbit", "500kbit", "1000000" (bits/second).
+func parseRate(s string) (float64, error) {
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(s, "mbit"):
+		mult = 1e6
+		s = strings.TrimSuffix(s, "mbit")
+	case strings.HasSuffix(s, "kbit"):
+		mult = 1e3
+		s = strings.TrimSuffix(s, "kbit")
+	case strings.HasSuffix(s, "gbit"):
+		mult = 1e9
+		s = strings.TrimSuffix(s, "gbit")
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	return v * mult, nil
+}

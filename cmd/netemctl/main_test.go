@@ -1,0 +1,86 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseRule(t *testing.T) {
+	r, err := parseRule([]string{"delay", "50ms", "jitter", "10ms", "loss", "5%", "duplicate", "1%", "corrupt", "0.1%", "reorder", "25%", "gap", "5", "rate", "1mbit", "limit", "100"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Delay != 50*time.Millisecond || r.Jitter != 10*time.Millisecond {
+		t.Fatalf("delay/jitter: %+v", r)
+	}
+	if r.Loss != 0.05 || r.Duplicate != 0.01 || r.Corrupt != 0.001 || r.Reorder != 0.25 || r.Gap != 5 {
+		t.Fatalf("probabilities: %+v", r)
+	}
+	if r.Rate != 1e6/8 {
+		t.Fatalf("rate = %v", r.Rate)
+	}
+	if r.Limit != 100 {
+		t.Fatalf("limit = %d", r.Limit)
+	}
+}
+
+func TestParseRuleErrors(t *testing.T) {
+	bad := [][]string{
+		{"delay"},           // missing value
+		{"delay", "bogus"},  // unparsable duration
+		{"loss", "abc%"},    // unparsable percent
+		{"loss", "150%"},    // out of range (Validate)
+		{"frobnicate", "1"}, // unknown keyword
+		{"limit", "x"},      // bad int
+		{"rate", "zz"},      // bad rate
+	}
+	for _, args := range bad {
+		if _, err := parseRule(args); err == nil {
+			t.Errorf("parseRule(%v) succeeded", args)
+		}
+	}
+}
+
+func TestParseRuleEmpty(t *testing.T) {
+	r, err := parseRule(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.String() != "none" {
+		t.Fatalf("empty rule = %v", r)
+	}
+}
+
+func TestParsePercent(t *testing.T) {
+	if v, err := parsePercent("5%"); err != nil || v != 0.05 {
+		t.Fatalf("5%% -> %v, %v", v, err)
+	}
+	if v, err := parsePercent("0.1"); err != nil || v != 0.001 {
+		t.Fatalf("0.1 -> %v, %v", v, err)
+	}
+}
+
+func TestParseRate(t *testing.T) {
+	cases := map[string]float64{
+		"1mbit":   1e6,
+		"500kbit": 5e5,
+		"1gbit":   1e9,
+		"8000":    8000,
+	}
+	for in, want := range cases {
+		got, err := parseRate(in)
+		if err != nil || got != want {
+			t.Errorf("parseRate(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	// The command is a thin wrapper; run it once end to end.
+	if err := run([]string{"-packets", "100", "delay", "10ms", "loss", "2%"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Fatal("bad rule accepted")
+	}
+}

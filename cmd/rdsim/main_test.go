@@ -1,0 +1,37 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunGolden(t *testing.T) {
+	if err := run([]string{"-subject", "T5", "-scenario", "slalom", "-fault", "NFI", "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFaulty(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "run.json")
+	if err := run([]string{"-subject", "T6", "-scenario", "overtake", "-fault", "5%", "-seed", "3", "-json", out}); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := os.Stat(out); err != nil || st.Size() == 0 {
+		t.Fatalf("json log not written: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-subject", "T99"},
+		{"-scenario", "mars"},
+		{"-fault", "99ms"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Command sweep runs the §VIII validity sweeps from the command line:
+// single-axis delay and loss ladders for the simulator and the scale
+// model vehicle, and the combined delay×loss grid the paper lists as
+// future work, rendered as a drivability heat map.
+//
+// Usage:
+//
+//	sweep                          # both environments, paper magnitudes
+//	sweep -env simulator -grid     # delay×loss heat map
+//	sweep -subject T6 -seed 9      # different operator / realization
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"teledrive/internal/driver"
+	"teledrive/internal/validity"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	var (
+		envName = fs.String("env", "both", "environment: simulator, model, both")
+		subject = fs.String("subject", "T5", "operator profile for the simulator")
+		seed    = fs.Int64("seed", 2024, "sweep seed")
+		grid    = fs.Bool("grid", false, "run the combined delay x loss grid (future-work extension)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	prof, ok := driver.SubjectByName(*subject)
+	if !ok {
+		return fmt.Errorf("unknown subject %q", *subject)
+	}
+
+	var envs []validity.Env
+	switch *envName {
+	case "simulator":
+		envs = []validity.Env{validity.Simulator(prof)}
+	case "model":
+		envs = []validity.Env{validity.ModelVehicle()}
+	case "both":
+		envs = []validity.Env{validity.Simulator(prof), validity.ModelVehicle()}
+	default:
+		return fmt.Errorf("unknown environment %q", *envName)
+	}
+
+	for _, env := range envs {
+		if *grid {
+			if err := runGrid(env, *seed); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := runLadders(env, *seed); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runLadders(env validity.Env, seed int64) error {
+	delays := validity.PaperDelays()
+	if env.Name == "model-vehicle" {
+		delays = validity.ModelDelays()
+	}
+	points, err := validity.Sweep(env, delays, validity.PaperLosses(), seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== %s ==\n", env.Name)
+	fmt.Printf("%-12s %-11s %6s %6s %9s %6s %5s\n", "condition", "grade", "SRR", "speed", "lateral", "crash", "dep")
+	for _, p := range points {
+		fmt.Printf("%-12s %-11s %6.1f %6.2f %9.3f %6d %5d\n",
+			p.Label, p.Grade, p.SRR, p.MeanSpeed, p.MeanAbsLateral, p.Collisions, p.LaneDepartures)
+	}
+	fmt.Println()
+	return nil
+}
+
+// gradeGlyph maps a drivability grade to a heat-map cell.
+func gradeGlyph(g validity.Drivability) string {
+	switch g {
+	case validity.DrivOK:
+		return " . "
+	case validity.DrivDegraded:
+		return " o "
+	case validity.DrivDifficult:
+		return " X "
+	case validity.DrivImpossible:
+		return "###"
+	default:
+		return " ? "
+	}
+}
+
+func runGrid(env validity.Env, seed int64) error {
+	delays := []time.Duration{0, 25 * time.Millisecond, 50 * time.Millisecond, 100 * time.Millisecond, 200 * time.Millisecond}
+	losses := []float64{0, 0.02, 0.05, 0.10}
+	if env.Name == "model-vehicle" {
+		delays = []time.Duration{0, 10 * time.Millisecond, 20 * time.Millisecond, 50 * time.Millisecond, 100 * time.Millisecond}
+	}
+	grid, err := validity.GridSweep(env, delays, losses, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== %s: drivability heat map (. ok, o degraded, X difficult, ### impossible) ==\n", env.Name)
+	fmt.Printf("%12s", "delay \\ loss")
+	for _, l := range losses {
+		fmt.Printf("%7.0f%%", l*100)
+	}
+	fmt.Println()
+	for _, d := range delays {
+		fmt.Printf("%12v", d)
+		for _, l := range losses {
+			for _, cell := range grid {
+				if cell.Delay == d && cell.Loss == l {
+					fmt.Printf("%8s", gradeGlyph(cell.Point.Grade))
+					break
+				}
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,28 @@
+package main
+
+import (
+	"testing"
+
+	"teledrive/internal/validity"
+)
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-subject", "T99"}); err == nil {
+		t.Fatal("unknown subject accepted")
+	}
+	if err := run([]string{"-env", "mars"}); err == nil {
+		t.Fatal("unknown environment accepted")
+	}
+}
+
+func TestGradeGlyphs(t *testing.T) {
+	// Every grade has a distinct glyph.
+	seen := map[string]bool{}
+	for g := 1; g <= 5; g++ {
+		glyph := gradeGlyph(validity.Drivability(g))
+		if seen[glyph] {
+			t.Fatalf("glyph %q reused", glyph)
+		}
+		seen[glyph] = true
+	}
+}

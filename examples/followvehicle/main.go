@@ -1,0 +1,56 @@
+// Follow-vehicle study: sweep every fault condition over the paper's
+// car-following scenario for a panel of subjects and print the
+// per-condition TTC and SRR picture — a miniature of Tables III/IV.
+//
+//	go run ./examples/followvehicle
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"teledrive/internal/core"
+	"teledrive/internal/driver"
+	"teledrive/internal/faultinject"
+	"teledrive/internal/scenario"
+)
+
+func main() {
+	panel := []string{"T4", "T5", "T6"} // careful, average, bold
+	fmt.Printf("%-5s %-5s %10s %10s %10s %8s %6s\n",
+		"subj", "cond", "TTCmin", "TTCavg", "TTCmax", "SRR", "crash")
+	for _, name := range panel {
+		prof, ok := driver.SubjectByName(name)
+		if !ok {
+			log.Fatalf("unknown subject %s", name)
+		}
+		for _, cond := range faultinject.AllConditions() {
+			scn := scenario.FollowVehicle()
+			var faults []faultinject.Condition
+			if cond != faultinject.CondNFI {
+				faults = make([]faultinject.Condition, len(scn.POIs))
+				for i := range faults {
+					faults[i] = cond
+				}
+			}
+			res, err := core.RunOne(core.RunSpec{
+				Scenario: scn, Profile: prof, Seed: 1000 + prof.Seed, Faults: faults,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			label := cond.String()
+			srr := res.Analysis.SRRByCondition[label]
+			if cond == faultinject.CondNFI {
+				srr = res.Analysis.SRRWholeRun
+			}
+			if ttc, ok := res.Analysis.TTCByCondition[label]; ok {
+				fmt.Printf("%-5s %-5s %10.2f %10.2f %10.2f %8.1f %6d\n",
+					name, label, ttc.Min, ttc.Avg, ttc.Max, srr, res.Outcome.EgoCollisions)
+			} else {
+				fmt.Printf("%-5s %-5s %10s %10s %10s %8.1f %6d\n",
+					name, label, "-", "-", "-", srr, res.Outcome.EgoCollisions)
+			}
+		}
+	}
+}

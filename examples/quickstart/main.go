@@ -1,0 +1,64 @@
+// Quickstart: run one remote-driving test with and without a network
+// fault, and compare the road-safety metrics — the smallest end-to-end
+// use of the teledrive test bench.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"teledrive/internal/core"
+	"teledrive/internal/driver"
+	"teledrive/internal/faultinject"
+	"teledrive/internal/scenario"
+)
+
+func main() {
+	// Pick a test subject (one of the twelve simulated drivers) and a
+	// scenario (following a lead vehicle through Town 5).
+	subject, _ := driver.SubjectByName("T5")
+
+	// Golden run: no faults injected.
+	golden, err := core.RunOne(core.RunSpec{
+		Scenario: scenario.FollowVehicle(),
+		Profile:  subject,
+		Seed:     42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Faulty run: 5 % packet loss at every point of interest.
+	scn := scenario.FollowVehicle()
+	faults := make([]faultinject.Condition, len(scn.POIs))
+	for i := range faults {
+		faults[i] = faultinject.CondLoss5
+	}
+	faulty, err := core.RunOne(core.RunSpec{
+		Scenario: scn,
+		Profile:  subject,
+		Seed:     42,
+		Faults:   faults,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("metric                     golden     faulty(5% loss)")
+	fmt.Printf("completed                  %-10v %v\n",
+		golden.Outcome.Completed, faulty.Outcome.Completed)
+	fmt.Printf("steering reversals (SRR)   %-10.1f %.1f rev/min\n",
+		golden.Analysis.SRRWholeRun, faulty.Analysis.SRRWholeRun)
+	fmt.Printf("collisions                 %-10d %d\n",
+		golden.Outcome.EgoCollisions, faulty.Outcome.EgoCollisions)
+	fmt.Printf("mean speed                 %-10.1f %.1f m/s\n",
+		golden.Analysis.SpeedStats.Mean, faulty.Analysis.SpeedStats.Mean)
+	if g, ok := golden.Analysis.TTCByCondition["NFI"]; ok {
+		fmt.Printf("TTC min/avg (no fault)     %.1f / %.1f s\n", g.Min, g.Avg)
+	}
+	if f, ok := faulty.Analysis.TTCByCondition["5%"]; ok {
+		fmt.Printf("TTC min/avg (under 5%%)     %.1f / %.1f s\n", f.Min, f.Avg)
+	}
+}

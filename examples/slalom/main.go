@@ -1,0 +1,75 @@
+// Slalom study: reproduce the paper's Fig-4 observation on the
+// lane-change scenario — the same driver takes visibly longer to thread
+// the parked-car slalom when network faults are active, and the steering
+// profile shows more and larger corrections.
+//
+//	go run ./examples/slalom
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"teledrive/internal/core"
+	"teledrive/internal/driver"
+	"teledrive/internal/faultinject"
+	"teledrive/internal/scenario"
+)
+
+func main() {
+	prof, _ := driver.SubjectByName("T2")
+
+	golden, err := core.RunOne(core.RunSpec{
+		Scenario: scenario.LaneChangeSlalom(), Profile: prof, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	scn := scenario.LaneChangeSlalom()
+	faults := make([]faultinject.Condition, len(scn.POIs))
+	for i := range faults {
+		faults[i] = faultinject.CondLoss5
+	}
+	faulty, err := core.RunOne(core.RunSpec{
+		Scenario: scn, Profile: prof, Seed: 7, Faults: faults,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("subject %s, scenario %s\n\n", prof.Name, scn.Name)
+	if golden.Analysis.TaskTimeOK && faulty.Analysis.TaskTimeOK {
+		g := golden.Analysis.TaskTime.Seconds()
+		f := faulty.Analysis.TaskTime.Seconds()
+		fmt.Printf("time to manoeuvre around the parked cars:\n")
+		fmt.Printf("  golden run: %5.1f s\n", g)
+		fmt.Printf("  faulty run: %5.1f s  (%+.0f%%)\n\n", f, 100*(f-g)/g)
+	}
+
+	// Steering activity inside the slalom segment.
+	activity := func(res *core.Result) (peak float64, energy float64) {
+		for _, s := range res.Analysis.SteerFiltered {
+			a := math.Abs(s.Value)
+			if a > peak {
+				peak = a
+			}
+			energy += a
+		}
+		if n := len(res.Analysis.SteerFiltered); n > 0 {
+			energy /= float64(n)
+		}
+		return peak, energy
+	}
+	gp, ge := activity(golden)
+	fp, fe := activity(faulty)
+	fmt.Printf("steering profile (filtered wheel angle):\n")
+	fmt.Printf("  golden: peak %5.1f deg, mean |angle| %5.2f deg\n", gp, ge)
+	fmt.Printf("  faulty: peak %5.1f deg, mean |angle| %5.2f deg\n\n", fp, fe)
+
+	fmt.Printf("lane invasions: golden %d, faulty %d\n",
+		golden.Analysis.LaneInvasions, faulty.Analysis.LaneInvasions)
+	fmt.Printf("collisions:     golden %d, faulty %d\n",
+		golden.Outcome.EgoCollisions, faulty.Outcome.EgoCollisions)
+}

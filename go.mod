@@ -1,0 +1,3 @@
+module teledrive
+
+go 1.22

@@ -1,0 +1,247 @@
+package bridge
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"teledrive/internal/sensors"
+	"teledrive/internal/simclock"
+	"teledrive/internal/transport"
+	"teledrive/internal/vehicle"
+	"teledrive/internal/world"
+)
+
+// PhysicsTick is the fixed physics step of the vehicle subsystem (50 Hz,
+// matching CARLA's synchronous-mode default).
+const PhysicsTick = 20 * time.Millisecond
+
+// ServerStats counts server-side activity.
+type ServerStats struct {
+	FramesSent      uint64
+	FramesDropped   uint64 // send-window full → frame skipped at the sender
+	ControlsApplied uint64
+	EventsSent      uint64
+	MetasHandled    uint64
+}
+
+// Server is the vehicle subsystem: it owns the world, steps physics at
+// PhysicsTick, captures camera frames, streams sensor data to the
+// client, and applies incoming controls to the ego plant. It mirrors the
+// CARLA server role in the paper's Fig 3.
+type Server struct {
+	// OnTick, when non-nil, runs after every physics step with the
+	// current simulated time. The scenario engine uses it to script
+	// traffic and trigger fault injection.
+	OnTick func(now time.Duration)
+
+	clock  *simclock.Clock
+	w      *world.World
+	ego    *world.Actor
+	cam    *sensors.Camera
+	ep     *transport.Endpoint
+	colSen *sensors.CollisionSensor
+	lanSen *sensors.LaneInvasionSensor
+
+	frameInterval time.Duration
+	weather       string
+	running       bool
+	stopped       bool
+	stats         ServerStats
+	lastControl   vehicle.Control
+}
+
+// NewServer builds the vehicle subsystem around an existing world and
+// ego actor. ep is the server side of the bridge connection; wire its
+// handler with Endpoint semantics via Handler().
+func NewServer(clock *simclock.Clock, w *world.World, ego *world.Actor, ep *transport.Endpoint) (*Server, error) {
+	if clock == nil || w == nil || ego == nil || ep == nil {
+		return nil, fmt.Errorf("bridge: NewServer: nil dependency")
+	}
+	if ego.Plant == nil {
+		return nil, fmt.Errorf("bridge: server ego %d has no dynamic plant", ego.ID)
+	}
+	return &Server{
+		clock:         clock,
+		w:             w,
+		ego:           ego,
+		cam:           sensors.NewCamera(w, ego),
+		ep:            ep,
+		colSen:        sensors.NewCollisionSensor(w, ego.ID),
+		lanSen:        sensors.NewLaneInvasionSensor(w, ego.ID),
+		frameInterval: sensors.DefaultFrameInterval,
+		weather:       "clear-day",
+	}, nil
+}
+
+// Handler returns the transport handler processing client→server
+// messages; pass it when constructing the transport endpoint.
+func (s *Server) Handler() transport.Handler {
+	return func(payload []byte, _ uint64, _ time.Duration) {
+		s.handleMessage(payload)
+	}
+}
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() ServerStats { return s.stats }
+
+// World returns the simulated world (ground truth for logging).
+func (s *Server) World() *world.World { return s.w }
+
+// Ego returns the remotely driven actor.
+func (s *Server) Ego() *world.Actor { return s.ego }
+
+// Camera returns the server's camera (range adjustments, testing).
+func (s *Server) Camera() *sensors.Camera { return s.cam }
+
+// LastControl returns the most recently applied control command.
+func (s *Server) LastControl() vehicle.Control { return s.lastControl }
+
+// Weather returns the current weather meta-state.
+func (s *Server) Weather() string { return s.weather }
+
+// FrameInterval returns the camera frame period.
+func (s *Server) FrameInterval() time.Duration { return s.frameInterval }
+
+// SetFrameInterval changes the camera frame period (effective from the
+// next scheduled frame). Non-positive values are ignored.
+func (s *Server) SetFrameInterval(d time.Duration) {
+	if d > 0 {
+		s.frameInterval = d
+	}
+}
+
+// Start schedules the physics and camera loops on the simulated clock.
+// It is idempotent.
+func (s *Server) Start() {
+	if s.running {
+		return
+	}
+	s.running = true
+	s.stopped = false
+	s.clock.Schedule(PhysicsTick, s.physicsTick)
+	s.clock.Schedule(s.frameInterval, s.cameraTick)
+}
+
+// Stop halts the loops after the current event.
+func (s *Server) Stop() {
+	s.stopped = true
+	s.running = false
+}
+
+func (s *Server) physicsTick(now time.Duration) {
+	if s.stopped {
+		return
+	}
+	s.w.Step(PhysicsTick.Seconds())
+	s.flushEvents()
+	if s.OnTick != nil {
+		s.OnTick(now)
+	}
+	s.clock.Schedule(PhysicsTick, s.physicsTick)
+}
+
+func (s *Server) cameraTick(now time.Duration) {
+	if s.stopped {
+		return
+	}
+	view := s.cam.Capture()
+	payload := envelope(MsgFrame, sensors.MarshalWorldView(view))
+	if err := s.ep.Send(payload); err != nil {
+		// Send window full: the sender-side socket buffer is congested;
+		// drop this frame like a saturated video encoder queue would.
+		s.stats.FramesDropped++
+	} else {
+		s.stats.FramesSent++
+	}
+	s.clock.Schedule(s.frameInterval, s.cameraTick)
+}
+
+// flushEvents streams buffered sensor events to the client.
+func (s *Server) flushEvents() {
+	for _, ev := range s.colSen.Drain() {
+		if buf, err := marshalJSONMsg(MsgCollision, collisionToWire(ev)); err == nil {
+			if s.ep.Send(buf) == nil {
+				s.stats.EventsSent++
+			}
+		}
+	}
+	for _, ev := range s.lanSen.Drain() {
+		if buf, err := marshalJSONMsg(MsgLaneInvasion, laneInvasionToWire(ev)); err == nil {
+			if s.ep.Send(buf) == nil {
+				s.stats.EventsSent++
+			}
+		}
+	}
+}
+
+func (s *Server) handleMessage(payload []byte) {
+	t, body, err := splitEnvelope(payload)
+	if err != nil {
+		return
+	}
+	switch t {
+	case MsgControl:
+		c, err := UnmarshalControl(body)
+		if err != nil {
+			return
+		}
+		s.lastControl = c
+		s.ego.Plant.Apply(c)
+		s.stats.ControlsApplied++
+	case MsgMeta:
+		var cmd MetaCommand
+		if err := json.Unmarshal(body, &cmd); err != nil {
+			return
+		}
+		s.handleMeta(cmd)
+	}
+}
+
+func (s *Server) handleMeta(cmd MetaCommand) {
+	s.stats.MetasHandled++
+	reply := MetaReply{Seq: cmd.Seq, OK: true}
+	switch cmd.Cmd {
+	case "ping":
+		reply.Data = map[string]string{"time_ns": strconv.FormatInt(int64(s.clock.Now()), 10)}
+	case "set_weather":
+		w := cmd.Args["weather"]
+		if w == "" {
+			reply.OK = false
+			reply.Error = "set_weather: missing weather arg"
+			break
+		}
+		s.weather = w
+		// Night reduces the usable camera range (headlight reach),
+		// which is how the paper's day/night OD conditions enter the
+		// model.
+		if strings.Contains(w, "night") {
+			s.cam.Range = 90
+		} else {
+			s.cam.Range = 150
+		}
+	case "set_frame_interval":
+		d, err := time.ParseDuration(cmd.Args["interval"])
+		if err != nil || d <= 0 {
+			reply.OK = false
+			reply.Error = fmt.Sprintf("set_frame_interval: bad interval %q", cmd.Args["interval"])
+			break
+		}
+		s.frameInterval = d
+	case "get_stats":
+		reply.Data = map[string]string{
+			"frames_sent":    strconv.FormatUint(s.stats.FramesSent, 10),
+			"frames_dropped": strconv.FormatUint(s.stats.FramesDropped, 10),
+			"weather":        s.weather,
+		}
+	default:
+		reply.OK = false
+		reply.Error = fmt.Sprintf("unknown meta command %q", cmd.Cmd)
+	}
+	if buf, err := marshalJSONMsg(MsgMetaReply, reply); err == nil {
+		// Best-effort: a full window drops the reply like any datagram.
+		_ = s.ep.Send(buf)
+	}
+}

@@ -1,0 +1,220 @@
+package campaign
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"teledrive/internal/core"
+	"teledrive/internal/driver"
+	"teledrive/internal/faultinject"
+	"teledrive/internal/scenario"
+	"teledrive/internal/transport"
+)
+
+// PlanMode selects how fault budgets are chosen.
+type PlanMode int
+
+const (
+	// PlanPaper replays the exact Table II fault counts.
+	PlanPaper PlanMode = iota
+	// PlanRandom draws fresh Table-II-like budgets from the seed.
+	PlanRandom
+)
+
+// Config configures a campaign.
+type Config struct {
+	// Seed drives all campaign-level randomness (fault placement).
+	Seed int64
+	// Subjects defaults to driver.Subjects() (T1–T12).
+	Subjects []driver.Profile
+	// Scenarios defaults to scenario.TestScenarios().
+	Scenarios func() []*scenario.Scenario
+	// Plan selects paper-exact or random fault budgets.
+	Plan PlanMode
+	// IncludeTraining runs the §V-E1 free drive first (it produces no
+	// table data but exercises the full pipeline).
+	IncludeTraining bool
+	// Transport overrides the default reliable channel (ablations).
+	Transport *transport.Options
+	// ApplyPaperExclusions reproduces §VI-A: exclude T7 and mask the
+	// cells whose recordings failed.
+	ApplyPaperExclusions bool
+}
+
+func (c *Config) fillDefaults() {
+	if c.Subjects == nil {
+		c.Subjects = driver.Subjects()
+	}
+	if c.Scenarios == nil {
+		c.Scenarios = scenario.TestScenarios
+	}
+}
+
+// ScenarioResult couples one scenario's golden and faulty drives.
+type ScenarioResult struct {
+	Scenario *scenario.Scenario
+	Golden   *core.Result
+	Faulty   *core.Result
+}
+
+// SubjectResult is everything one subject produced.
+type SubjectResult struct {
+	Profile  driver.Profile
+	Budget   FaultBudget
+	Runs     []ScenarioResult
+	Training *core.Result // nil unless IncludeTraining
+
+	// Excluded reproduces the paper's §VI-A data processing (T7).
+	Excluded      bool
+	ExcludeReason string
+	// Missing marks recordings lost in the paper's collection phase.
+	Missing MissingData
+}
+
+// MissingData mirrors §VI-A's recording failures.
+type MissingData struct {
+	// SRRGolden: steering data missing for the golden run (paper: T3).
+	SRRGolden bool
+	// SRRFaulty: steering data missing for the faulty run (paper: T8,
+	// T10, T12).
+	SRRFaulty bool
+	// TTC: lead-vehicle velocity missing for both runs (paper: T1–T4).
+	TTC bool
+}
+
+// paperMissing returns the §VI-A mask for a subject.
+func paperMissing(name string) MissingData {
+	var m MissingData
+	switch name {
+	case "T1", "T2", "T4":
+		m.TTC = true
+	case "T3":
+		m.TTC = true
+		m.SRRGolden = true
+	case "T8", "T10", "T12":
+		m.SRRFaulty = true
+	}
+	return m
+}
+
+// Result is a full campaign outcome.
+type Result struct {
+	Config   Config
+	Subjects []SubjectResult
+	// Elapsed is the wall-clock cost of the simulation (not simulated
+	// time).
+	Elapsed time.Duration
+}
+
+// Run executes the campaign: for every subject, a golden run and a
+// faulty run through every scenario (plus optional training), exactly
+// the §V-E2 protocol.
+func Run(cfg Config) (*Result, error) {
+	cfg.fillDefaults()
+	started := time.Now()
+	budgets := PaperFaultBudgets()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	res := &Result{Config: cfg}
+	for _, prof := range cfg.Subjects {
+		sub := SubjectResult{Profile: prof}
+		if cfg.ApplyPaperExclusions {
+			if prof.Name == "T7" {
+				sub.Excluded = true
+				sub.ExcludeReason = "left-hand-drive habituation unduly affected right-hand scenarios (§VI-A)"
+			}
+			sub.Missing = paperMissing(prof.Name)
+		}
+
+		switch cfg.Plan {
+		case PlanRandom:
+			sub.Budget = RandomFaultBudget(rng)
+		default:
+			b, ok := budgets[prof.Name]
+			if !ok {
+				b = RandomFaultBudget(rng)
+			}
+			sub.Budget = b
+		}
+
+		scns := cfg.Scenarios()
+		assignment, err := BuildAssignment(scns, sub.Budget, rng)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: subject %s: %w", prof.Name, err)
+		}
+
+		if cfg.IncludeTraining {
+			training, err := core.RunOne(core.RunSpec{
+				Scenario:  scenario.Training(),
+				Profile:   prof,
+				Seed:      cfg.Seed ^ prof.Seed ^ 0x7e57,
+				Transport: cfg.Transport,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("campaign: subject %s training: %w", prof.Name, err)
+			}
+			sub.Training = training
+		}
+
+		for i, scn := range scns {
+			seed := cfg.Seed ^ prof.Seed ^ int64(i)<<32
+			golden, err := core.RunOne(core.RunSpec{
+				Scenario:  scn,
+				Profile:   prof,
+				Seed:      seed,
+				Faults:    core.GoldenPlan(scn),
+				Transport: cfg.Transport,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("campaign: subject %s golden %s: %w", prof.Name, scn.Name, err)
+			}
+			// Fresh scenario instance for the faulty run: worlds are
+			// single-use.
+			faultyScn := cfg.Scenarios()[i]
+			faulty, err := core.RunOne(core.RunSpec{
+				Scenario:  faultyScn,
+				Profile:   prof,
+				Seed:      seed ^ 0xFA11,
+				Faults:    assignment.PerScenario[i],
+				Transport: cfg.Transport,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("campaign: subject %s faulty %s: %w", prof.Name, scn.Name, err)
+			}
+			sub.Runs = append(sub.Runs, ScenarioResult{Scenario: scn, Golden: golden, Faulty: faulty})
+		}
+		res.Subjects = append(res.Subjects, sub)
+	}
+	res.Elapsed = time.Since(started)
+	return res, nil
+}
+
+// Analysed returns the subjects that enter the result tables (excluded
+// subjects filtered out).
+func (r *Result) Analysed() []SubjectResult {
+	out := make([]SubjectResult, 0, len(r.Subjects))
+	for _, s := range r.Subjects {
+		if !s.Excluded {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// InjectedCounts tallies actual injections per condition for a subject
+// across the faulty runs (Table II row check).
+func (s *SubjectResult) InjectedCounts() map[faultinject.Condition]int {
+	out := make(map[faultinject.Condition]int)
+	for _, run := range s.Runs {
+		for _, f := range run.Faulty.Outcome.Log.Faults {
+			if f.Action != "add" || f.Link != "downlink" {
+				continue
+			}
+			if c, ok := faultinject.ConditionByLabel(f.Label); ok && c != faultinject.CondNFI {
+				out[c]++
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,22 @@
+package campaign
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+func TestCampaignCrashCheck(t *testing.T) {
+	if os.Getenv("TELEDRIVE_CALIB") == "" {
+		t.Skip("calibration harness")
+	}
+	for _, seed := range []int64{2023, 7, 99, 1234} {
+		res, err := Run(Config{Seed: seed, ApplyPaperExclusions: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		col := res.BuildCollisionAnalysis()
+		fmt.Printf("seed=%d golden=%d faulty=%d conds=%v counts=%v\n",
+			seed, col.GoldenCollided, col.FaultyCollided, col.CrashConditions, col.CrashCountByCondition)
+	}
+}

@@ -1,0 +1,28 @@
+package campaign
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+func TestFig4Scan(t *testing.T) {
+	if os.Getenv("TELEDRIVE_CALIB") == "" {
+		t.Skip("calibration harness")
+	}
+	res, err := Run(Config{Seed: 4, ApplyPaperExclusions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range res.Analysed() {
+		for i, run := range sub.Runs {
+			g, gok := run.Golden.Analysis.TaskTime, run.Golden.Analysis.TaskTimeOK
+			f, fok := run.Faulty.Analysis.TaskTime, run.Faulty.Analysis.TaskTimeOK
+			if gok && fok {
+				fmt.Printf("FIG4 %-4s scn=%d %-20s golden=%5.1fs faulty=%5.1fs (%+.0f%%) crashes=%d\n",
+					sub.Profile.Name, i, run.Scenario.Name, g.Seconds(), f.Seconds(),
+					100*(f.Seconds()-g.Seconds())/g.Seconds(), run.Faulty.Outcome.EgoCollisions)
+			}
+		}
+	}
+}

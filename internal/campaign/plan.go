@@ -1,0 +1,164 @@
+// Package campaign orchestrates the paper's §V-E test process over the
+// simulated subjects: step 1 training, step 2 golden + faulty runs
+// through the scenario sequence with per-subject randomized fault
+// assignments, and step 3 the questionnaire — then aggregates everything
+// the result tables need.
+package campaign
+
+import (
+	"fmt"
+	"math/rand"
+
+	"teledrive/internal/faultinject"
+	"teledrive/internal/scenario"
+)
+
+// FaultBudget is the multiset of faults injected for one subject over a
+// full faulty run — one row of the paper's Table II.
+type FaultBudget struct {
+	Delay5  int
+	Delay25 int
+	Delay50 int
+	Loss2   int
+	Loss5   int
+}
+
+// Total returns the row total.
+func (b FaultBudget) Total() int {
+	return b.Delay5 + b.Delay25 + b.Delay50 + b.Loss2 + b.Loss5
+}
+
+// Count returns the budget for one condition.
+func (b FaultBudget) Count(c faultinject.Condition) int {
+	switch c {
+	case faultinject.CondDelay5:
+		return b.Delay5
+	case faultinject.CondDelay25:
+		return b.Delay25
+	case faultinject.CondDelay50:
+		return b.Delay50
+	case faultinject.CondLoss2:
+		return b.Loss2
+	case faultinject.CondLoss5:
+		return b.Loss5
+	default:
+		return 0
+	}
+}
+
+// PaperFaultBudgets reproduces Table II exactly: the number of faults of
+// each type injected for each analysed subject (T7 was excluded and has
+// no row; it receives a median budget so its drive still happens).
+func PaperFaultBudgets() map[string]FaultBudget {
+	return map[string]FaultBudget{
+		"T1":  {Delay5: 3, Delay25: 1, Delay50: 2, Loss2: 3, Loss5: 1},
+		"T2":  {Delay5: 3, Delay25: 2, Delay50: 2, Loss2: 2, Loss5: 3},
+		"T3":  {Delay5: 3, Delay25: 4, Delay50: 1, Loss2: 2, Loss5: 3},
+		"T4":  {Delay5: 1, Delay25: 4, Delay50: 1, Loss2: 4, Loss5: 1},
+		"T5":  {Delay5: 2, Delay25: 2, Delay50: 2, Loss2: 2, Loss5: 2},
+		"T6":  {Delay5: 2, Delay25: 3, Delay50: 2, Loss2: 2, Loss5: 3},
+		"T7":  {Delay5: 2, Delay25: 3, Delay50: 2, Loss2: 3, Loss5: 2}, // not in Table II
+		"T8":  {Delay5: 1, Delay25: 4, Delay50: 3, Loss2: 2, Loss5: 3},
+		"T9":  {Delay5: 1, Delay25: 2, Delay50: 3, Loss2: 3, Loss5: 3},
+		"T10": {Delay5: 1, Delay25: 2, Delay50: 3, Loss2: 4, Loss5: 4},
+		"T11": {Delay5: 2, Delay25: 3, Delay50: 3, Loss2: 2, Loss5: 3},
+		"T12": {Delay5: 1, Delay25: 3, Delay50: 2, Loss2: 5, Loss5: 3},
+	}
+}
+
+// RandomFaultBudget draws a Table-II-like row: 10–14 faults spread over
+// the five conditions with each condition appearing at least once.
+func RandomFaultBudget(rng *rand.Rand) FaultBudget {
+	total := 10 + rng.Intn(5)
+	counts := [5]int{1, 1, 1, 1, 1}
+	for i := 5; i < total; i++ {
+		counts[rng.Intn(5)]++
+	}
+	return FaultBudget{
+		Delay5: counts[0], Delay25: counts[1], Delay50: counts[2],
+		Loss2: counts[3], Loss5: counts[4],
+	}
+}
+
+// Assignment maps every POI of every scenario (in driving order) to a
+// condition.
+type Assignment struct {
+	// PerScenario[i] has one condition per POI of scenario i.
+	PerScenario [][]faultinject.Condition
+}
+
+// BuildAssignment distributes a fault budget over the POIs of the
+// scenario sequence, mirroring §V-C: "the fault injection was done
+// randomly ... if a 5 ms delay was injected for one test subject, a 5 %
+// packet loss might have been injected in the same scenario for
+// another". Faults are placed one at a time on POIs drawn without
+// replacement with probability proportional to POI weight — the paper
+// injected at "situations of interest", and high-weight POIs (stop-and-
+// go events) are the most interesting. POIs beyond the budget stay NFI.
+func BuildAssignment(scns []*scenario.Scenario, budget FaultBudget, rng *rand.Rand) (Assignment, error) {
+	type slot struct {
+		scn, poi, weight int
+	}
+	var slots []slot
+	for i, s := range scns {
+		for j, p := range s.POIs {
+			w := p.Weight
+			if w < 1 {
+				w = 1
+			}
+			slots = append(slots, slot{scn: i, poi: j, weight: w})
+		}
+	}
+	if budget.Total() > len(slots) {
+		return Assignment{}, fmt.Errorf("campaign: budget %d exceeds %d POIs", budget.Total(), len(slots))
+	}
+
+	// Flatten the budget into a condition list and shuffle it so the
+	// high-weight slots don't systematically receive one condition.
+	flat := make([]faultinject.Condition, 0, budget.Total())
+	for _, c := range faultinject.FaultConditions() {
+		for i := 0; i < budget.Count(c); i++ {
+			flat = append(flat, c)
+		}
+	}
+	rng.Shuffle(len(flat), func(i, j int) { flat[i], flat[j] = flat[j], flat[i] })
+
+	out := Assignment{PerScenario: make([][]faultinject.Condition, len(scns))}
+	for i, s := range scns {
+		out.PerScenario[i] = make([]faultinject.Condition, len(s.POIs))
+	}
+	available := make([]slot, len(slots))
+	copy(available, slots)
+	for _, cond := range flat {
+		total := 0
+		for _, sl := range available {
+			total += sl.weight
+		}
+		pick := rng.Intn(total)
+		chosen := 0
+		for k, sl := range available {
+			pick -= sl.weight
+			if pick < 0 {
+				chosen = k
+				break
+			}
+		}
+		sl := available[chosen]
+		out.PerScenario[sl.scn][sl.poi] = cond
+		available = append(available[:chosen], available[chosen+1:]...)
+	}
+	return out, nil
+}
+
+// Counts tallies the injected conditions of an assignment.
+func (a Assignment) Counts() map[faultinject.Condition]int {
+	out := make(map[faultinject.Condition]int)
+	for _, per := range a.PerScenario {
+		for _, c := range per {
+			if c != faultinject.CondNFI {
+				out[c]++
+			}
+		}
+	}
+	return out
+}

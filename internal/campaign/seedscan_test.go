@@ -1,0 +1,25 @@
+package campaign
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+func TestSeedScan(t *testing.T) {
+	if os.Getenv("TELEDRIVE_CALIB") == "" {
+		t.Skip("calibration harness")
+	}
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			res, err := Run(Config{Seed: seed, ApplyPaperExclusions: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			col := res.BuildCollisionAnalysis()
+			fmt.Printf("SEEDSCAN seed=%-3d golden=%d faulty=%d conds=%v counts=%v\n",
+				seed, col.GoldenCollided, col.FaultyCollided, col.CrashConditions, col.CrashCountByCondition)
+		})
+	}
+}

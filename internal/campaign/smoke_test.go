@@ -1,0 +1,54 @@
+package campaign
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"teledrive/internal/driver"
+	"teledrive/internal/faultinject"
+)
+
+// TestSmokeCampaign runs a 3-subject mini campaign and prints all
+// aggregates. Enable with TELEDRIVE_CALIB=1.
+func TestSmokeCampaign(t *testing.T) {
+	if os.Getenv("TELEDRIVE_CALIB") == "" {
+		t.Skip("smoke harness")
+	}
+	var subs []driver.Profile
+	for _, n := range []string{"T5", "T6", "T10"} {
+		p, _ := driver.SubjectByName(n)
+		subs = append(subs, p)
+	}
+	res, err := Run(Config{Seed: 7, Subjects: subs, ApplyPaperExclusions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2 := res.BuildTableII()
+	for _, row := range t2.Rows {
+		fmt.Printf("TableII %s total=%d %v\n", row.Subject, row.Total, row.Counts)
+	}
+	t3 := res.BuildTableIII()
+	for _, row := range t3.Rows {
+		fmt.Printf("TableIII %s missing=%v\n", row.Subject, row.Missing)
+		for _, label := range []string{"NFI", "5ms", "25ms", "50ms", "2%", "5%"} {
+			if c, ok := row.Cells[label]; ok && c.Valid {
+				fmt.Printf("   %-4s min=%6.2f avg=%6.2f max=%7.2f n=%d viol=%d\n", label, c.Res.Min, c.Res.Avg, c.Res.Max, c.Res.N, c.Res.Violations)
+			} else {
+				fmt.Printf("   %-4s -\n", label)
+			}
+		}
+	}
+	t4 := res.BuildTableIV()
+	for _, row := range t4.Rows {
+		fmt.Printf("TableIV %s NFI=%.1f FI=%.1f avg=%.1f cells=%v\n", row.Subject, row.NFI.Rate, row.FI.Rate, row.Avg.Rate, row.PerCondition)
+	}
+	fmt.Printf("TableIV col avgs: %v\n", t4.ColumnAvg)
+	col := res.BuildCollisionAnalysis()
+	fmt.Printf("Collisions: golden=%d/%d faulty=%d crashConds=%v counts=%v\n",
+		col.GoldenCollided, col.SubjectsAnalysed, col.FaultyCollided, col.CrashConditions, col.CrashCountByCondition)
+	fig, ok := res.BuildFig4("T6", 1)
+	fmt.Printf("Fig4 ok=%v golden=%v(%v) faulty=%v(%v) samples=%d/%d\n",
+		ok, fig.GoldenTime, fig.GoldenOK, fig.FaultyTime, fig.FaultyOK, len(fig.Golden), len(fig.Faulty))
+	_ = faultinject.CondNFI
+}

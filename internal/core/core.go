@@ -1,0 +1,66 @@
+// Package core is the public façade of the teledrive test bench: the
+// paper's methodology as an API. One call runs a subject through a
+// scenario over the emulated network with a fault plan and returns both
+// the raw run log (§V-F) and the analysed road-safety metrics (§V-G):
+// per-condition TTC, per-condition SRR, collision counts, lane
+// invasions, and the Fig-4 task time.
+//
+//	res, err := core.RunOne(core.RunSpec{
+//	    Scenario: scenario.FollowVehicle(),
+//	    Profile:  subject,                    // one of driver.Subjects()
+//	    Seed:     42,
+//	    Faults:   assignments,                // one condition per POI
+//	})
+package core
+
+import (
+	"teledrive/internal/driver"
+	"teledrive/internal/faultinject"
+	"teledrive/internal/rds"
+	"teledrive/internal/scenario"
+	"teledrive/internal/transport"
+)
+
+// RunSpec configures one drive.
+type RunSpec struct {
+	Scenario *scenario.Scenario
+	Profile  driver.Profile
+	Seed     int64
+	// Faults assigns a condition to each scenario POI. nil = golden run.
+	Faults []faultinject.Condition
+	// Transport overrides the default reliable channel (ablations).
+	Transport *transport.Options
+	// Driver overrides the default driver configuration (model-vehicle
+	// experiments).
+	Driver *driver.Config
+}
+
+// Result couples the raw outcome with its analysis.
+type Result struct {
+	Outcome  *rds.Outcome
+	Analysis *Analysis
+}
+
+// RunOne executes a single drive and analyses it.
+func RunOne(spec RunSpec) (*Result, error) {
+	out, err := rds.Run(rds.BenchConfig{
+		Scenario:         spec.Scenario,
+		Profile:          spec.Profile,
+		Seed:             spec.Seed,
+		FaultAssignments: spec.Faults,
+		Transport:        spec.Transport,
+		DriverConfig:     spec.Driver,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Outcome:  out,
+		Analysis: AnalyzeRun(out.Log, spec.Scenario),
+	}, nil
+}
+
+// GoldenPlan returns the all-NFI fault assignment for a scenario.
+func GoldenPlan(scn *scenario.Scenario) []faultinject.Condition {
+	return make([]faultinject.Condition, len(scn.POIs))
+}

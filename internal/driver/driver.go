@@ -1,0 +1,619 @@
+package driver
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"teledrive/internal/geom"
+	"teledrive/internal/sensors"
+	"teledrive/internal/simclock"
+	"teledrive/internal/vehicle"
+	"teledrive/internal/world"
+)
+
+// Perception is what the driver can see: the operator station's display.
+// bridge.Client satisfies it.
+type Perception interface {
+	// Frame returns the currently displayed world view.
+	Frame() (view sensors.WorldView, ok bool)
+	// FrameAge returns the staleness of the displayed frame's content
+	// (negative before the first frame).
+	FrameAge() time.Duration
+}
+
+// SpeedInstruction sets the instructed target speed from a route station
+// onward — the experimenter's "drive at about 50 now" directions
+// (§V-E2).
+type SpeedInstruction struct {
+	FromStation float64
+	Speed       float64 // m/s
+}
+
+// Task is the driving task given to the subject: the route to follow
+// (lane changes are embedded in the route geometry) and the instructed
+// speeds.
+type Task struct {
+	Route     *geom.Path
+	LaneWidth float64
+	SpeedPlan []SpeedInstruction
+	// StopAtEnd makes the driver brake to a halt at the route end.
+	StopAtEnd bool
+	// PrecisionZones are station ranges demanding precise manoeuvring
+	// (threading parked cars, overtaking). A driver who cannot trust
+	// the video feed creeps through them instead of committing — the
+	// behaviour behind the paper's Fig-4 task-time inflation.
+	PrecisionZones [][2]float64
+}
+
+// inPrecisionZone reports whether a station lies in a precision zone.
+func (t Task) inPrecisionZone(station float64) bool {
+	for _, z := range t.PrecisionZones {
+		if station >= z[0] && station <= z[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// Config assembles everything a Driver needs besides its Profile.
+type Config struct {
+	Profile Profile
+	Task    Task
+	// IDM is the base car-following parameter set; the profile and the
+	// perceived feed quality modulate it.
+	IDM IDMParams
+
+	// Plant characteristics the driver has internalized (from the
+	// training drive, §V-E1).
+	Wheelbase     float64 // m
+	MaxSteerAngle float64 // rad at |steer| = 1
+	PlantAccel    float64 // full-throttle acceleration, m/s²
+	PlantBrake    float64 // full-brake deceleration, m/s²
+
+	// EmergencyTTC is the perceived time-to-collision below which the
+	// driver stamps the brake, s.
+	EmergencyTTC float64
+	// LookaheadMin/Max bound the preview distance, m.
+	LookaheadMin, LookaheadMax float64
+	// LateralComfort is the lateral-acceleration comfort limit used for
+	// curve speeds, m/s².
+	LateralComfort float64
+	// NominalFrameAge is the frame staleness considered "clean feed";
+	// degradation is measured against it.
+	NominalFrameAge time.Duration
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Profile.Validate(); err != nil {
+		return err
+	}
+	if err := c.IDM.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.Task.Route == nil:
+		return fmt.Errorf("driver: config needs a route")
+	case c.Task.LaneWidth <= 0:
+		return fmt.Errorf("driver: lane width %v must be positive", c.Task.LaneWidth)
+	case c.Wheelbase <= 0 || c.MaxSteerAngle <= 0:
+		return fmt.Errorf("driver: wheelbase %v / max steer %v must be positive", c.Wheelbase, c.MaxSteerAngle)
+	case c.PlantAccel <= 0 || c.PlantBrake <= 0:
+		return fmt.Errorf("driver: plant accel %v / brake %v must be positive", c.PlantAccel, c.PlantBrake)
+	case c.EmergencyTTC < 0:
+		return fmt.Errorf("driver: emergency TTC %v negative", c.EmergencyTTC)
+	case c.LookaheadMin <= 0 || c.LookaheadMax < c.LookaheadMin:
+		return fmt.Errorf("driver: lookahead bounds [%v, %v] invalid", c.LookaheadMin, c.LookaheadMax)
+	case c.LateralComfort <= 0:
+		return fmt.Errorf("driver: lateral comfort %v must be positive", c.LateralComfort)
+	}
+	return nil
+}
+
+// DefaultConfig returns a config for driving the sedan on a task,
+// with canonical human parameters.
+func DefaultConfig(profile Profile, task Task) Config {
+	spec := vehicle.Sedan()
+	return Config{
+		Profile:         profile,
+		Task:            task,
+		IDM:             DefaultIDM(),
+		Wheelbase:       spec.Wheelbase,
+		MaxSteerAngle:   spec.MaxSteerAngle,
+		PlantAccel:      spec.MaxAccel,
+		PlantBrake:      spec.MaxBrake,
+		EmergencyTTC:    1.03 + 0.10*profile.Caution,
+		LookaheadMin:    8,
+		LookaheadMax:    30,
+		LateralComfort:  2.5,
+		NominalFrameAge: sensors.DefaultFrameInterval + 10*time.Millisecond,
+	}
+}
+
+// Driver is the human-driver model. Call Tick at the station's control
+// period (typically every 20 ms) to obtain the next control command.
+// Driver is not safe for concurrent use.
+type Driver struct {
+	cfg   Config
+	clock *simclock.Clock
+	see   Perception
+	rng   *rand.Rand
+
+	// Perception buffer: frames become actionable ReactionTime after
+	// they were displayed.
+	buffer    []timedView
+	perceived sensors.WorldView
+	hasView   bool
+
+	// Feed-quality estimate.
+	ageEMA    time.Duration
+	jitterEMA time.Duration
+
+	// Motor state.
+	steer     float64 // current wheel position, normalized
+	brake     float64 // current brake-pedal position, normalized
+	noise     float64 // OU noise state
+	lastTick  time.Duration
+	firstTick bool
+
+	// Longitudinal perception smoothing state (visual gap estimation).
+	gapEST   float64
+	leadVEST float64
+	leadID   world.ActorID
+	estValid bool
+
+	degradation float64
+	done        bool
+}
+
+type timedView struct {
+	displayedAt time.Duration
+	view        sensors.WorldView
+}
+
+// New builds a driver. It returns an error for invalid configs.
+func New(clock *simclock.Clock, see Perception, cfg Config) (*Driver, error) {
+	if clock == nil || see == nil {
+		return nil, fmt.Errorf("driver: New requires a clock and a perception source")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Driver{
+		cfg:       cfg,
+		clock:     clock,
+		see:       see,
+		rng:       rand.New(rand.NewSource(cfg.Profile.Seed)),
+		firstTick: true,
+	}, nil
+}
+
+// Done reports whether the driver considers the task finished (route end
+// reached and vehicle stopped, when StopAtEnd is set).
+func (d *Driver) Done() bool { return d.done }
+
+// Degradation returns the driver's current estimate of feed degradation
+// in [0, 1]; 0 is a clean feed.
+func (d *Driver) Degradation() float64 { return d.degradation }
+
+// Perceived returns the world view the driver is currently acting on.
+func (d *Driver) Perceived() (sensors.WorldView, bool) { return d.perceived, d.hasView }
+
+// Tick advances the driver by one control period and returns the command
+// to send to the vehicle.
+func (d *Driver) Tick(now time.Duration) vehicle.Control {
+	dt := (20 * time.Millisecond).Seconds()
+	if !d.firstTick {
+		dt = (now - d.lastTick).Seconds()
+		if dt <= 0 {
+			dt = 1e-3
+		}
+	}
+	d.firstTick = false
+	d.lastTick = now
+
+	d.observe(now)
+	if !d.hasView {
+		// Nothing on the screen yet: keep feet off the pedals.
+		return vehicle.Control{}
+	}
+
+	egoLat, egoLong := d.perceivedEgo(now)
+	accel, emergency := d.longitudinal(egoLong)
+	steerTarget := d.lateral(egoLat, dt)
+
+	// Move the wheel toward the target at the profile's wheel rate.
+	maxDelta := d.cfg.Profile.WheelRate * dt
+	d.steer += geom.Clamp(steerTarget-d.steer, -maxDelta, maxDelta)
+	d.steer = geom.Clamp(d.steer, -1, 1)
+
+	// Freeze response: when the display visibly hangs (no fresh frame
+	// for several periods), the driver lifts off and covers the brake —
+	// nobody keeps accelerating into a frozen screen. This is what
+	// stretches the faulty-run task times (Fig 4).
+	frozen := false
+	if age := d.see.FrameAge(); age > 240*time.Millisecond {
+		frozen = true
+	}
+
+	// Pedal dynamics: even in an emergency a human takes ~0.25 s to
+	// reach full brake force; release is quicker.
+	var brakeTarget, throttle float64
+	switch {
+	case emergency:
+		brakeTarget = 1
+	case frozen:
+		brakeTarget = 0.35
+	case accel >= 0:
+		// Feed-forward a little throttle to cover rolling drag.
+		throttle = geom.Clamp(accel/d.cfg.PlantAccel+0.05, 0, 1)
+	default:
+		brakeTarget = geom.Clamp(-accel/d.cfg.PlantBrake, 0, 1)
+	}
+	const brakeApplyRate, brakeReleaseRate = 4.0, 8.0
+	if brakeTarget > d.brake {
+		d.brake += math.Min(brakeTarget-d.brake, brakeApplyRate*dt)
+	} else {
+		d.brake -= math.Min(d.brake-brakeTarget, brakeReleaseRate*dt)
+	}
+	return vehicle.Control{Steer: d.steer, Throttle: throttle, Brake: d.brake}
+}
+
+// observe ingests newly displayed frames and applies the
+// perception–reaction delay and the feed-quality estimator.
+func (d *Driver) observe(now time.Duration) {
+	if view, ok := d.see.Frame(); ok {
+		if len(d.buffer) == 0 || view.Frame > d.buffer[len(d.buffer)-1].view.Frame {
+			d.buffer = append(d.buffer, timedView{displayedAt: now, view: view})
+		}
+	}
+	// Promote the newest frame older than the reaction time.
+	cut := now - d.cfg.Profile.ReactionTime
+	idx := -1
+	for i, tv := range d.buffer {
+		if tv.displayedAt <= cut {
+			idx = i
+		} else {
+			break
+		}
+	}
+	if idx >= 0 {
+		d.perceived = d.buffer[idx].view
+		d.hasView = true
+		d.buffer = d.buffer[idx+1:]
+	}
+
+	// Feed-quality estimate: EMA of the displayed frame's age plus an
+	// EMA of its variability. The driver "sees" delayed video through
+	// the first signal and jerky video through the second.
+	age := d.see.FrameAge()
+	if age >= 0 {
+		const alpha = 0.05
+		dev := age - d.ageEMA
+		if dev < 0 {
+			dev = -dev
+		}
+		// Jerkiness registers faster than it fades: a single freeze is
+		// noticed immediately, trust returns slowly.
+		jalpha := 0.02
+		if dev > d.jitterEMA {
+			jalpha = 0.2
+		}
+		d.jitterEMA += time.Duration(jalpha * float64(dev-d.jitterEMA))
+		d.ageEMA += time.Duration(alpha * float64(age-d.ageEMA))
+		// Steady lag is partially compensable; jerkiness is what feels
+		// degraded. Weigh jitter more heavily than mean age.
+		lagTerm := geom.Clamp(float64(d.ageEMA-d.cfg.NominalFrameAge)/float64(1500*time.Millisecond), 0, 1)
+		jerkTerm := geom.Clamp(float64(d.jitterEMA-15*time.Millisecond)/float64(200*time.Millisecond), 0, 1)
+		d.degradation = geom.Clamp(lagTerm+jerkTerm, 0, 1)
+	}
+}
+
+// perceivedEgo returns the ego states the driver believes in — one for
+// the lateral (steering) task and one for the longitudinal (gap) task —
+// both extrapolated from the stale frame.
+//
+// The split reflects human teleoperation skill structure. A driver's own
+// reaction lag is compensated almost perfectly for both tasks (motor
+// planning predicts across it). Network lag is compensated well for
+// steering once the lag is *steady* — lateral anticipation is heavily
+// trained and the paper accordingly saw the three delay levels produce
+// similar SRR — but distance-to-lead judgement through a delayed video
+// is only as good as the subject's raw anticipation skill, which is why
+// 50 ms delay (and the stalls of 5 % loss) produced crashes while the
+// steering metrics barely separated the delay levels.
+func (d *Driver) perceivedEgo(now time.Duration) (lat, long sensors.ActorView) {
+	ego := d.perceived.Ego
+	staleness := (now - d.perceived.SimTime).Seconds()
+	if staleness > 0.5 {
+		staleness = 0.5
+	}
+	reactionPart := math.Min(staleness, d.cfg.Profile.ReactionTime.Seconds())
+	netPart := staleness - reactionPart
+
+	base := d.cfg.Profile.Anticipation
+	// jitterEMA ≈ 0 under steady delay, large under loss-induced stalls.
+	// A steady lag is compensated almost fully by everyone after brief
+	// adaptation (effSteady compresses the skill range); an
+	// unpredictable lag is compensated only as well as raw skill allows.
+	unpredictability := geom.Clamp(float64(d.jitterEMA)/float64(40*time.Millisecond), 0, 1)
+	// Compensation quality falls off with lag magnitude: predicting
+	// 200 ms ahead is far harder than 20 ms (errors compound), which is
+	// why the paper found the simulator difficult above 100 ms and the
+	// model vehicle — whose geometry tolerates far smaller absolute
+	// errors — already degraded above 20 ms.
+	magnitude := math.Exp(-netPart / 0.30)
+	effSteady := (0.90 + 0.04*base) * magnitude
+	effLat := effSteady*(1-unpredictability) + base*unpredictability
+	if effLat < base*magnitude {
+		effLat = base * magnitude
+	}
+	effLong := 0.6 * base * magnitude
+
+	// Experienced teleoperators additionally aim where the vehicle will
+	// be when the command takes effect: under a *steady* lag they lead
+	// their steering by roughly the round trip (the observable downlink
+	// age is a proxy for the one-way command delay). An unpredictable
+	// feed defeats this compensation too.
+	actuationLead := float64(d.ageEMA) / float64(time.Second) * (1 - unpredictability) * magnitude
+	if actuationLead > 0.15 {
+		actuationLead = 0.15
+	}
+	const reactionComp = 0.95
+	horizonLat := reactionPart*reactionComp + netPart*effLat + actuationLead
+	horizonLong := reactionPart*reactionComp + netPart*effLong
+	return d.predictEgo(ego, horizonLat), d.predictEgo(ego, horizonLong)
+}
+
+// predictEgo dead-reckons the ego across the horizon with the bicycle
+// kinematics the operator has internalized. The steering angle used is
+// the driver's OWN current wheel position (motor memory), not the
+// frame's reported angle: humans predict from what they commanded, which
+// also keeps the prediction loop from chasing its own noise.
+func (d *Driver) predictEgo(ego sensors.ActorView, horizon float64) sensors.ActorView {
+	if horizon <= 0 {
+		return ego
+	}
+	delta := d.steer * d.cfg.MaxSteerAngle
+	yawRate := ego.Speed / d.cfg.Wheelbase * math.Tan(delta)
+	const step = 0.05
+	for remaining := horizon; remaining > 0; remaining -= step {
+		dt := math.Min(step, remaining)
+		ego.Pose.Yaw = geom.NormalizeAngle(ego.Pose.Yaw + yawRate*dt)
+		ego.Pose.Pos = ego.Pose.Pos.Add(geom.UnitFromAngle(ego.Pose.Yaw).Scale(ego.Speed * dt))
+	}
+	return ego
+}
+
+// perceivedOthers extrapolates the other road users across the frame's
+// staleness, assuming constant velocity — the default human assumption
+// about a vehicle last seen moving. This is precisely what makes a
+// frozen feed dangerous: a lead that brakes during the freeze is
+// believed to still be moving away.
+func (d *Driver) perceivedOthers(now time.Duration) []sensors.ActorView {
+	staleness := (now - d.perceived.SimTime).Seconds()
+	if staleness <= 0 {
+		return d.perceived.Others
+	}
+	if staleness > 0.5 {
+		staleness = 0.5
+	}
+	out := make([]sensors.ActorView, len(d.perceived.Others))
+	for i, o := range d.perceived.Others {
+		o.Pose.Pos = o.Pose.Pos.Add(o.Pose.Forward().Scale(o.Speed * staleness))
+		out[i] = o
+	}
+	return out
+}
+
+// longitudinal computes the desired acceleration and whether an
+// emergency brake is warranted, from perceived quantities only.
+func (d *Driver) longitudinal(ego sensors.ActorView) (accel float64, emergency bool) {
+	p := d.cfg.IDM
+	prof := d.cfg.Profile
+
+	// Profile and caution modulation. A visibly degraded feed makes
+	// everyone ease off, careful subjects much more — this is what
+	// raises the minimum TTC and stretches the Fig-4 task time in the
+	// faulty runs.
+	speedScale := prof.Aggressiveness * (1 - (0.25+0.6*prof.Caution)*d.degradation)
+	p.DesiredSpeed *= speedScale
+	p.TimeHeadway = p.TimeHeadway / prof.Aggressiveness * (1 + prof.Caution*d.degradation)
+
+	// Instructed speed at the perceived station.
+	station, lateral := d.cfg.Task.Route.Project(ego.Pose.Pos)
+	// Recovery behaviour: having left the lane, slow right down until
+	// back on the route.
+	if math.Abs(lateral) > d.cfg.Task.LaneWidth {
+		p.DesiredSpeed = math.Min(p.DesiredSpeed, 5)
+	}
+	if v := d.instructedSpeed(station); v > 0 {
+		p.DesiredSpeed = math.Min(p.DesiredSpeed, v*speedScale)
+	}
+	// Precision-zone hesitation: a driver threading parked cars on a
+	// feed they do not trust creeps rather than commits.
+	if d.cfg.Task.inPrecisionZone(station) && d.degradation > 0.06 {
+		factor := geom.Clamp(1-3.5*d.degradation, 0.3, 1)
+		p.DesiredSpeed = math.Max(p.DesiredSpeed*factor, 2.5)
+	}
+	// Curve comfort at the preview point.
+	lookS := station + geom.Clamp(prof.LookaheadTime*ego.Speed, d.cfg.LookaheadMin, d.cfg.LookaheadMax)
+	if v := CurveSpeedLimit(d.cfg.Task.Route.CurvatureAt(lookS), d.cfg.LateralComfort); v < p.DesiredSpeed {
+		p.DesiredSpeed = v
+	}
+	// Stop at the route end.
+	if d.cfg.Task.StopAtEnd {
+		remaining := d.cfg.Task.Route.Length() - station
+		if remaining < 1 && math.Abs(ego.Speed) < 0.5 {
+			d.done = true
+		}
+		if remaining < 0.5 {
+			return -d.cfg.PlantBrake, false
+		}
+		if v := math.Sqrt(2 * 0.6 * d.cfg.PlantBrake * math.Max(remaining-1, 0)); v < p.DesiredSpeed {
+			p.DesiredSpeed = math.Max(v, 0.3)
+		}
+	}
+
+	gap, lead := d.perceivedLead(ego, d.perceivedOthers(d.lastTick))
+	// Visual gap estimation is not instantaneous: the driver's estimate
+	// of the gap and the lead's speed lags the display by a first-order
+	// filter whose time constant grows on a degraded feed (estimating
+	// distance from choppy video takes longer). This estimation lag —
+	// on top of the reaction time — is what turns the extra 100 ms of a
+	// 50 ms round trip, or a loss-induced freeze, into a late brake.
+	dv := 0.0
+	if lead != nil {
+		tau := 0.37 + 1.2*d.degradation
+		alpha := 0.02 / tau // control tick / time constant
+		if alpha > 1 {
+			alpha = 1
+		}
+		if !d.estValid || lead.ID != d.leadID {
+			d.gapEST, d.leadVEST, d.leadID, d.estValid = gap, lead.Speed, lead.ID, true
+		} else {
+			d.gapEST += alpha * (gap - d.gapEST)
+			d.leadVEST += alpha * (lead.Speed - d.leadVEST)
+		}
+		gap = d.gapEST
+		dv = ego.Speed - d.leadVEST
+		// Emergency reaction on the estimated TTC.
+		if dv > 0.3 && d.cfg.EmergencyTTC > 0 && gap/dv < d.cfg.EmergencyTTC {
+			return -d.cfg.PlantBrake, true
+		}
+	} else {
+		d.estValid = false
+	}
+	// False-positive cyclist caution: a cyclist near the corridor edge
+	// makes a cautious driver on a degraded feed ease off (§V-B's
+	// "false test cases").
+	if d.cyclistNearCorridor(ego) {
+		easing := 1 - 0.3*prof.Caution*(0.5+d.degradation)
+		p.DesiredSpeed *= geom.Clamp(easing, 0.5, 1)
+	}
+
+	// Routine driving never exceeds comfortable braking — a human
+	// presses hard only once frightened (the emergency path above).
+	// This is what produces the near-miss minimum TTCs the paper's
+	// golden runs show (0.85-3.8 s) instead of superhuman ACC behaviour.
+	a := p.Accel(math.Max(ego.Speed, 0), gap, dv)
+	return geom.Clamp(a, -1.5*p.ComfortBrake, d.cfg.PlantAccel), false
+}
+
+// instructedSpeed returns the speed plan value at a station (0 when no
+// plan applies yet).
+func (d *Driver) instructedSpeed(station float64) float64 {
+	v := 0.0
+	for _, in := range d.cfg.Task.SpeedPlan {
+		if in.FromStation > station {
+			break
+		}
+		v = in.Speed
+	}
+	return v
+}
+
+// perceivedLead finds the nearest perceived actor in the route corridor
+// ahead of the perceived ego. It returns gap = +Inf when the corridor is
+// clear.
+func (d *Driver) perceivedLead(ego sensors.ActorView, others []sensors.ActorView) (float64, *sensors.ActorView) {
+	pose := ego.Pose
+	best := math.Inf(1)
+	var lead *sensors.ActorView
+	corridor := d.cfg.Task.LaneWidth * 0.8
+	for i := range others {
+		o := &others[i]
+		rel := pose.InversePoint(o.Pose.Pos)
+		if rel.X <= 0 || rel.X > 120 {
+			continue
+		}
+		if math.Abs(rel.Y) > corridor/2 {
+			continue
+		}
+		g := rel.X - ego.Extent.X/2 - o.Extent.X/2
+		if g < best {
+			best = g
+			lead = o
+		}
+	}
+	return best, lead
+}
+
+// cyclistNearCorridor reports whether a cyclist rides just outside the
+// driving corridor ahead — close enough to worry about, not close
+// enough to require action.
+func (d *Driver) cyclistNearCorridor(ego sensors.ActorView) bool {
+	for i := range d.perceived.Others {
+		o := &d.perceived.Others[i]
+		if o.Kind != world.KindCyclist {
+			continue
+		}
+		rel := ego.Pose.InversePoint(o.Pose.Pos)
+		if rel.X <= 0 || rel.X > 60 {
+			continue
+		}
+		lat := math.Abs(rel.Y)
+		if lat > d.cfg.Task.LaneWidth*0.4 && lat < d.cfg.Task.LaneWidth*1.2 {
+			return true
+		}
+	}
+	return false
+}
+
+// lateral computes the steering-wheel target from the perceived pose:
+// pure-pursuit preview plus a near-point proportional correction, bias,
+// and neuromuscular noise.
+func (d *Driver) lateral(ego sensors.ActorView, dt float64) float64 {
+	route := d.cfg.Task.Route
+	prof := d.cfg.Profile
+
+	station, lateral := route.Project(ego.Pose.Pos)
+	// Phase lead: a driver who senses steady lag previews further ahead,
+	// trading tracking tightness for stability (round trip ≈ 2× the
+	// observable downlink age).
+	lagLead := 2 * float64(d.ageEMA) / float64(time.Second)
+	if lagLead > 0.4 {
+		lagLead = 0.4
+	}
+	ld := geom.Clamp((prof.LookaheadTime+lagLead)*math.Max(ego.Speed, 3), d.cfg.LookaheadMin, d.cfg.LookaheadMax)
+	target := route.PointAt(math.Min(station+ld, route.Length()))
+
+	// Pure pursuit on the preview point.
+	rel := ego.Pose.InversePoint(target)
+	dist := rel.Len()
+	var curvature float64
+	if dist > 0.5 {
+		curvature = 2 * rel.Y / (dist * dist)
+	}
+	steerPP := math.Atan(curvature*d.cfg.Wheelbase) / d.cfg.MaxSteerAngle
+
+	// Near-point correction on the perceived lateral error. This is the
+	// term that over-corrects when perception is stale. Humans attenuate
+	// small-error corrections at speed (lateral acceleration scales with
+	// v²), and the correction authority is bounded: beyond a point the
+	// driver relies on the preview, not the near point.
+	// Latency adaptation: drivers who notice lag lower their corrective
+	// gain and steer more deliberately rather than fighting the loop.
+	gainScale := 1 / (1 + math.Pow(float64(d.ageEMA)/float64(80*time.Millisecond), 1.7))
+	// Perceptual deadband: small lateral errors are tolerated (no one
+	// chases centimetres from a video feed). Delay-induced ringing
+	// stays inside the deadband and is not amplified; the step errors a
+	// frozen-then-jumping feed produces punch through it and trigger
+	// the discrete corrective actions that show up as reversals.
+	err := 0.0
+	if math.Abs(lateral) > prof.LateralDeadband {
+		err = lateral - math.Copysign(prof.LateralDeadband, lateral)
+	}
+	steerNear := -prof.NearGain * gainScale * err / (1 + ego.Speed/12)
+	steerNear = geom.Clamp(steerNear, -0.3, 0.3)
+
+	// Neuromuscular noise (Ornstein–Uhlenbeck), amplified when the feed
+	// is visibly degraded (stress / uncertainty).
+	const tau = 0.4
+	sigma := prof.SteerNoise * (1 + 1.8*d.degradation)
+	d.noise += -d.noise/tau*dt + sigma*math.Sqrt(dt)*d.rng.NormFloat64()
+
+	return geom.Clamp(steerPP+steerNear+prof.SteerBias+d.noise, -1, 1)
+}

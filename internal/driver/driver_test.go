@@ -1,0 +1,548 @@
+package driver
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"teledrive/internal/geom"
+	"teledrive/internal/sensors"
+	"teledrive/internal/simclock"
+	"teledrive/internal/vehicle"
+	"teledrive/internal/world"
+)
+
+// fakePerception feeds scripted frames to the driver.
+type fakePerception struct {
+	view sensors.WorldView
+	ok   bool
+	age  time.Duration
+}
+
+func (f *fakePerception) Frame() (sensors.WorldView, bool) { return f.view, f.ok }
+func (f *fakePerception) FrameAge() time.Duration {
+	if !f.ok {
+		return -1
+	}
+	return f.age
+}
+
+func straightTask(t *testing.T, length float64) Task {
+	t.Helper()
+	return Task{
+		Route:     geom.MustPath([]geom.Vec2{geom.V(0, 0), geom.V(length, 0)}),
+		LaneWidth: 3.5,
+	}
+}
+
+func testProfile() Profile {
+	p, _ := SubjectByName("T5")
+	return p
+}
+
+func egoView(pos geom.Vec2, yaw, speed float64) sensors.ActorView {
+	return sensors.ActorView{
+		ID: 1, Kind: world.KindEgo,
+		Pose:   geom.Pose{Pos: pos, Yaw: yaw},
+		Speed:  speed,
+		Extent: geom.V(4.7, 1.9),
+	}
+}
+
+func TestProfilesAllValid(t *testing.T) {
+	subjects := Subjects()
+	if len(subjects) != 12 {
+		t.Fatalf("subjects = %d, want 12", len(subjects))
+	}
+	seen := map[string]bool{}
+	for _, p := range subjects {
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %s invalid: %v", p.Name, err)
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate profile name %s", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	// The paper's population facts (§VI-F), excluding T7: 10/11 gaming,
+	// 9/11 racing games, 6 with no station experience, 1 recent gamer.
+	gaming, racing, noStation, recent := 0, 0, 0, 0
+	for _, p := range subjects {
+		if p.Name == "T7" {
+			continue
+		}
+		if p.GamingExperience {
+			gaming++
+		}
+		if p.RacingGames {
+			racing++
+		}
+		if p.StationExperience == 0 {
+			noStation++
+		}
+		if p.RecentGaming {
+			recent++
+		}
+	}
+	if gaming != 10 || racing != 9 || noStation != 6 || recent != 1 {
+		t.Fatalf("population: gaming=%d racing=%d noStation=%d recent=%d, want 10/9/6/1",
+			gaming, racing, noStation, recent)
+	}
+}
+
+func TestSubjectByName(t *testing.T) {
+	if _, ok := SubjectByName("T3"); !ok {
+		t.Fatal("T3 missing")
+	}
+	if _, ok := SubjectByName("T99"); ok {
+		t.Fatal("T99 found")
+	}
+}
+
+func TestT7HasSteerBias(t *testing.T) {
+	p, _ := SubjectByName("T7")
+	if p.SteerBias == 0 {
+		t.Fatal("T7 must carry the left-hand-drive steering bias")
+	}
+	for _, s := range Subjects() {
+		if s.Name != "T7" && s.SteerBias != 0 {
+			t.Errorf("%s has unexpected steer bias", s.Name)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	task := straightTask(t, 100)
+	good := DefaultConfig(testProfile(), task)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Task.Route = nil },
+		func(c *Config) { c.Task.LaneWidth = 0 },
+		func(c *Config) { c.Wheelbase = 0 },
+		func(c *Config) { c.PlantBrake = 0 },
+		func(c *Config) { c.LookaheadMax = c.LookaheadMin - 1 },
+		func(c *Config) { c.LateralComfort = 0 },
+		func(c *Config) { c.Profile.Anticipation = 2 },
+		func(c *Config) { c.IDM.MaxAccel = 0 },
+	}
+	for i, mutate := range bad {
+		c := DefaultConfig(testProfile(), task)
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestNewValidates(t *testing.T) {
+	clk := simclock.New()
+	see := &fakePerception{}
+	if _, err := New(nil, see, DefaultConfig(testProfile(), straightTask(t, 100))); err == nil {
+		t.Fatal("nil clock accepted")
+	}
+	if _, err := New(clk, nil, DefaultConfig(testProfile(), straightTask(t, 100))); err == nil {
+		t.Fatal("nil perception accepted")
+	}
+	cfg := DefaultConfig(testProfile(), straightTask(t, 100))
+	cfg.Wheelbase = -1
+	if _, err := New(clk, see, cfg); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestNoFrameNoAction(t *testing.T) {
+	clk := simclock.New()
+	see := &fakePerception{ok: false}
+	d, err := New(clk, see, DefaultConfig(testProfile(), straightTask(t, 100)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := d.Tick(0)
+	if ctrl != (vehicle.Control{}) {
+		t.Fatalf("control without a frame = %+v, want neutral", ctrl)
+	}
+}
+
+func TestReactionDelayGatesPerception(t *testing.T) {
+	clk := simclock.New()
+	prof := testProfile() // reaction 260 ms
+	see := &fakePerception{
+		view: sensors.WorldView{Frame: 1, SimTime: 0, Ego: egoView(geom.V(0, 0), 0, 0)},
+		ok:   true,
+	}
+	d, err := New(clk, see, DefaultConfig(prof, straightTask(t, 100)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Tick(0)
+	if _, has := d.Perceived(); has {
+		t.Fatal("frame perceived before the reaction time elapsed")
+	}
+	d.Tick(prof.ReactionTime + 10*time.Millisecond)
+	if _, has := d.Perceived(); !has {
+		t.Fatal("frame not perceived after the reaction time")
+	}
+}
+
+func TestAcceleratesOnFreeRoad(t *testing.T) {
+	clk := simclock.New()
+	see := &fakePerception{
+		view: sensors.WorldView{Frame: 1, SimTime: 0, Ego: egoView(geom.V(0, 0), 0, 0)},
+		ok:   true,
+	}
+	d, _ := New(clk, see, DefaultConfig(testProfile(), straightTask(t, 500)))
+	var ctrl vehicle.Control
+	for now := time.Duration(0); now < time.Second; now += 20 * time.Millisecond {
+		ctrl = d.Tick(now)
+	}
+	if ctrl.Throttle <= 0 || ctrl.Brake != 0 {
+		t.Fatalf("free-road control = %+v, want throttle", ctrl)
+	}
+}
+
+func TestBrakesAboveDesiredSpeed(t *testing.T) {
+	clk := simclock.New()
+	see := &fakePerception{
+		view: sensors.WorldView{Frame: 1, SimTime: 0, Ego: egoView(geom.V(0, 0), 0, 30)},
+		ok:   true,
+	}
+	cfg := DefaultConfig(testProfile(), straightTask(t, 500)) // v0 = 14
+	d, _ := New(clk, see, cfg)
+	var ctrl vehicle.Control
+	for now := time.Duration(0); now < time.Second; now += 20 * time.Millisecond {
+		ctrl = d.Tick(now)
+	}
+	if ctrl.Brake <= 0 {
+		t.Fatalf("control at 30 m/s with v0=14 = %+v, want braking", ctrl)
+	}
+}
+
+func TestEmergencyBrakeOnLowTTC(t *testing.T) {
+	clk := simclock.New()
+	lead := sensors.ActorView{
+		ID: 2, Kind: world.KindCar,
+		Pose: geom.Pose{Pos: geom.V(20, 0)}, Speed: 0, Extent: geom.V(4.7, 1.9),
+	}
+	see := &fakePerception{
+		view: sensors.WorldView{
+			Frame: 1, SimTime: 0,
+			Ego:    egoView(geom.V(0, 0), 0, 14),
+			Others: []sensors.ActorView{lead},
+		},
+		ok: true,
+	}
+	d, _ := New(clk, see, DefaultConfig(testProfile(), straightTask(t, 500)))
+	var ctrl vehicle.Control
+	for now := time.Duration(0); now < time.Second; now += 20 * time.Millisecond {
+		ctrl = d.Tick(now)
+	}
+	// Gap ≈ 15.3 m at 14 m/s closing → TTC ≈ 1.1 s < 3 s threshold.
+	if ctrl.Brake != 1 {
+		t.Fatalf("control facing stopped car at TTC≈1s = %+v, want full brake", ctrl)
+	}
+}
+
+func TestIgnoresCarInAdjacentLane(t *testing.T) {
+	clk := simclock.New()
+	neighbour := sensors.ActorView{
+		ID: 2, Kind: world.KindCar,
+		Pose: geom.Pose{Pos: geom.V(20, 3.5)}, Speed: 0, Extent: geom.V(4.7, 1.9),
+	}
+	see := &fakePerception{
+		view: sensors.WorldView{
+			Frame: 1, SimTime: 0,
+			Ego:    egoView(geom.V(0, 0), 0, 10),
+			Others: []sensors.ActorView{neighbour},
+		},
+		ok: true,
+	}
+	d, _ := New(clk, see, DefaultConfig(testProfile(), straightTask(t, 500)))
+	var ctrl vehicle.Control
+	for now := time.Duration(0); now < time.Second; now += 20 * time.Millisecond {
+		ctrl = d.Tick(now)
+	}
+	if ctrl.Brake > 0.5 {
+		t.Fatalf("hard braking for adjacent-lane car: %+v", ctrl)
+	}
+}
+
+func TestSteersTowardRoute(t *testing.T) {
+	clk := simclock.New()
+	// Ego displaced 2 m left of the route, facing along it: must steer
+	// right (negative).
+	see := &fakePerception{
+		view: sensors.WorldView{Frame: 1, SimTime: 0, Ego: egoView(geom.V(50, 2), 0, 10)},
+		ok:   true,
+	}
+	prof := testProfile()
+	prof.SteerNoise = 0 // isolate the deterministic part
+	d, _ := New(clk, see, DefaultConfig(prof, straightTask(t, 500)))
+	var ctrl vehicle.Control
+	for now := time.Duration(0); now < 2*time.Second; now += 20 * time.Millisecond {
+		ctrl = d.Tick(now)
+	}
+	if ctrl.Steer >= 0 {
+		t.Fatalf("steer = %v for left displacement, want negative", ctrl.Steer)
+	}
+}
+
+func TestWheelRateLimits(t *testing.T) {
+	clk := simclock.New()
+	// Huge lateral error: the wheel must move, but no faster than
+	// WheelRate per second.
+	see := &fakePerception{
+		view: sensors.WorldView{Frame: 1, SimTime: 0, Ego: egoView(geom.V(50, 3), 0, 10)},
+		ok:   true,
+	}
+	prof := testProfile()
+	prof.SteerNoise = 0
+	d, _ := New(clk, see, DefaultConfig(prof, straightTask(t, 500)))
+	d.Tick(0)
+	prev := 0.0
+	for i := 1; i <= 50; i++ {
+		now := time.Duration(i) * 20 * time.Millisecond
+		ctrl := d.Tick(now)
+		delta := math.Abs(ctrl.Steer - prev)
+		if delta > prof.WheelRate*0.02+1e-9 {
+			t.Fatalf("wheel moved %v in one tick, rate limit %v/s", delta, prof.WheelRate)
+		}
+		prev = ctrl.Steer
+	}
+}
+
+func TestDegradationRisesWithFrameAge(t *testing.T) {
+	clk := simclock.New()
+	see := &fakePerception{
+		view: sensors.WorldView{Frame: 1, SimTime: 0, Ego: egoView(geom.V(0, 0), 0, 10)},
+		ok:   true,
+		age:  36 * time.Millisecond,
+	}
+	d, _ := New(clk, see, DefaultConfig(testProfile(), straightTask(t, 500)))
+	for now := time.Duration(0); now < 3*time.Second; now += 20 * time.Millisecond {
+		d.Tick(now)
+	}
+	clean := d.Degradation()
+	see.age = 400 * time.Millisecond
+	for now := 3 * time.Second; now < 10*time.Second; now += 20 * time.Millisecond {
+		d.Tick(now)
+	}
+	if d.Degradation() <= clean {
+		t.Fatalf("degradation %v did not rise above clean %v", d.Degradation(), clean)
+	}
+	if d.Degradation() <= 0.15 {
+		t.Fatalf("degradation %v too low for 400ms frame age", d.Degradation())
+	}
+}
+
+func TestCautionSlowsDownOnDegradedFeed(t *testing.T) {
+	run := func(age time.Duration) float64 {
+		clk := simclock.New()
+		prof := testProfile()
+		prof.SteerNoise = 0
+		see := &fakePerception{
+			view: sensors.WorldView{Frame: 1, SimTime: 0, Ego: egoView(geom.V(0, 0), 0, 14)},
+			ok:   true,
+			age:  age,
+		}
+		d, _ := New(clk, see, DefaultConfig(prof, straightTask(t, 500)))
+		var ctrl vehicle.Control
+		for now := time.Duration(0); now < 10*time.Second; now += 20 * time.Millisecond {
+			ctrl = d.Tick(now)
+		}
+		return ctrl.Throttle - ctrl.Brake
+	}
+	clean := run(36 * time.Millisecond)
+	degraded := run(500 * time.Millisecond)
+	if degraded >= clean {
+		t.Fatalf("degraded-feed drive command %v not below clean %v", degraded, clean)
+	}
+}
+
+func TestCyclistCausesEasingOnlyWhenCautious(t *testing.T) {
+	run := func(caution float64) float64 {
+		clk := simclock.New()
+		prof := testProfile()
+		prof.SteerNoise = 0
+		prof.Caution = caution
+		cyclist := sensors.ActorView{
+			ID: 3, Kind: world.KindCyclist,
+			Pose: geom.Pose{Pos: geom.V(30, -2.6)}, Speed: 4, Extent: geom.V(1.8, 0.6),
+		}
+		see := &fakePerception{
+			view: sensors.WorldView{
+				Frame: 1, SimTime: 0,
+				Ego:    egoView(geom.V(0, 0), 0, 14),
+				Others: []sensors.ActorView{cyclist},
+			},
+			ok:  true,
+			age: 220 * time.Millisecond, // degraded but not frozen
+		}
+		d, _ := New(clk, see, DefaultConfig(prof, straightTask(t, 500)))
+		var ctrl vehicle.Control
+		for now := time.Duration(0); now < 5*time.Second; now += 20 * time.Millisecond {
+			ctrl = d.Tick(now)
+		}
+		return ctrl.Throttle - ctrl.Brake
+	}
+	bold := run(0)
+	careful := run(0.9)
+	if careful >= bold {
+		t.Fatalf("cautious driver (%v) should ease off more than bold (%v) near a cyclist", careful, bold)
+	}
+}
+
+func TestStopAtEnd(t *testing.T) {
+	clk := simclock.New()
+	task := straightTask(t, 100)
+	task.StopAtEnd = true
+	prof := testProfile()
+	prof.SteerNoise = 0
+	see := &fakePerception{
+		view: sensors.WorldView{Frame: 1, SimTime: 0, Ego: egoView(geom.V(99.5, 0), 0, 0.1)},
+		ok:   true,
+	}
+	d, _ := New(clk, see, DefaultConfig(prof, task))
+	for now := time.Duration(0); now < 2*time.Second; now += 20 * time.Millisecond {
+		d.Tick(now)
+	}
+	if !d.Done() {
+		t.Fatal("driver not done at route end at near-zero speed")
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	run := func() []float64 {
+		clk := simclock.New()
+		see := &fakePerception{
+			view: sensors.WorldView{Frame: 1, SimTime: 0, Ego: egoView(geom.V(0, 1), 0, 10)},
+			ok:   true,
+		}
+		d, _ := New(clk, see, DefaultConfig(testProfile(), straightTask(t, 500)))
+		var out []float64
+		for now := time.Duration(0); now < time.Second; now += 20 * time.Millisecond {
+			out = append(out, d.Tick(now).Steer)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic steering at tick %d", i)
+		}
+	}
+}
+
+func TestInstructedSpeedPlan(t *testing.T) {
+	clk := simclock.New()
+	task := straightTask(t, 500)
+	task.SpeedPlan = []SpeedInstruction{{FromStation: 0, Speed: 5}}
+	prof := testProfile()
+	prof.SteerNoise = 0
+	// Ego already at 10 m/s where only 5 is instructed → brake.
+	see := &fakePerception{
+		view: sensors.WorldView{Frame: 1, SimTime: 0, Ego: egoView(geom.V(100, 0), 0, 10)},
+		ok:   true,
+	}
+	d, _ := New(clk, see, DefaultConfig(prof, task))
+	var ctrl vehicle.Control
+	for now := time.Duration(0); now < time.Second; now += 20 * time.Millisecond {
+		ctrl = d.Tick(now)
+	}
+	if ctrl.Brake <= 0 {
+		t.Fatalf("control at 2× instructed speed = %+v, want braking", ctrl)
+	}
+}
+
+func TestFreezeResponseLiftsAndBrakes(t *testing.T) {
+	clk := simclock.New()
+	prof := testProfile()
+	prof.SteerNoise = 0
+	see := &fakePerception{
+		view: sensors.WorldView{Frame: 1, SimTime: 0, Ego: egoView(geom.V(0, 0), 0, 12)},
+		ok:   true,
+		age:  36 * time.Millisecond,
+	}
+	d, _ := New(clk, see, DefaultConfig(prof, straightTask(t, 500)))
+	for now := time.Duration(0); now < 2*time.Second; now += 20 * time.Millisecond {
+		d.Tick(now)
+	}
+	// Screen freezes: the driver must lift off and cover the brake.
+	see.age = 400 * time.Millisecond
+	var ctrl vehicle.Control
+	for now := 2 * time.Second; now < 3*time.Second; now += 20 * time.Millisecond {
+		ctrl = d.Tick(now)
+	}
+	if ctrl.Throttle != 0 {
+		t.Fatalf("throttle during freeze = %v, want 0", ctrl.Throttle)
+	}
+	if ctrl.Brake < 0.2 {
+		t.Fatalf("brake during freeze = %v, want covering brake", ctrl.Brake)
+	}
+}
+
+func TestLeadExtrapolationAvoidsPhantomBraking(t *testing.T) {
+	// A stale frame shows the lead 25 m ahead moving at the same speed.
+	// Without constant-velocity extrapolation of the lead, the perceived
+	// gap would shrink by the ego's own dead-reckoned advance and cause
+	// phantom braking. With it, following stays smooth.
+	clk := simclock.New()
+	prof := testProfile()
+	prof.SteerNoise = 0
+	lead := sensors.ActorView{
+		ID: 2, Kind: world.KindCar,
+		Pose: geom.Pose{Pos: geom.V(25, 0)}, Speed: 12, Extent: geom.V(4.7, 1.9),
+	}
+	see := &fakePerception{
+		view: sensors.WorldView{
+			Frame: 1, SimTime: 0,
+			Ego:    egoView(geom.V(0, 0), 0, 12),
+			Others: []sensors.ActorView{lead},
+		},
+		ok:  true,
+		age: 100 * time.Millisecond,
+	}
+	d, _ := New(clk, see, DefaultConfig(prof, straightTask(t, 500)))
+	var ctrl vehicle.Control
+	for now := time.Duration(0); now < 2*time.Second; now += 20 * time.Millisecond {
+		ctrl = d.Tick(now)
+	}
+	// Gap 25-4.7 = 20.3 m at matched speeds ≈ comfortable; no hard brake.
+	if ctrl.Brake > 0.5 {
+		t.Fatalf("phantom braking: %+v", ctrl)
+	}
+}
+
+func TestDegradationDistinguishesSteadyFromJerky(t *testing.T) {
+	// The same mean frame age must degrade perception more when it is
+	// jerky (loss-like) than when it is steady (delay-like).
+	run := func(jerky bool) float64 {
+		clk := simclock.New()
+		see := &fakePerception{
+			view: sensors.WorldView{Frame: 1, SimTime: 0, Ego: egoView(geom.V(0, 0), 0, 10)},
+			ok:   true,
+		}
+		d, _ := New(clk, see, DefaultConfig(testProfile(), straightTask(t, 500)))
+		for i := 0; i < 500; i++ {
+			now := time.Duration(i) * 20 * time.Millisecond
+			if jerky {
+				// Alternate between fresh and stale: mean 110 ms.
+				if i%10 < 5 {
+					see.age = 20 * time.Millisecond
+				} else {
+					see.age = 200 * time.Millisecond
+				}
+			} else {
+				see.age = 110 * time.Millisecond
+			}
+			d.Tick(now)
+		}
+		return d.Degradation()
+	}
+	steady := run(false)
+	jerky := run(true)
+	if jerky <= steady {
+		t.Fatalf("jerky feed degradation %v not above steady %v", jerky, steady)
+	}
+}

@@ -1,0 +1,100 @@
+// Package driver implements the parameterized human-driver model that
+// stands in for the paper's test subjects (T1–T12).
+//
+// The model closes the remote-driving loop the way a human does:
+//
+//	perceive (the last displayed video frame, plus a perception–reaction
+//	delay) → decide (IDM car-following for the pedals, preview steering
+//	with a near-point correction for the wheel) → act (rate-limited
+//	steering-wheel motion with neuromuscular noise).
+//
+// Because every quantity the driver acts on comes from the *displayed
+// frame* rather than ground truth, network delay and loss degrade the
+// closed loop exactly as they degraded the paper's human subjects: stale
+// lateral error causes over-correction (higher SRR), stale gap causes
+// late braking (lower TTC, crashes), and a visibly degraded feed makes
+// careful subjects slow down (higher minimum TTC).
+package driver
+
+import (
+	"fmt"
+	"math"
+)
+
+// IDMParams parameterizes the Intelligent Driver Model (Treiber et al.),
+// the standard microscopic car-following law.
+type IDMParams struct {
+	// DesiredSpeed v0 is the free-flow target speed, m/s.
+	DesiredSpeed float64
+	// TimeHeadway T is the desired time gap to the leader, s. European
+	// guidance (paper §II-B, [14]) is two seconds for passenger cars.
+	TimeHeadway float64
+	// MinGap s0 is the standstill bumper-to-bumper gap, m.
+	MinGap float64
+	// MaxAccel a is the comfortable maximum acceleration, m/s².
+	MaxAccel float64
+	// ComfortBrake b is the comfortable deceleration, m/s² (positive).
+	ComfortBrake float64
+	// Exponent delta shapes free-road acceleration; 4 is canonical.
+	Exponent float64
+}
+
+// DefaultIDM returns the canonical urban-driving parameter set.
+func DefaultIDM() IDMParams {
+	return IDMParams{
+		DesiredSpeed: 14.0, // ≈50 km/h
+		TimeHeadway:  1.0,
+		MinGap:       2.0,
+		MaxAccel:     1.6,
+		ComfortBrake: 2.2,
+		Exponent:     4,
+	}
+}
+
+// Validate reports an error for non-physical parameters.
+func (p IDMParams) Validate() error {
+	switch {
+	case p.DesiredSpeed <= 0:
+		return fmt.Errorf("driver: IDM desired speed %v must be positive", p.DesiredSpeed)
+	case p.TimeHeadway < 0:
+		return fmt.Errorf("driver: IDM time headway %v negative", p.TimeHeadway)
+	case p.MinGap < 0:
+		return fmt.Errorf("driver: IDM min gap %v negative", p.MinGap)
+	case p.MaxAccel <= 0 || p.ComfortBrake <= 0:
+		return fmt.Errorf("driver: IDM accel %v / brake %v must be positive", p.MaxAccel, p.ComfortBrake)
+	case p.Exponent <= 0:
+		return fmt.Errorf("driver: IDM exponent %v must be positive", p.Exponent)
+	}
+	return nil
+}
+
+// Accel computes the IDM acceleration for the current speed v, the
+// bumper-to-bumper gap to the leader, and the closing speed
+// dv = v - vLead. Pass gap = +Inf for a free road.
+func (p IDMParams) Accel(v, gap, dv float64) float64 {
+	free := 1 - math.Pow(math.Max(v, 0)/p.DesiredSpeed, p.Exponent)
+	if math.IsInf(gap, 1) {
+		return p.MaxAccel * free
+	}
+	if gap < 0.1 {
+		gap = 0.1
+	}
+	sStar := p.MinGap + math.Max(0, v*p.TimeHeadway+v*dv/(2*math.Sqrt(p.MaxAccel*p.ComfortBrake)))
+	interaction := sStar / gap
+	return p.MaxAccel * (free - interaction*interaction)
+}
+
+// CurveSpeedLimit returns the maximum comfortable speed for a path
+// curvature (1/m), bounded below to keep progress through tight turns.
+// aLatMax is the lateral-acceleration comfort limit, m/s².
+func CurveSpeedLimit(curvature, aLatMax float64) float64 {
+	k := math.Abs(curvature)
+	if k < 1e-6 {
+		return math.Inf(1)
+	}
+	v := math.Sqrt(aLatMax / k)
+	if v < 2 {
+		v = 2
+	}
+	return v
+}

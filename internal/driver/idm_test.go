@@ -1,0 +1,120 @@
+package driver
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultIDMValid(t *testing.T) {
+	if err := DefaultIDM().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIDMValidation(t *testing.T) {
+	base := DefaultIDM()
+	bad := []func(*IDMParams){
+		func(p *IDMParams) { p.DesiredSpeed = 0 },
+		func(p *IDMParams) { p.TimeHeadway = -1 },
+		func(p *IDMParams) { p.MinGap = -1 },
+		func(p *IDMParams) { p.MaxAccel = 0 },
+		func(p *IDMParams) { p.ComfortBrake = 0 },
+		func(p *IDMParams) { p.Exponent = 0 },
+	}
+	for i, mutate := range bad {
+		p := base
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestIDMFreeRoad(t *testing.T) {
+	p := DefaultIDM()
+	// At rest with a free road, accelerate at full comfortable rate.
+	if got := p.Accel(0, math.Inf(1), 0); math.Abs(got-p.MaxAccel) > 1e-9 {
+		t.Fatalf("accel at rest = %v, want %v", got, p.MaxAccel)
+	}
+	// At desired speed, acceleration is zero.
+	if got := p.Accel(p.DesiredSpeed, math.Inf(1), 0); math.Abs(got) > 1e-9 {
+		t.Fatalf("accel at v0 = %v, want 0", got)
+	}
+	// Above desired speed, decelerate.
+	if got := p.Accel(p.DesiredSpeed*1.2, math.Inf(1), 0); got >= 0 {
+		t.Fatalf("accel above v0 = %v, want negative", got)
+	}
+}
+
+func TestIDMBrakesWhenClosing(t *testing.T) {
+	p := DefaultIDM()
+	// Closing fast on a nearby leader demands strong braking.
+	a := p.Accel(14, 10, 8)
+	if a > -2 {
+		t.Fatalf("accel closing at 8 m/s with 10 m gap = %v, want strong braking", a)
+	}
+}
+
+func TestIDMEquilibriumGap(t *testing.T) {
+	// Following at equal speed at exactly the desired gap gives ≈0
+	// acceleration.
+	p := DefaultIDM()
+	v := 10.0
+	sStar := p.MinGap + v*p.TimeHeadway
+	a := p.Accel(v, sStar, 0)
+	free := 1 - math.Pow(v/p.DesiredSpeed, p.Exponent)
+	// At equilibrium gap, interaction term = 1, so a = MaxAccel(free-1).
+	want := p.MaxAccel * (free - 1)
+	if math.Abs(a-want) > 1e-9 {
+		t.Fatalf("equilibrium accel = %v, want %v", a, want)
+	}
+}
+
+func TestIDMMonotonicInGap(t *testing.T) {
+	// Larger gap never yields less acceleration (same speeds).
+	p := DefaultIDM()
+	f := func(v, g1, g2 float64) bool {
+		if math.IsNaN(v) || math.IsNaN(g1) || math.IsNaN(g2) {
+			return true
+		}
+		v = math.Abs(math.Mod(v, 20))
+		g1 = 1 + math.Abs(math.Mod(g1, 100))
+		g2 = 1 + math.Abs(math.Mod(g2, 100))
+		lo, hi := math.Min(g1, g2), math.Max(g1, g2)
+		return p.Accel(v, hi, 0) >= p.Accel(v, lo, 0)-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIDMTinyGapClamped(t *testing.T) {
+	p := DefaultIDM()
+	a := p.Accel(10, 0, 5)
+	if math.IsInf(a, 0) || math.IsNaN(a) {
+		t.Fatalf("accel with zero gap = %v", a)
+	}
+	if a > -p.ComfortBrake {
+		t.Fatalf("accel with zero gap = %v, want hard braking", a)
+	}
+}
+
+func TestCurveSpeedLimit(t *testing.T) {
+	if !math.IsInf(CurveSpeedLimit(0, 2.5), 1) {
+		t.Fatal("straight road should be unlimited")
+	}
+	// R = 50 m, a_lat = 2.5 → v = sqrt(125) ≈ 11.18.
+	got := CurveSpeedLimit(1.0/50, 2.5)
+	if math.Abs(got-math.Sqrt(125)) > 1e-9 {
+		t.Fatalf("curve speed = %v", got)
+	}
+	// Negative curvature (right turn) treated by magnitude.
+	if CurveSpeedLimit(-1.0/50, 2.5) != got {
+		t.Fatal("sign of curvature should not matter")
+	}
+	// Floor at 2 m/s for hairpins.
+	if CurveSpeedLimit(10, 2.5) != 2 {
+		t.Fatal("tight curve floor missing")
+	}
+}

@@ -1,0 +1,117 @@
+package driver
+
+import (
+	"fmt"
+	"time"
+)
+
+// Profile captures the between-subject variation of the paper's test
+// group: perception–reaction speed, steering skill and noise, risk
+// attitude, and the questionnaire background (§V-E3, §VI-F). Twelve
+// built-in profiles, T1–T12, mirror the paper's subjects, including T7
+// whose left-hand-drive habituation made the data unusable (§VI-A).
+type Profile struct {
+	Name string
+	// Seed decorrelates the subject's noise processes.
+	Seed int64
+
+	// ReactionTime is the perception–reaction delay between a frame
+	// being displayed and the driver acting on its content.
+	ReactionTime time.Duration
+	// Anticipation in [0,1] is how well the driver extrapolates vehicle
+	// motion across stale frames (video-game-trained subjects are
+	// better at this).
+	Anticipation float64
+	// SteerNoise is the neuromuscular noise amplitude in normalized
+	// steering units.
+	SteerNoise float64
+	// NearGain is the corrective gain on the perceived lateral error
+	// (two-point visual control near point), 1/m.
+	NearGain float64
+	// LateralDeadband is the lateral error (m) the driver tolerates
+	// before correcting; skilled drivers let small errors ride.
+	LateralDeadband float64
+	// LookaheadTime scales the preview distance: Ld ≈ LookaheadTime·v.
+	LookaheadTime float64
+	// Aggressiveness in [0.7, 1.3] scales desired speed and shrinks the
+	// time headway.
+	Aggressiveness float64
+	// Caution in [0,1] is how strongly the driver slows down when the
+	// video feed is visibly degraded.
+	Caution float64
+	// WheelRate is the fastest the driver turns the wheel, in
+	// normalized steer units per second.
+	WheelRate float64
+	// SteerBias is a constant steering offset; nonzero for T7 (left-
+	// hand-drive habituation pulling toward the wrong lane position).
+	SteerBias float64
+
+	// Questionnaire background (§VI-F).
+	GamingExperience  bool // any video-game experience
+	RecentGaming      bool // played recently
+	RacingGames       bool // car-racing games specifically
+	StationExperience int  // 0 = none, 1 = once, 2 = a few times
+	// ReportsFaultVisibility is the subject's questionnaire answer to
+	// "did you feel any difference in the faults injected?" — 5 of the
+	// 11 analysed subjects said yes (T1, T2, T4, T10, T11).
+	ReportsFaultVisibility bool
+}
+
+// Validate reports an error when profile fields are out of range.
+func (p Profile) Validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("driver: profile needs a name")
+	case p.ReactionTime < 0 || p.ReactionTime > 2*time.Second:
+		return fmt.Errorf("driver: profile %s: reaction time %v outside [0, 2s]", p.Name, p.ReactionTime)
+	case p.Anticipation < 0 || p.Anticipation > 1:
+		return fmt.Errorf("driver: profile %s: anticipation %v outside [0,1]", p.Name, p.Anticipation)
+	case p.SteerNoise < 0 || p.SteerNoise > 0.5:
+		return fmt.Errorf("driver: profile %s: steer noise %v outside [0, 0.5]", p.Name, p.SteerNoise)
+	case p.NearGain < 0:
+		return fmt.Errorf("driver: profile %s: near gain %v negative", p.Name, p.NearGain)
+	case p.LateralDeadband < 0 || p.LateralDeadband > 1:
+		return fmt.Errorf("driver: profile %s: lateral deadband %v outside [0,1]", p.Name, p.LateralDeadband)
+	case p.LookaheadTime <= 0:
+		return fmt.Errorf("driver: profile %s: lookahead time %v must be positive", p.Name, p.LookaheadTime)
+	case p.Aggressiveness < 0.5 || p.Aggressiveness > 1.5:
+		return fmt.Errorf("driver: profile %s: aggressiveness %v outside [0.5, 1.5]", p.Name, p.Aggressiveness)
+	case p.Caution < 0 || p.Caution > 1:
+		return fmt.Errorf("driver: profile %s: caution %v outside [0,1]", p.Name, p.Caution)
+	case p.WheelRate <= 0:
+		return fmt.Errorf("driver: profile %s: wheel rate %v must be positive", p.Name, p.WheelRate)
+	}
+	return nil
+}
+
+// Subjects returns the twelve built-in subject profiles T1–T12. The
+// population mirrors the paper's group: mostly video-game-experienced
+// RISE employees (10/11 gaming, 9/11 racing games, 6 with no prior
+// driving-station experience), with individual quirks. T7 is the
+// left-hand-drive-habituated subject excluded from the analysis.
+func Subjects() []Profile {
+	return []Profile{
+		{Name: "T1", Seed: 101, ReactionTime: 240 * time.Millisecond, Anticipation: 0.55, SteerNoise: 0.0054, NearGain: 0.033, LateralDeadband: 0.30, LookaheadTime: 0.95, Aggressiveness: 1.11, Caution: 0.55, WheelRate: 2.2, GamingExperience: true, RacingGames: true, ReportsFaultVisibility: true, StationExperience: 0},
+		{Name: "T2", Seed: 102, ReactionTime: 270 * time.Millisecond, Anticipation: 0.45, SteerNoise: 0.0062, NearGain: 0.039, LateralDeadband: 0.22, LookaheadTime: 0.85, Aggressiveness: 1.12, Caution: 0.40, WheelRate: 2.6, GamingExperience: true, RacingGames: true, ReportsFaultVisibility: true, StationExperience: 2},
+		{Name: "T3", Seed: 103, ReactionTime: 300 * time.Millisecond, Anticipation: 0.35, SteerNoise: 0.0072, NearGain: 0.045, LateralDeadband: 0.15, LookaheadTime: 0.80, Aggressiveness: 1.10, Caution: 0.35, WheelRate: 2.8, GamingExperience: true, RacingGames: true, StationExperience: 0},
+		{Name: "T4", Seed: 104, ReactionTime: 250 * time.Millisecond, Anticipation: 0.60, SteerNoise: 0.0046, NearGain: 0.030, LateralDeadband: 0.35, LookaheadTime: 1.00, Aggressiveness: 0.90, Caution: 0.60, WheelRate: 2.0, GamingExperience: true, RacingGames: true, ReportsFaultVisibility: true, StationExperience: 1},
+		{Name: "T5", Seed: 105, ReactionTime: 260 * time.Millisecond, Anticipation: 0.50, SteerNoise: 0.0056, NearGain: 0.036, LateralDeadband: 0.28, LookaheadTime: 0.90, Aggressiveness: 1.09, Caution: 0.50, WheelRate: 2.4, GamingExperience: true, RacingGames: true, StationExperience: 0},
+		{Name: "T6", Seed: 106, ReactionTime: 330 * time.Millisecond, Anticipation: 0.25, SteerNoise: 0.0068, NearGain: 0.042, LateralDeadband: 0.14, LookaheadTime: 0.80, Aggressiveness: 1.06, Caution: 0.15, WheelRate: 2.7, GamingExperience: true, RacingGames: true, StationExperience: 2},
+		{Name: "T7", Seed: 107, ReactionTime: 290 * time.Millisecond, Anticipation: 0.40, SteerNoise: 0.0074, NearGain: 0.042, LateralDeadband: 0.18, LookaheadTime: 0.80, Aggressiveness: 1.02, Caution: 0.40, WheelRate: 2.5, SteerBias: 0.045, GamingExperience: true, RacingGames: false, StationExperience: 0},
+		{Name: "T8", Seed: 108, ReactionTime: 280 * time.Millisecond, Anticipation: 0.45, SteerNoise: 0.0059, NearGain: 0.036, LateralDeadband: 0.24, LookaheadTime: 0.88, Aggressiveness: 1.11, Caution: 0.45, WheelRate: 2.4, GamingExperience: true, RacingGames: true, StationExperience: 0},
+		{Name: "T9", Seed: 109, ReactionTime: 310 * time.Millisecond, Anticipation: 0.30, SteerNoise: 0.0067, NearGain: 0.041, LateralDeadband: 0.17, LookaheadTime: 0.82, Aggressiveness: 1.08, Caution: 0.45, WheelRate: 2.6, GamingExperience: true, RacingGames: false, StationExperience: 0},
+		{Name: "T10", Seed: 110, ReactionTime: 230 * time.Millisecond, Anticipation: 0.70, SteerNoise: 0.0042, NearGain: 0.029, LateralDeadband: 0.38, LookaheadTime: 1.05, Aggressiveness: 0.92, Caution: 0.55, WheelRate: 2.1, GamingExperience: true, RecentGaming: true, RacingGames: true, ReportsFaultVisibility: true, StationExperience: 2},
+		{Name: "T11", Seed: 111, ReactionTime: 260 * time.Millisecond, Anticipation: 0.50, SteerNoise: 0.0053, NearGain: 0.035, LateralDeadband: 0.32, LookaheadTime: 0.92, Aggressiveness: 0.91, Caution: 0.65, WheelRate: 2.3, GamingExperience: true, RacingGames: true, ReportsFaultVisibility: true, StationExperience: 1},
+		{Name: "T12", Seed: 112, ReactionTime: 290 * time.Millisecond, Anticipation: 0.40, SteerNoise: 0.0061, NearGain: 0.037, LateralDeadband: 0.20, LookaheadTime: 0.86, Aggressiveness: 1.10, Caution: 0.40, WheelRate: 2.5, GamingExperience: false, RacingGames: false, StationExperience: 0},
+	}
+}
+
+// SubjectByName returns the built-in profile with the given name.
+func SubjectByName(name string) (Profile, bool) {
+	for _, p := range Subjects() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}

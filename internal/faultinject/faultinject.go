@@ -1,0 +1,196 @@
+// Package faultinject implements the paper's fault model (§V-C) and the
+// injection mechanism (§V-D): the five selected fault conditions (5, 25,
+// 50 ms delay; 2 %, 5 % packet loss), applied bidirectionally to the
+// vehicle↔station links by adding and deleting NETEM rules, with every
+// add/delete logged.
+package faultinject
+
+import (
+	"fmt"
+	"time"
+
+	"teledrive/internal/netem"
+)
+
+// Condition is one experimental fault condition — a column of the
+// paper's Tables II–IV.
+type Condition int
+
+// The paper's conditions. CondNFI (no fault injected) is the golden-run
+// baseline.
+const (
+	CondNFI Condition = iota
+	CondDelay5
+	CondDelay25
+	CondDelay50
+	CondLoss2
+	CondLoss5
+)
+
+// FaultConditions lists the five injectable conditions in table order.
+func FaultConditions() []Condition {
+	return []Condition{CondDelay5, CondDelay25, CondDelay50, CondLoss2, CondLoss5}
+}
+
+// AllConditions lists NFI plus the five fault conditions in table order.
+func AllConditions() []Condition {
+	return append([]Condition{CondNFI}, FaultConditions()...)
+}
+
+// String returns the table label of the condition.
+func (c Condition) String() string {
+	switch c {
+	case CondNFI:
+		return "NFI"
+	case CondDelay5:
+		return "5ms"
+	case CondDelay25:
+		return "25ms"
+	case CondDelay50:
+		return "50ms"
+	case CondLoss2:
+		return "2%"
+	case CondLoss5:
+		return "5%"
+	default:
+		return fmt.Sprintf("cond(%d)", int(c))
+	}
+}
+
+// IsDelay reports whether the condition is a delay fault.
+func (c Condition) IsDelay() bool {
+	return c == CondDelay5 || c == CondDelay25 || c == CondDelay50
+}
+
+// IsLoss reports whether the condition is a packet-loss fault.
+func (c Condition) IsLoss() bool { return c == CondLoss2 || c == CondLoss5 }
+
+// Rule returns the NETEM rule implementing the condition. CondNFI maps
+// to the zero rule (transparent link).
+func (c Condition) Rule() netem.Rule {
+	switch c {
+	case CondDelay5:
+		return netem.Rule{Delay: 5 * time.Millisecond}
+	case CondDelay25:
+		return netem.Rule{Delay: 25 * time.Millisecond}
+	case CondDelay50:
+		return netem.Rule{Delay: 50 * time.Millisecond}
+	case CondLoss2:
+		return netem.Rule{Loss: 0.02}
+	case CondLoss5:
+		return netem.Rule{Loss: 0.05}
+	default:
+		return netem.Rule{}
+	}
+}
+
+// ConditionByLabel parses a table label back into a condition.
+func ConditionByLabel(label string) (Condition, bool) {
+	for _, c := range AllConditions() {
+		if c.String() == label {
+			return c, true
+		}
+	}
+	return CondNFI, false
+}
+
+// Direction selects which link directions an injector touches. The
+// paper's loopback setup is bidirectional (§V-D); the ablation benches
+// compare against single-direction injection.
+type Direction int
+
+// Injection directions.
+const (
+	Bidirectional Direction = iota
+	DownlinkOnly
+	UplinkOnly
+)
+
+// String renders the direction.
+func (d Direction) String() string {
+	switch d {
+	case Bidirectional:
+		return "bidirectional"
+	case DownlinkOnly:
+		return "downlink-only"
+	case UplinkOnly:
+		return "uplink-only"
+	default:
+		return fmt.Sprintf("direction(%d)", int(d))
+	}
+}
+
+// Injector applies fault conditions to a duplex link pair, mirroring
+// the paper's bidirectional loopback injection, and reports every rule
+// change to an optional log sink.
+type Injector struct {
+	// OnChange, when non-nil, receives every rule add/delete with the
+	// condition label (feeds trace.Recorder.RecordFault).
+	OnChange func(now time.Duration, link, action, desc, label string)
+	// Direction defaults to Bidirectional (the paper's setup).
+	Direction Direction
+
+	links  *netem.Duplex
+	active Condition
+	now    func() time.Duration
+}
+
+// NewInjector wires an injector to the session links. now supplies the
+// simulated time for logging.
+func NewInjector(links *netem.Duplex, now func() time.Duration) (*Injector, error) {
+	if links == nil || now == nil {
+		return nil, fmt.Errorf("faultinject: NewInjector requires links and a clock source")
+	}
+	inj := &Injector{links: links, now: now}
+	links.OnRuleChanged(func(t time.Duration, link, action, desc string) {
+		if inj.OnChange != nil {
+			inj.OnChange(t, link, action, desc, inj.active.String())
+		}
+	})
+	return inj, nil
+}
+
+// Active returns the currently injected condition (CondNFI when the
+// links are clean).
+func (i *Injector) Active() Condition { return i.active }
+
+// Inject applies the condition per the injector's direction. Injecting
+// CondNFI is equivalent to Clear.
+func (i *Injector) Inject(c Condition) error {
+	if c == CondNFI {
+		i.Clear()
+		return nil
+	}
+	i.active = c
+	var err error
+	switch i.Direction {
+	case DownlinkOnly:
+		err = i.links.Down.AddRule(c.Rule())
+	case UplinkOnly:
+		err = i.links.Up.AddRule(c.Rule())
+	default:
+		err = i.links.ApplyBoth(c.Rule())
+	}
+	if err != nil {
+		i.active = CondNFI
+		return fmt.Errorf("faultinject: inject %v: %w", c, err)
+	}
+	return nil
+}
+
+// Clear removes any active rule from the directions this injector
+// touches.
+func (i *Injector) Clear() {
+	if i.active == CondNFI {
+		return
+	}
+	switch i.Direction {
+	case DownlinkOnly:
+		i.links.Down.DeleteRule()
+	case UplinkOnly:
+		i.links.Up.DeleteRule()
+	default:
+		i.links.ClearBoth()
+	}
+	i.active = CondNFI
+}

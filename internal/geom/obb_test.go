@@ -1,0 +1,126 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOBBCorners(t *testing.T) {
+	b := OBB{Center: V(0, 0), Half: V(2, 1), Yaw: 0}
+	c := b.Corners()
+	want := [4]Vec2{V(2, 1), V(-2, 1), V(-2, -1), V(2, -1)}
+	for i := range want {
+		if !vecApprox(c[i], want[i], eps) {
+			t.Fatalf("corner %d = %v, want %v", i, c[i], want[i])
+		}
+	}
+}
+
+func TestOBBContains(t *testing.T) {
+	b := OBB{Center: V(10, 10), Half: V(2, 1), Yaw: math.Pi / 2}
+	// Rotated 90°: extends ±1 in X, ±2 in Y.
+	if !b.Contains(V(10, 11.9)) {
+		t.Error("should contain point inside rotated box")
+	}
+	if b.Contains(V(11.5, 10)) {
+		t.Error("should not contain point outside rotated box")
+	}
+}
+
+func TestOBBIntersectsAxisAligned(t *testing.T) {
+	a := OBB{Center: V(0, 0), Half: V(2, 1)}
+	b := OBB{Center: V(3.9, 0), Half: V(2, 1)}
+	if !a.Intersects(b) {
+		t.Error("overlapping boxes reported separate")
+	}
+	c := OBB{Center: V(4.1, 0), Half: V(2, 1)}
+	if a.Intersects(c) {
+		t.Error("separate boxes reported overlapping")
+	}
+}
+
+func TestOBBIntersectsRotatedNearMiss(t *testing.T) {
+	// Two boxes whose AABBs overlap but which are separated on a rotated
+	// axis — the classic SAT case.
+	a := OBB{Center: V(0, 0), Half: V(3, 0.5), Yaw: math.Pi / 4}
+	b := OBB{Center: V(2.5, -2.5), Half: V(3, 0.5), Yaw: math.Pi / 4}
+	if AABBOf(a).Overlaps(AABBOf(b)) == false {
+		t.Fatal("test setup wrong: AABBs should overlap")
+	}
+	if a.Intersects(b) {
+		t.Error("diagonally separated boxes reported overlapping")
+	}
+}
+
+func TestOBBIntersectsSymmetric(t *testing.T) {
+	f := func(ax, ay, ayaw, bx, by, byaw float64) bool {
+		for _, v := range []float64{ax, ay, ayaw, bx, by, byaw} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		a := OBB{Center: V(math.Mod(ax, 20), math.Mod(ay, 20)), Half: V(2.4, 1.0), Yaw: ayaw}
+		b := OBB{Center: V(math.Mod(bx, 20), math.Mod(by, 20)), Half: V(2.4, 1.0), Yaw: byaw}
+		return a.Intersects(b) == b.Intersects(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOBBSelfIntersects(t *testing.T) {
+	f := func(x, y, yaw float64) bool {
+		for _, v := range []float64{x, y, yaw} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		b := OBB{Center: V(math.Mod(x, 100), math.Mod(y, 100)), Half: V(2, 1), Yaw: yaw}
+		return b.Intersects(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOBBContainedCenterIntersects(t *testing.T) {
+	// If one box's center is inside the other, they must intersect.
+	f := func(yawA, yawB, dx, dy float64) bool {
+		for _, v := range []float64{yawA, yawB, dx, dy} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		a := OBB{Center: V(0, 0), Half: V(2.4, 1.0), Yaw: yawA}
+		// Place b's center strictly inside a.
+		local := V(math.Mod(dx, 1)*2.3, math.Mod(dy, 1)*0.9)
+		b := OBB{Center: local.Rotate(yawA), Half: V(2.4, 1.0), Yaw: yawB}
+		return a.Intersects(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAABBOf(t *testing.T) {
+	b := OBB{Center: V(0, 0), Half: V(2, 1), Yaw: math.Pi / 2}
+	got := AABBOf(b)
+	if !vecApprox(got.Min, V(-1, -2), 1e-9) || !vecApprox(got.Max, V(1, 2), 1e-9) {
+		t.Fatalf("AABBOf = %+v", got)
+	}
+}
+
+func TestAABBOverlapsAndExpand(t *testing.T) {
+	a := AABB{Min: V(0, 0), Max: V(1, 1)}
+	b := AABB{Min: V(2, 2), Max: V(3, 3)}
+	if a.Overlaps(b) {
+		t.Error("disjoint AABBs overlap")
+	}
+	if !a.Expand(0.5).Overlaps(b.Expand(0.5)) {
+		t.Error("expanded AABBs should touch")
+	}
+	if !a.Overlaps(a) {
+		t.Error("AABB should overlap itself")
+	}
+}

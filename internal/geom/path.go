@@ -1,0 +1,228 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Path is an arc-length parameterized polyline. It is the backbone of
+// lane centerlines: positions along a lane are addressed by the distance s
+// travelled from the path start ("station"), exactly as road coordinates
+// are used in OpenDRIVE-style maps.
+//
+// Build a Path with NewPath (from explicit points) or with a PathBuilder
+// (straights and arcs). A Path is immutable after construction.
+type Path struct {
+	pts []Vec2
+	// cum[i] is the arc length from pts[0] to pts[i]; cum[0] == 0.
+	cum []float64
+}
+
+// NewPath constructs a path through the given points. Consecutive
+// duplicate points are dropped. NewPath returns an error when fewer than
+// two distinct points remain.
+func NewPath(points []Vec2) (*Path, error) {
+	pts := make([]Vec2, 0, len(points))
+	for _, p := range points {
+		if len(pts) > 0 && p.DistSq(pts[len(pts)-1]) < 1e-18 {
+			continue
+		}
+		pts = append(pts, p)
+	}
+	if len(pts) < 2 {
+		return nil, fmt.Errorf("geom: path needs at least 2 distinct points, got %d", len(pts))
+	}
+	cum := make([]float64, len(pts))
+	for i := 1; i < len(pts); i++ {
+		cum[i] = cum[i-1] + pts[i].Dist(pts[i-1])
+	}
+	return &Path{pts: pts, cum: cum}, nil
+}
+
+// MustPath is NewPath but panics on error. For use in map construction
+// code where the inputs are compile-time constants.
+func MustPath(points []Vec2) *Path {
+	p, err := NewPath(points)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Length returns the total arc length of the path in metres.
+func (p *Path) Length() float64 { return p.cum[len(p.cum)-1] }
+
+// Points returns a copy of the path's vertices.
+func (p *Path) Points() []Vec2 {
+	out := make([]Vec2, len(p.pts))
+	copy(out, p.pts)
+	return out
+}
+
+// segmentAt locates the polyline segment containing station s and returns
+// the segment index plus the distance into the segment. s is clamped to
+// [0, Length].
+func (p *Path) segmentAt(s float64) (int, float64) {
+	if s <= 0 {
+		return 0, 0
+	}
+	if s >= p.Length() {
+		last := len(p.pts) - 2
+		return last, p.cum[last+1] - p.cum[last]
+	}
+	// Binary search for the first cum > s, then step back one.
+	i := sort.SearchFloat64s(p.cum, s)
+	if i > 0 && p.cum[i] > s || i == len(p.cum) {
+		i--
+	}
+	if i >= len(p.pts)-1 {
+		i = len(p.pts) - 2
+	}
+	return i, s - p.cum[i]
+}
+
+// PointAt returns the world position at station s. s is clamped to the
+// path's extent.
+func (p *Path) PointAt(s float64) Vec2 {
+	i, into := p.segmentAt(s)
+	dir := p.pts[i+1].Sub(p.pts[i]).Norm()
+	return p.pts[i].Add(dir.Scale(into))
+}
+
+// HeadingAt returns the tangent direction (radians) at station s.
+func (p *Path) HeadingAt(s float64) float64 {
+	i, _ := p.segmentAt(s)
+	return p.pts[i+1].Sub(p.pts[i]).Angle()
+}
+
+// PoseAt returns the pose (position + tangent heading) at station s.
+func (p *Path) PoseAt(s float64) Pose {
+	return Pose{Pos: p.PointAt(s), Yaw: p.HeadingAt(s)}
+}
+
+// Project finds the station of the point on the path closest to q and the
+// signed lateral offset of q from the path (positive = left of travel
+// direction).
+func (p *Path) Project(q Vec2) (station, lateral float64) {
+	bestDistSq := math.Inf(1)
+	for i := 0; i < len(p.pts)-1; i++ {
+		a, b := p.pts[i], p.pts[i+1]
+		ab := b.Sub(a)
+		t := Clamp(q.Sub(a).Dot(ab)/ab.LenSq(), 0, 1)
+		c := a.Add(ab.Scale(t))
+		d := q.DistSq(c)
+		if d < bestDistSq {
+			bestDistSq = d
+			station = p.cum[i] + ab.Len()*t
+			// Positive lateral when q is to the left of the segment
+			// direction.
+			lateral = math.Sqrt(d)
+			if ab.Cross(q.Sub(a)) < 0 {
+				lateral = -lateral
+			}
+		}
+	}
+	return station, lateral
+}
+
+// CurvatureAt estimates signed curvature (1/m) at station s using the
+// change of heading over a small window. Positive curvature turns left.
+func (p *Path) CurvatureAt(s float64) float64 {
+	const h = 0.5 // metres
+	s0 := Clamp(s-h, 0, p.Length())
+	s1 := Clamp(s+h, 0, p.Length())
+	if s1-s0 < 1e-9 {
+		return 0
+	}
+	return AngleDiff(p.HeadingAt(s1), p.HeadingAt(s0)) / (s1 - s0)
+}
+
+// Offset returns a new path displaced laterally by d metres (positive =
+// left of travel direction). Used to derive parallel lanes from a
+// reference line. The offset path has the same vertex count.
+func (p *Path) Offset(d float64) *Path {
+	pts := make([]Vec2, len(p.pts))
+	for i := range p.pts {
+		var dir Vec2
+		switch {
+		case i == 0:
+			dir = p.pts[1].Sub(p.pts[0])
+		case i == len(p.pts)-1:
+			dir = p.pts[i].Sub(p.pts[i-1])
+		default:
+			dir = p.pts[i+1].Sub(p.pts[i-1])
+		}
+		pts[i] = p.pts[i].Add(dir.Norm().Perp().Scale(d))
+	}
+	return MustPath(pts)
+}
+
+// PathBuilder assembles a path from straight and arc segments, tracking
+// the pen's pose. Headings are tangent-continuous by construction.
+type PathBuilder struct {
+	pose Pose
+	pts  []Vec2
+	step float64 // arc tessellation step in metres
+}
+
+// NewPathBuilder starts a builder at the given pose. Arcs are tessellated
+// at roughly 1 m spacing.
+func NewPathBuilder(start Pose) *PathBuilder {
+	return &PathBuilder{pose: start, pts: []Vec2{start.Pos}, step: 1}
+}
+
+// Pose returns the builder's current pen pose.
+func (b *PathBuilder) Pose() Pose { return b.pose }
+
+// Straight extends the path by length metres along the current heading.
+func (b *PathBuilder) Straight(length float64) *PathBuilder {
+	if length <= 0 {
+		return b
+	}
+	b.pose.Pos = b.pose.Pos.Add(b.pose.Forward().Scale(length))
+	b.pts = append(b.pts, b.pose.Pos)
+	return b
+}
+
+// Arc extends the path along a circular arc of the given radius, turning
+// by angle radians (positive = left). The arc is tessellated.
+func (b *PathBuilder) Arc(radius, angle float64) *PathBuilder {
+	if radius <= 0 || angle == 0 {
+		return b
+	}
+	arcLen := math.Abs(angle) * radius
+	n := int(math.Ceil(arcLen / b.step))
+	if n < 2 {
+		n = 2
+	}
+	// Center of the turn circle is perpendicular to heading.
+	side := 1.0
+	if angle < 0 {
+		side = -1
+	}
+	center := b.pose.Pos.Add(b.pose.Forward().Perp().Scale(side * radius))
+	start := b.pose.Pos.Sub(center)
+	for i := 1; i <= n; i++ {
+		a := angle * float64(i) / float64(n)
+		b.pts = append(b.pts, center.Add(start.Rotate(a)))
+	}
+	b.pose.Pos = b.pts[len(b.pts)-1]
+	b.pose.Yaw = NormalizeAngle(b.pose.Yaw + angle)
+	return b
+}
+
+// Build finalizes the path. The builder must have accumulated at least
+// one segment.
+func (b *PathBuilder) Build() (*Path, error) {
+	return NewPath(b.pts)
+}
+
+// MustBuild is Build but panics on error.
+func (b *PathBuilder) MustBuild() *Path {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

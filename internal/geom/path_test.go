@@ -1,0 +1,219 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func straightPath(t *testing.T) *Path {
+	t.Helper()
+	p, err := NewPath([]Vec2{V(0, 0), V(100, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewPathRejectsDegenerate(t *testing.T) {
+	if _, err := NewPath(nil); err == nil {
+		t.Fatal("NewPath(nil) succeeded")
+	}
+	if _, err := NewPath([]Vec2{V(1, 1)}); err == nil {
+		t.Fatal("NewPath with one point succeeded")
+	}
+	if _, err := NewPath([]Vec2{V(1, 1), V(1, 1)}); err == nil {
+		t.Fatal("NewPath with duplicate points succeeded")
+	}
+}
+
+func TestPathDropsConsecutiveDuplicates(t *testing.T) {
+	p, err := NewPath([]Vec2{V(0, 0), V(0, 0), V(10, 0), V(10, 0), V(20, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.Points()); got != 3 {
+		t.Fatalf("points = %d, want 3", got)
+	}
+	if !approx(p.Length(), 20, eps) {
+		t.Fatalf("Length = %v, want 20", p.Length())
+	}
+}
+
+func TestPointAtStraight(t *testing.T) {
+	p := straightPath(t)
+	if got := p.PointAt(25); !vecApprox(got, V(25, 0), eps) {
+		t.Fatalf("PointAt(25) = %v", got)
+	}
+	// Clamping at both ends.
+	if got := p.PointAt(-10); !vecApprox(got, V(0, 0), eps) {
+		t.Fatalf("PointAt(-10) = %v", got)
+	}
+	if got := p.PointAt(1e6); !vecApprox(got, V(100, 0), eps) {
+		t.Fatalf("PointAt(1e6) = %v", got)
+	}
+}
+
+func TestPointAtVertexBoundary(t *testing.T) {
+	p := MustPath([]Vec2{V(0, 0), V(10, 0), V(10, 10)})
+	if got := p.PointAt(10); !vecApprox(got, V(10, 0), eps) {
+		t.Fatalf("PointAt(10) = %v, want vertex", got)
+	}
+	if got := p.PointAt(15); !vecApprox(got, V(10, 5), eps) {
+		t.Fatalf("PointAt(15) = %v", got)
+	}
+	if got := p.HeadingAt(15); !approx(got, math.Pi/2, eps) {
+		t.Fatalf("HeadingAt(15) = %v", got)
+	}
+}
+
+func TestProjectStraight(t *testing.T) {
+	p := straightPath(t)
+	s, lat := p.Project(V(30, 5))
+	if !approx(s, 30, eps) || !approx(lat, 5, eps) {
+		t.Fatalf("Project = (%v, %v), want (30, 5)", s, lat)
+	}
+	s, lat = p.Project(V(60, -2))
+	if !approx(s, 60, eps) || !approx(lat, -2, eps) {
+		t.Fatalf("Project = (%v, %v), want (60, -2)", s, lat)
+	}
+	// Beyond the end projects onto the last vertex.
+	s, _ = p.Project(V(150, 0))
+	if !approx(s, 100, eps) {
+		t.Fatalf("Project beyond end: s = %v, want 100", s)
+	}
+}
+
+func TestProjectRoundTripProperty(t *testing.T) {
+	// Projecting a point generated on the path recovers its station.
+	p := NewPathBuilder(Pose{}).
+		Straight(50).
+		Arc(30, math.Pi/2).
+		Straight(40).
+		MustBuild()
+	f := func(frac float64) bool {
+		if math.IsNaN(frac) || math.IsInf(frac, 0) {
+			return true
+		}
+		frac = math.Abs(math.Mod(frac, 1))
+		s := frac * p.Length()
+		got, lat := p.Project(p.PointAt(s))
+		// Arc tessellation makes this approximate.
+		return approx(got, s, 0.05) && approx(lat, 0, 0.05)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOffsetParallel(t *testing.T) {
+	p := straightPath(t)
+	left := p.Offset(3.5)
+	if got := left.PointAt(50); !vecApprox(got, V(50, 3.5), eps) {
+		t.Fatalf("Offset left PointAt(50) = %v", got)
+	}
+	right := p.Offset(-3.5)
+	if got := right.PointAt(50); !vecApprox(got, V(50, -3.5), eps) {
+		t.Fatalf("Offset right PointAt(50) = %v", got)
+	}
+}
+
+func TestOffsetLengthOnCurve(t *testing.T) {
+	// Offsetting a left-turning arc to the left shortens it; to the right
+	// lengthens it.
+	arc := NewPathBuilder(Pose{}).Arc(50, math.Pi/2).MustBuild()
+	inner := arc.Offset(3.5)
+	outer := arc.Offset(-3.5)
+	if inner.Length() >= arc.Length() {
+		t.Fatalf("inner offset length %v >= arc %v", inner.Length(), arc.Length())
+	}
+	if outer.Length() <= arc.Length() {
+		t.Fatalf("outer offset length %v <= arc %v", outer.Length(), arc.Length())
+	}
+}
+
+func TestBuilderStraight(t *testing.T) {
+	p := NewPathBuilder(Pose{Pos: V(5, 5), Yaw: 0}).Straight(10).MustBuild()
+	if !approx(p.Length(), 10, eps) {
+		t.Fatalf("Length = %v", p.Length())
+	}
+	if got := p.PointAt(10); !vecApprox(got, V(15, 5), eps) {
+		t.Fatalf("end = %v", got)
+	}
+}
+
+func TestBuilderArcGeometry(t *testing.T) {
+	// Quarter-circle left turn of radius 10 starting at origin facing +X
+	// must end at (10, 10) facing +Y.
+	b := NewPathBuilder(Pose{})
+	b.Arc(10, math.Pi/2)
+	end := b.Pose()
+	if !vecApprox(end.Pos, V(10, 10), 1e-6) {
+		t.Fatalf("arc end pos = %v, want (10,10)", end.Pos)
+	}
+	if !approx(end.Yaw, math.Pi/2, 1e-9) {
+		t.Fatalf("arc end yaw = %v, want π/2", end.Yaw)
+	}
+	p := b.MustBuild()
+	wantLen := math.Pi / 2 * 10
+	if !approx(p.Length(), wantLen, 0.05) {
+		t.Fatalf("arc length = %v, want ≈%v", p.Length(), wantLen)
+	}
+}
+
+func TestBuilderArcRight(t *testing.T) {
+	b := NewPathBuilder(Pose{})
+	b.Arc(10, -math.Pi/2)
+	end := b.Pose()
+	if !vecApprox(end.Pos, V(10, -10), 1e-6) {
+		t.Fatalf("right arc end = %v, want (10,-10)", end.Pos)
+	}
+	if !approx(end.Yaw, -math.Pi/2, 1e-9) {
+		t.Fatalf("right arc yaw = %v", end.Yaw)
+	}
+}
+
+func TestBuilderNoOps(t *testing.T) {
+	b := NewPathBuilder(Pose{})
+	b.Straight(0).Arc(0, 1).Arc(10, 0).Straight(-5)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build with no segments succeeded")
+	}
+}
+
+func TestCurvature(t *testing.T) {
+	arc := NewPathBuilder(Pose{}).Arc(25, math.Pi/2).MustBuild()
+	k := arc.CurvatureAt(arc.Length() / 2)
+	if !approx(k, 1.0/25, 0.01) {
+		t.Fatalf("curvature = %v, want ≈0.04", k)
+	}
+	straight := straightPath(t)
+	if k := straight.CurvatureAt(50); !approx(k, 0, eps) {
+		t.Fatalf("straight curvature = %v", k)
+	}
+	// Right turn has negative curvature.
+	right := NewPathBuilder(Pose{}).Arc(25, -math.Pi/2).MustBuild()
+	if k := right.CurvatureAt(right.Length() / 2); k >= 0 {
+		t.Fatalf("right-turn curvature = %v, want negative", k)
+	}
+}
+
+func TestHeadingMonotonicOnArc(t *testing.T) {
+	arc := NewPathBuilder(Pose{}).Arc(30, math.Pi).MustBuild()
+	prev := arc.HeadingAt(0)
+	for s := 1.0; s < arc.Length(); s += 1 {
+		h := arc.HeadingAt(s)
+		if d := AngleDiff(h, prev); d < -1e-9 {
+			t.Fatalf("heading decreased at s=%v: %v -> %v", s, prev, h)
+		}
+		prev = h
+	}
+}
+
+func TestPoseAt(t *testing.T) {
+	p := straightPath(t)
+	pose := p.PoseAt(10)
+	if !vecApprox(pose.Pos, V(10, 0), eps) || !approx(pose.Yaw, 0, eps) {
+		t.Fatalf("PoseAt = %+v", pose)
+	}
+}

@@ -1,0 +1,129 @@
+// Package geom provides the 2-D geometry primitives used by the driving
+// simulator: vectors, poses, arc-length parameterized paths, and oriented
+// bounding boxes with intersection tests.
+//
+// Conventions: the world is a right-handed X/Y plane in metres. Yaw is
+// measured in radians counter-clockwise from the +X axis. All types are
+// plain values; none require construction beyond their literal.
+package geom
+
+import "math"
+
+// Vec2 is a 2-D vector or point in metres.
+type Vec2 struct {
+	X, Y float64
+}
+
+// V is shorthand for Vec2{x, y}.
+func V(x, y float64) Vec2 { return Vec2{X: x, Y: y} }
+
+// Add returns v + o.
+func (v Vec2) Add(o Vec2) Vec2 { return Vec2{v.X + o.X, v.Y + o.Y} }
+
+// Sub returns v - o.
+func (v Vec2) Sub(o Vec2) Vec2 { return Vec2{v.X - o.X, v.Y - o.Y} }
+
+// Scale returns v scaled by s.
+func (v Vec2) Scale(s float64) Vec2 { return Vec2{v.X * s, v.Y * s} }
+
+// Dot returns the dot product v · o.
+func (v Vec2) Dot(o Vec2) float64 { return v.X*o.X + v.Y*o.Y }
+
+// Cross returns the 2-D cross product (z component of v × o).
+func (v Vec2) Cross(o Vec2) float64 { return v.X*o.Y - v.Y*o.X }
+
+// Len returns the Euclidean length of v.
+func (v Vec2) Len() float64 { return math.Hypot(v.X, v.Y) }
+
+// LenSq returns the squared length of v, avoiding a sqrt.
+func (v Vec2) LenSq() float64 { return v.X*v.X + v.Y*v.Y }
+
+// Dist returns the Euclidean distance between v and o.
+func (v Vec2) Dist(o Vec2) float64 { return v.Sub(o).Len() }
+
+// DistSq returns the squared distance between v and o.
+func (v Vec2) DistSq(o Vec2) float64 { return v.Sub(o).LenSq() }
+
+// Norm returns v scaled to unit length. The zero vector is returned
+// unchanged.
+func (v Vec2) Norm() Vec2 {
+	l := v.Len()
+	if l == 0 {
+		return Vec2{}
+	}
+	return v.Scale(1 / l)
+}
+
+// Perp returns v rotated +90° (counter-clockwise).
+func (v Vec2) Perp() Vec2 { return Vec2{-v.Y, v.X} }
+
+// Rotate returns v rotated by yaw radians counter-clockwise.
+func (v Vec2) Rotate(yaw float64) Vec2 {
+	s, c := math.Sincos(yaw)
+	return Vec2{v.X*c - v.Y*s, v.X*s + v.Y*c}
+}
+
+// Angle returns the angle of v from the +X axis in (-π, π].
+func (v Vec2) Angle() float64 { return math.Atan2(v.Y, v.X) }
+
+// Lerp returns the linear interpolation between v and o at fraction t
+// (t = 0 yields v; t = 1 yields o). t is not clamped.
+func (v Vec2) Lerp(o Vec2, t float64) Vec2 {
+	return Vec2{v.X + (o.X-v.X)*t, v.Y + (o.Y-v.Y)*t}
+}
+
+// UnitFromAngle returns the unit vector at the given yaw.
+func UnitFromAngle(yaw float64) Vec2 {
+	s, c := math.Sincos(yaw)
+	return Vec2{c, s}
+}
+
+// Pose is a position plus heading.
+type Pose struct {
+	Pos Vec2
+	Yaw float64 // radians, CCW from +X
+}
+
+// Forward returns the unit vector the pose faces.
+func (p Pose) Forward() Vec2 { return UnitFromAngle(p.Yaw) }
+
+// Right returns the unit vector to the pose's right-hand side.
+func (p Pose) Right() Vec2 { return UnitFromAngle(p.Yaw - math.Pi/2) }
+
+// TransformPoint maps a point from the pose's local frame (x forward,
+// y left) into the world frame.
+func (p Pose) TransformPoint(local Vec2) Vec2 {
+	return p.Pos.Add(local.Rotate(p.Yaw))
+}
+
+// InversePoint maps a world point into the pose's local frame.
+func (p Pose) InversePoint(world Vec2) Vec2 {
+	return world.Sub(p.Pos).Rotate(-p.Yaw)
+}
+
+// NormalizeAngle wraps a to (-π, π].
+func NormalizeAngle(a float64) float64 {
+	a = math.Mod(a, 2*math.Pi)
+	switch {
+	case a > math.Pi:
+		a -= 2 * math.Pi
+	case a <= -math.Pi:
+		a += 2 * math.Pi
+	}
+	return a
+}
+
+// AngleDiff returns the smallest signed rotation from b to a, in
+// (-π, π].
+func AngleDiff(a, b float64) float64 { return NormalizeAngle(a - b) }
+
+// Clamp limits x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,169 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func vecApprox(a, b Vec2, tol float64) bool {
+	return approx(a.X, b.X, tol) && approx(a.Y, b.Y, tol)
+}
+
+func TestVecBasicOps(t *testing.T) {
+	a, b := V(3, 4), V(1, -2)
+	if got := a.Add(b); got != V(4, 2) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != V(2, 6) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != V(6, 8) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != 3-8 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := a.Cross(b); got != 3*(-2)-4*1 {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := a.Len(); got != 5 {
+		t.Errorf("Len = %v", got)
+	}
+	if got := a.LenSq(); got != 25 {
+		t.Errorf("LenSq = %v", got)
+	}
+}
+
+func TestNormZeroVector(t *testing.T) {
+	if got := (Vec2{}).Norm(); got != (Vec2{}) {
+		t.Fatalf("Norm of zero = %v, want zero", got)
+	}
+}
+
+func TestPerpIsOrthogonalAndCCW(t *testing.T) {
+	v := V(2, 1)
+	p := v.Perp()
+	if v.Dot(p) != 0 {
+		t.Fatalf("Perp not orthogonal: dot = %v", v.Dot(p))
+	}
+	if v.Cross(p) <= 0 {
+		t.Fatalf("Perp not CCW: cross = %v", v.Cross(p))
+	}
+}
+
+func TestRotateQuarterTurn(t *testing.T) {
+	got := V(1, 0).Rotate(math.Pi / 2)
+	if !vecApprox(got, V(0, 1), eps) {
+		t.Fatalf("Rotate(π/2) = %v, want (0,1)", got)
+	}
+}
+
+func TestRotatePreservesLength(t *testing.T) {
+	f := func(x, y, yaw float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsNaN(yaw) ||
+			math.IsInf(x, 0) || math.IsInf(y, 0) || math.IsInf(yaw, 0) {
+			return true
+		}
+		// Limit magnitude so floating error stays bounded.
+		x, y = math.Mod(x, 1e6), math.Mod(y, 1e6)
+		v := V(x, y)
+		r := v.Rotate(yaw)
+		return approx(v.Len(), r.Len(), 1e-6*(1+v.Len()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalizeAngleRange(t *testing.T) {
+	f := func(a float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) {
+			return true
+		}
+		a = math.Mod(a, 1e4)
+		n := NormalizeAngle(a)
+		return n > -math.Pi-eps && n <= math.Pi+eps
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalizeAngleIdentity(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{math.Pi / 2, math.Pi / 2},
+		{2 * math.Pi, 0},
+		{3 * math.Pi, math.Pi},
+		{-3 * math.Pi, math.Pi},
+		{-math.Pi / 4, -math.Pi / 4},
+	}
+	for _, c := range cases {
+		if got := NormalizeAngle(c.in); !approx(got, c.want, eps) {
+			t.Errorf("NormalizeAngle(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAngleDiff(t *testing.T) {
+	if got := AngleDiff(0.1, -0.1); !approx(got, 0.2, eps) {
+		t.Errorf("AngleDiff = %v, want 0.2", got)
+	}
+	// Across the ±π seam.
+	if got := AngleDiff(math.Pi-0.1, -math.Pi+0.1); !approx(got, -0.2, eps) {
+		t.Errorf("AngleDiff across seam = %v, want -0.2", got)
+	}
+}
+
+func TestPoseTransformRoundTrip(t *testing.T) {
+	f := func(px, py, yaw, lx, ly float64) bool {
+		for _, v := range []float64{px, py, yaw, lx, ly} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		px, py = math.Mod(px, 1e4), math.Mod(py, 1e4)
+		lx, ly = math.Mod(lx, 1e4), math.Mod(ly, 1e4)
+		p := Pose{Pos: V(px, py), Yaw: yaw}
+		local := V(lx, ly)
+		back := p.InversePoint(p.TransformPoint(local))
+		return vecApprox(local, back, 1e-6*(1+local.Len()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoseForwardRight(t *testing.T) {
+	p := Pose{Yaw: math.Pi / 2} // facing +Y
+	if !vecApprox(p.Forward(), V(0, 1), eps) {
+		t.Errorf("Forward = %v", p.Forward())
+	}
+	if !vecApprox(p.Right(), V(1, 0), eps) {
+		t.Errorf("Right = %v", p.Right())
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Fatal("Clamp misbehaves")
+	}
+}
+
+func TestLerp(t *testing.T) {
+	a, b := V(0, 0), V(10, 20)
+	if got := a.Lerp(b, 0.5); !vecApprox(got, V(5, 10), eps) {
+		t.Fatalf("Lerp = %v", got)
+	}
+	if got := a.Lerp(b, 0); got != a {
+		t.Fatalf("Lerp(0) = %v", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Fatalf("Lerp(1) = %v", got)
+	}
+}

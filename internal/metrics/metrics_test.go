@@ -1,0 +1,324 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestStatsBasics(t *testing.T) {
+	s := Stats([]float64{2, 4, 6})
+	if s.N != 3 || s.Min != 2 || s.Max != 6 || s.Mean != 4 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if math.Abs(s.Std-2) > 1e-12 {
+		t.Fatalf("std = %v, want 2", s.Std)
+	}
+	if z := Stats(nil); z.N != 0 {
+		t.Fatalf("empty stats = %+v", z)
+	}
+}
+
+func TestStatsBoundsProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		clean := vals[:0]
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				// Bound magnitudes so the mean cannot overflow.
+				clean = append(clean, math.Mod(v, 1e9))
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Stats(clean)
+		return s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9 && s.Std >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTTCFormula(t *testing.T) {
+	// Paper §V-G1: ego at 0 doing 20, lead at 60 doing 10 → 60/10 = 6 s.
+	if got := TTC(0, 20, 60, 10); got != 6 {
+		t.Fatalf("TTC = %v, want 6", got)
+	}
+	// Not closing → +Inf.
+	if got := TTC(0, 10, 60, 10); !math.IsInf(got, 1) {
+		t.Fatalf("TTC same speeds = %v, want +Inf", got)
+	}
+	if got := TTC(0, 10, 60, 15); !math.IsInf(got, 1) {
+		t.Fatalf("TTC opening = %v, want +Inf", got)
+	}
+	// Overlapping positions → 0.
+	if got := TTC(10, 20, 5, 0); got != 0 {
+		t.Fatalf("TTC with negative gap = %v, want 0", got)
+	}
+}
+
+func TestTTCCollectorGating(t *testing.T) {
+	c := NewTTCCollector()
+	// Beyond 100 m: not collected.
+	c.Record(0, 0, 20, 150, 10)
+	if len(c.Samples()) != 0 {
+		t.Fatal("sample collected beyond gating distance")
+	}
+	// Within 100 m and closing: collected.
+	c.Record(time.Second, 0, 20, 60, 10)
+	if len(c.Samples()) != 1 {
+		t.Fatal("sample within gate not collected")
+	}
+	// No lead (NaN): skipped.
+	c.Record(2*time.Second, 0, 20, math.NaN(), math.NaN())
+	if len(c.Samples()) != 1 {
+		t.Fatal("NaN lead collected")
+	}
+}
+
+func TestTTCCollectorResult(t *testing.T) {
+	c := NewTTCCollector()
+	tick := 20 * time.Millisecond
+	now := time.Duration(0)
+	// 5 s of closing at TTC descending 10 → 2 s.
+	for i := 0; i <= 100; i++ {
+		ttcVal := 10 - 0.08*float64(i)
+		// Construct positions giving that TTC with closing speed 10.
+		c.Record(now, 0, 20, ttcVal*10, 10)
+		now += tick
+	}
+	res := c.Result()
+	if !res.Valid {
+		t.Fatal("result invalid with samples")
+	}
+	if math.Abs(res.Max-10) > 1e-9 || math.Abs(res.Min-2) > 1e-9 {
+		t.Fatalf("min/max = %v/%v", res.Min, res.Max)
+	}
+	if res.Violations == 0 {
+		t.Fatal("no violations counted despite TTC < 6")
+	}
+	if res.TET <= 0 {
+		t.Fatal("TET not accumulated")
+	}
+	// Empty collector: invalid result ("-" cell in Table III).
+	if r := NewTTCCollector().Result(); r.Valid {
+		t.Fatal("empty collector reported valid")
+	}
+}
+
+func TestTETOnlyBelowThreshold(t *testing.T) {
+	c := NewTTCCollector()
+	tick := 100 * time.Millisecond
+	now := time.Duration(0)
+	// 1 s at TTC 8 (above threshold), then 1 s at TTC 3 (below).
+	for i := 0; i < 10; i++ {
+		c.Record(now, 0, 20, 80, 10)
+		now += tick
+	}
+	for i := 0; i < 10; i++ {
+		c.Record(now, 0, 20, 30, 10)
+		now += tick
+	}
+	res := c.Result()
+	if res.TET < 900*time.Millisecond || res.TET > 1100*time.Millisecond {
+		t.Fatalf("TET = %v, want ≈1s", res.TET)
+	}
+}
+
+func TestHeadwayTime(t *testing.T) {
+	if got := HeadwayTime(40, 20); got != 2 {
+		t.Fatalf("headway = %v", got)
+	}
+	if !math.IsInf(HeadwayTime(40, 0), 1) {
+		t.Fatal("headway at standstill should be +Inf")
+	}
+}
+
+func TestButterworthDCGain(t *testing.T) {
+	// A constant signal passes unchanged (DC gain 1).
+	x := make([]float64, 500)
+	for i := range x {
+		x[i] = 5
+	}
+	y := Butterworth2LowPass(x, 0.6, 50)
+	if math.Abs(y[len(y)-1]-5) > 1e-6 {
+		t.Fatalf("DC gain: %v, want 5", y[len(y)-1])
+	}
+}
+
+func TestButterworthAttenuatesHighFrequency(t *testing.T) {
+	const fs = 50.0
+	n := 1000
+	low := make([]float64, n)  // 0.2 Hz
+	high := make([]float64, n) // 10 Hz
+	for i := 0; i < n; i++ {
+		ts := float64(i) / fs
+		low[i] = math.Sin(2 * math.Pi * 0.2 * ts)
+		high[i] = math.Sin(2 * math.Pi * 10 * ts)
+	}
+	ampl := func(x []float64) float64 {
+		m := 0.0
+		for _, v := range x[n/2:] { // steady state
+			if a := math.Abs(v); a > m {
+				m = a
+			}
+		}
+		return m
+	}
+	lowOut := ampl(Butterworth2LowPass(low, 0.6, fs))
+	highOut := ampl(Butterworth2LowPass(high, 0.6, fs))
+	if lowOut < 0.8 {
+		t.Fatalf("0.2 Hz attenuated to %v, want ≈1", lowOut)
+	}
+	if highOut > 0.05 {
+		t.Fatalf("10 Hz only attenuated to %v, want ≈0", highOut)
+	}
+}
+
+func TestCountReversalsSinusoid(t *testing.T) {
+	// A 0.25 Hz sinusoid of ±10° for 60 s has 2 reversals per period
+	// (once fully swinging each way) minus edge effects: 0.25*60*2 = 30.
+	const fs = 50.0
+	n := int(60 * fs)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 10 * math.Sin(2*math.Pi*0.25*float64(i)/fs)
+	}
+	got := CountReversals(x, 3)
+	if got < 28 || got > 31 {
+		t.Fatalf("reversals = %d, want ≈30", got)
+	}
+}
+
+func TestCountReversalsIgnoresSmallWiggles(t *testing.T) {
+	// ±1° wiggles under a 3° threshold: zero reversals.
+	const fs = 50.0
+	n := int(30 * fs)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1 * math.Sin(2*math.Pi*1*float64(i)/fs)
+	}
+	if got := CountReversals(x, 3); got != 0 {
+		t.Fatalf("reversals = %d, want 0", got)
+	}
+}
+
+func TestCountReversalsEdgeCases(t *testing.T) {
+	if CountReversals(nil, 3) != 0 {
+		t.Fatal("nil signal")
+	}
+	if CountReversals([]float64{1}, 3) != 0 {
+		t.Fatal("single sample")
+	}
+	if CountReversals([]float64{1, 2, 3}, 0) != 0 {
+		t.Fatal("zero threshold must not count")
+	}
+	// Monotonic signal: no reversals.
+	mono := []float64{0, 5, 10, 15, 20}
+	if got := CountReversals(mono, 3); got != 0 {
+		t.Fatalf("monotonic reversals = %d", got)
+	}
+}
+
+func TestComputeSRREndToEnd(t *testing.T) {
+	cfg := DefaultSRRConfig()
+	// Steering oscillation at 0.3 Hz, ±2% of a 900° wheel = ±9°,
+	// plus high-frequency sensor noise that the filter must remove.
+	rng := rand.New(rand.NewSource(1))
+	n := int(120 * cfg.SampleRate) // 2 minutes
+	steer := make([]float64, n)
+	for i := range steer {
+		ts := float64(i) / cfg.SampleRate
+		steer[i] = 0.02*math.Sin(2*math.Pi*0.3*ts) + 0.002*rng.NormFloat64()
+	}
+	res, err := ComputeSRR(steer, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0.3 Hz → 0.6 reversals/s → 36/min.
+	if res.RatePerMin < 32 || res.RatePerMin > 40 {
+		t.Fatalf("SRR = %.1f/min, want ≈36", res.RatePerMin)
+	}
+	if res.Duration != 2*time.Minute {
+		t.Fatalf("duration = %v", res.Duration)
+	}
+	if len(res.Filtered) != n {
+		t.Fatalf("filtered length = %d", len(res.Filtered))
+	}
+}
+
+func TestComputeSRRValidation(t *testing.T) {
+	if _, err := ComputeSRR([]float64{0}, SRRConfig{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+	bad := DefaultSRRConfig()
+	bad.CutoffHz = 100 // above Nyquist of 25
+	if _, err := ComputeSRR([]float64{0}, bad); err == nil {
+		t.Fatal("cutoff above Nyquist accepted")
+	}
+	// Empty signal: zero result, no error.
+	res, err := ComputeSRR(nil, DefaultSRRConfig())
+	if err != nil || res.Reversals != 0 {
+		t.Fatalf("empty signal: %+v, %v", res, err)
+	}
+}
+
+func TestSRRMonotonicInDisturbance(t *testing.T) {
+	// More oscillatory steering must never yield a lower SRR: the core
+	// sanity property behind Table IV.
+	cfg := DefaultSRRConfig()
+	rate := func(amplitude float64) float64 {
+		n := int(60 * cfg.SampleRate)
+		steer := make([]float64, n)
+		for i := range steer {
+			ts := float64(i) / cfg.SampleRate
+			steer[i] = amplitude * math.Sin(2*math.Pi*0.4*ts)
+		}
+		res, err := ComputeSRR(steer, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.RatePerMin
+	}
+	small := rate(0.004) // ±1.8°: below threshold
+	large := rate(0.03)  // ±13.5°: well above
+	if small != 0 {
+		t.Fatalf("sub-threshold oscillation SRR = %v, want 0", small)
+	}
+	if large <= small {
+		t.Fatalf("SRR not increasing with amplitude: %v vs %v", large, small)
+	}
+}
+
+func TestTaskTimer(t *testing.T) {
+	tt := TaskTimer{FromStation: 100, ToStation: 200}
+	if _, ok := tt.Duration(); ok {
+		t.Fatal("duration before traversal")
+	}
+	tt.Record(0, 50)
+	tt.Record(10*time.Second, 100)
+	tt.Record(20*time.Second, 150)
+	if _, ok := tt.Duration(); ok {
+		t.Fatal("duration before exit")
+	}
+	tt.Record(29*time.Second, 205)
+	d, ok := tt.Duration()
+	if !ok || d != 19*time.Second {
+		t.Fatalf("duration = %v, %v", d, ok)
+	}
+	// Further records don't change it.
+	tt.Record(60*time.Second, 500)
+	if d2, _ := tt.Duration(); d2 != d {
+		t.Fatal("duration changed after exit")
+	}
+}
+
+func TestValuesExtraction(t *testing.T) {
+	s := []Sample{{Time: 0, Value: 1}, {Time: time.Second, Value: 2}}
+	v := Values(s)
+	if len(v) != 2 || v[0] != 1 || v[1] != 2 {
+		t.Fatalf("values = %v", v)
+	}
+}

@@ -1,0 +1,64 @@
+// Package metrics implements the road-safety metrics of the paper's
+// §V-G: Time-To-Collision (TTC) with the ≤100 m gating used in §VI-C,
+// Steering Reversal Rate (SRR) per SAE J2944 (low-pass filter →
+// stationary points → reversal count), Time Exposed TTC (TET), headway
+// time, and the task-time measurement behind Fig 4.
+package metrics
+
+import (
+	"math"
+	"time"
+)
+
+// Sample is one time-stamped scalar observation.
+type Sample struct {
+	Time  time.Duration
+	Value float64
+}
+
+// SeriesStats summarizes a scalar series.
+type SeriesStats struct {
+	N    int
+	Min  float64
+	Max  float64
+	Mean float64
+	Std  float64
+}
+
+// Stats computes summary statistics. An empty input yields a zero
+// struct with N == 0.
+func Stats(values []float64) SeriesStats {
+	if len(values) == 0 {
+		return SeriesStats{}
+	}
+	s := SeriesStats{N: len(values), Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(len(values))
+	if len(values) > 1 {
+		var sq float64
+		for _, v := range values {
+			d := v - s.Mean
+			sq += d * d
+		}
+		s.Std = math.Sqrt(sq / float64(len(values)-1))
+	}
+	return s
+}
+
+// Values extracts the value column of a sample series.
+func Values(samples []Sample) []float64 {
+	out := make([]float64, len(samples))
+	for i, s := range samples {
+		out[i] = s.Value
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// SRRConfig parameterizes the SAE J2944 steering-reversal-rate
+// computation (§V-G2: "apply a low-pass filter to remove any noise in
+// the steering signal, find the stationary points, and then count the
+// reversals").
+type SRRConfig struct {
+	// SampleRate of the steering signal, Hz.
+	SampleRate float64
+	// CutoffHz of the 2nd-order Butterworth low-pass; J2944 recommends
+	// 0.6 Hz for reversal counting.
+	CutoffHz float64
+	// ThresholdDeg is the minimum steering-WHEEL angle swing (degrees)
+	// that counts as a reversal. J2944 uses gaps in the 2–5° range.
+	ThresholdDeg float64
+	// WheelRangeDeg is the wheel's full lock-to-lock range; the paper's
+	// Logitech G27 is 900°. Normalized steer ±1 maps to ±Range/2.
+	WheelRangeDeg float64
+}
+
+// DefaultSRRConfig matches the paper's driving station at the 50 Hz
+// logging rate.
+func DefaultSRRConfig() SRRConfig {
+	return SRRConfig{SampleRate: 50, CutoffHz: 0.6, ThresholdDeg: 3, WheelRangeDeg: 900}
+}
+
+// Validate reports configuration errors.
+func (c SRRConfig) Validate() error {
+	switch {
+	case c.SampleRate <= 0:
+		return fmt.Errorf("metrics: SRR sample rate %v must be positive", c.SampleRate)
+	case c.CutoffHz <= 0 || c.CutoffHz >= c.SampleRate/2:
+		return fmt.Errorf("metrics: SRR cutoff %v outside (0, Nyquist)", c.CutoffHz)
+	case c.ThresholdDeg <= 0:
+		return fmt.Errorf("metrics: SRR threshold %v must be positive", c.ThresholdDeg)
+	case c.WheelRangeDeg <= 0:
+		return fmt.Errorf("metrics: wheel range %v must be positive", c.WheelRangeDeg)
+	}
+	return nil
+}
+
+// SRRResult is the outcome of an SRR computation.
+type SRRResult struct {
+	Reversals int
+	Duration  time.Duration
+	// RatePerMin is the paper's Table IV unit: reversals per minute.
+	RatePerMin float64
+	// Filtered is the low-passed wheel-angle signal in degrees, kept
+	// for steering-profile plots (Fig 4).
+	Filtered []float64
+}
+
+// ComputeSRR runs the J2944 pipeline over a normalized steering signal
+// (each sample in [-1, 1], sampled at cfg.SampleRate).
+func ComputeSRR(steer []float64, cfg SRRConfig) (SRRResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return SRRResult{}, err
+	}
+	if len(steer) == 0 {
+		return SRRResult{}, nil
+	}
+	// Convert to wheel degrees.
+	deg := make([]float64, len(steer))
+	halfRange := cfg.WheelRangeDeg / 2
+	for i, s := range steer {
+		deg[i] = s * halfRange
+	}
+	filtered := Butterworth2LowPass(deg, cfg.CutoffHz, cfg.SampleRate)
+	reversals := CountReversals(filtered, cfg.ThresholdDeg)
+	dur := time.Duration(float64(len(steer)) / cfg.SampleRate * float64(time.Second))
+	res := SRRResult{Reversals: reversals, Duration: dur, Filtered: filtered}
+	if minutes := dur.Minutes(); minutes > 0 {
+		res.RatePerMin = float64(reversals) / minutes
+	}
+	return res, nil
+}
+
+// Butterworth2LowPass filters x with a 2nd-order Butterworth low-pass
+// (bilinear transform design). The first samples are seeded with the
+// initial value to avoid a start-up transient.
+func Butterworth2LowPass(x []float64, cutoffHz, sampleRate float64) []float64 {
+	if len(x) == 0 {
+		return nil
+	}
+	w := math.Tan(math.Pi * cutoffHz / sampleRate)
+	n := 1 / (1 + math.Sqrt2*w + w*w)
+	b0 := w * w * n
+	b1 := 2 * b0
+	b2 := b0
+	a1 := 2 * n * (w*w - 1)
+	a2 := n * (1 - math.Sqrt2*w + w*w)
+
+	y := make([]float64, len(x))
+	xm1, xm2 := x[0], x[0]
+	ym1, ym2 := x[0], x[0]
+	for i, xi := range x {
+		yi := b0*xi + b1*xm1 + b2*xm2 - a1*ym1 - a2*ym2
+		y[i] = yi
+		xm2, xm1 = xm1, xi
+		ym2, ym1 = ym1, yi
+	}
+	return y
+}
+
+// CountReversals counts direction changes of at least threshold in the
+// (already filtered) signal: the classic turning-point algorithm. A
+// reversal is recorded each time the signal, having moved at least
+// threshold away from the last extreme in one direction, moves at least
+// threshold back in the other.
+func CountReversals(signal []float64, threshold float64) int {
+	if len(signal) < 2 || threshold <= 0 {
+		return 0
+	}
+	const (
+		dirNone = iota
+		dirUp
+		dirDown
+	)
+	dir := dirNone
+	extreme := signal[0]
+	count := 0
+	for _, v := range signal[1:] {
+		switch dir {
+		case dirNone:
+			if v >= extreme+threshold {
+				dir = dirUp
+				extreme = v
+			} else if v <= extreme-threshold {
+				dir = dirDown
+				extreme = v
+			}
+		case dirUp:
+			if v > extreme {
+				extreme = v
+			} else if v <= extreme-threshold {
+				// Swing down by ≥ threshold: one reversal.
+				count++
+				dir = dirDown
+				extreme = v
+			}
+		case dirDown:
+			if v < extreme {
+				extreme = v
+			} else if v >= extreme+threshold {
+				count++
+				dir = dirUp
+				extreme = v
+			}
+		}
+	}
+	return count
+}
+
+// TaskTimer measures how long the driver takes to traverse a route
+// segment — the quantity behind Fig 4's "19 s in the golden run vs 33 s
+// in the faulty run" observation.
+type TaskTimer struct {
+	FromStation, ToStation float64
+
+	entered, exited bool
+	enterAt, exitAt time.Duration
+}
+
+// Record ingests the ego's route station at a time.
+func (t *TaskTimer) Record(now time.Duration, station float64) {
+	if !t.entered && station >= t.FromStation {
+		t.entered = true
+		t.enterAt = now
+	}
+	if t.entered && !t.exited && station >= t.ToStation {
+		t.exited = true
+		t.exitAt = now
+	}
+}
+
+// Duration returns the traversal time; ok is false when the segment was
+// not fully traversed.
+func (t *TaskTimer) Duration() (time.Duration, bool) {
+	if !t.entered || !t.exited {
+		return 0, false
+	}
+	return t.exitAt - t.enterAt, true
+}

@@ -1,0 +1,58 @@
+package netem
+
+import (
+	"time"
+
+	"teledrive/internal/simclock"
+)
+
+// Duplex bundles the two directions of the vehicle↔station connection.
+// In the paper's setup both server and client run on the same host, so a
+// loopback rule affects outgoing traffic of *both* endpoints — fault
+// injection is bidirectional (§V-D, Fig 3). Duplex reproduces that: a
+// rule applied through ApplyBoth lands on the uplink (commands,
+// station→vehicle) and the downlink (video/sensors, vehicle→station)
+// simultaneously.
+type Duplex struct {
+	// Down carries sensor/video traffic from the vehicle subsystem to
+	// the operator station.
+	Down *Link
+	// Up carries driving commands from the station to the vehicle.
+	Up *Link
+}
+
+// NewDuplex builds the two links. downRecv receives downlink packets at
+// the station; upRecv receives uplink packets at the vehicle. The two
+// directions use decorrelated RNG streams derived from seed.
+func NewDuplex(clock *simclock.Clock, seed int64, downRecv, upRecv Receiver) *Duplex {
+	return &Duplex{
+		Down: NewLink("downlink", clock, seed, downRecv),
+		Up:   NewLink("uplink", clock, seed^0x5ee0_5eed_f00d_cafe, upRecv),
+	}
+}
+
+// ApplyBoth installs the rule on both directions, mirroring the paper's
+// loopback-interface injection. It returns the first validation error.
+func (d *Duplex) ApplyBoth(r Rule) error {
+	if err := d.Down.AddRule(r); err != nil {
+		return err
+	}
+	return d.Up.AddRule(r)
+}
+
+// ClearBoth removes the rules from both directions.
+func (d *Duplex) ClearBoth() {
+	d.Down.DeleteRule()
+	d.Up.DeleteRule()
+}
+
+// OnRuleChanged registers a single change listener for both directions.
+// The link name is prefixed onto the description.
+func (d *Duplex) OnRuleChanged(fn func(now time.Duration, link, action, desc string)) {
+	d.Down.RuleChanged = func(now time.Duration, action, desc string) {
+		fn(now, d.Down.Name(), action, desc)
+	}
+	d.Up.RuleChanged = func(now time.Duration, action, desc string) {
+		fn(now, d.Up.Name(), action, desc)
+	}
+}

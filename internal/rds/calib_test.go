@@ -1,0 +1,76 @@
+package rds
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"teledrive/internal/driver"
+	"teledrive/internal/faultinject"
+	"teledrive/internal/metrics"
+	"teledrive/internal/scenario"
+)
+
+// TestCalibrationMatrix is a calibration harness: run every subject
+// through the follow scenario under each single condition and print the
+// Table-IV-like matrix. Enable with TELEDRIVE_CALIB=1.
+func TestCalibrationMatrix(t *testing.T) {
+	if os.Getenv("TELEDRIVE_CALIB") == "" {
+		t.Skip("calibration harness; set TELEDRIVE_CALIB=1")
+	}
+	conds := faultinject.AllConditions()
+	colSum := make(map[faultinject.Condition]float64)
+	colN := make(map[faultinject.Condition]int)
+	colCol := make(map[faultinject.Condition]int)
+	fmt.Printf("%-5s", "Test")
+	for _, c := range conds {
+		fmt.Printf("%8s", c)
+	}
+	fmt.Println("   collisions-per-cond")
+	for _, prof := range driver.Subjects() {
+		if prof.Name == "T7" {
+			continue
+		}
+		fmt.Printf("%-5s", prof.Name)
+		line := ""
+		for _, cond := range conds {
+			scn := scenario.FollowVehicle()
+			var assign []faultinject.Condition
+			if cond != faultinject.CondNFI {
+				assign = make([]faultinject.Condition, len(scn.POIs))
+				for i := range assign {
+					assign[i] = cond
+				}
+			}
+			out, err := Run(BenchConfig{Scenario: scn, Profile: prof, Seed: 1000 + prof.Seed, FaultAssignments: assign})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var steer []float64
+			for _, e := range out.Log.Ego {
+				if cond == faultinject.CondNFI || out.Log.ConditionAt(e.Time) != "NFI" {
+					steer = append(steer, e.Steer)
+				}
+			}
+			srr, _ := metrics.ComputeSRR(steer, metrics.DefaultSRRConfig())
+			fmt.Printf("%8.1f", srr.RatePerMin)
+			colSum[cond] += srr.RatePerMin
+			colN[cond]++
+			colCol[cond] += out.EgoCollisions
+			if out.EgoCollisions > 0 {
+				line += fmt.Sprintf(" %s:%d", cond, out.EgoCollisions)
+			}
+		}
+		fmt.Println("  ", line)
+	}
+	fmt.Printf("%-5s", "Avg")
+	for _, c := range conds {
+		fmt.Printf("%8.1f", colSum[c]/float64(colN[c]))
+	}
+	fmt.Println()
+	fmt.Printf("Cols ")
+	for _, c := range conds {
+		fmt.Printf("%8d", colCol[c])
+	}
+	fmt.Println()
+}

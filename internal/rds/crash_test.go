@@ -1,0 +1,53 @@
+package rds
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"teledrive/internal/driver"
+	"teledrive/internal/faultinject"
+	"teledrive/internal/scenario"
+)
+
+// TestCrashProbe stresses each subject with each single condition over
+// the follow and slalom scenarios and reports collisions.
+// Enable with TELEDRIVE_CALIB=1.
+func TestCrashProbe(t *testing.T) {
+	if os.Getenv("TELEDRIVE_CALIB") == "" {
+		t.Skip("calibration harness")
+	}
+	builders := map[string]func() *scenario.Scenario{
+		"follow": scenario.FollowVehicle,
+		"slalom": scenario.LaneChangeSlalom,
+	}
+	for name, build := range builders {
+		fmt.Printf("== %s\n", name)
+		for _, cond := range faultinject.AllConditions() {
+			total := 0
+			var who []string
+			for _, prof := range driver.Subjects() {
+				if prof.Name == "T7" {
+					continue
+				}
+				scn := build()
+				var assign []faultinject.Condition
+				if cond != faultinject.CondNFI {
+					assign = make([]faultinject.Condition, len(scn.POIs))
+					for i := range assign {
+						assign[i] = cond
+					}
+				}
+				out, err := Run(BenchConfig{Scenario: scn, Profile: prof, Seed: 3000 + prof.Seed, FaultAssignments: assign})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if out.EgoCollisions > 0 {
+					total += out.EgoCollisions
+					who = append(who, fmt.Sprintf("%s:%d", prof.Name, out.EgoCollisions))
+				}
+			}
+			fmt.Printf("  %-4s crashes=%d %v\n", cond, total, who)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package rds
+
+import (
+	"fmt"
+	"testing"
+
+	"teledrive/internal/driver"
+	"teledrive/internal/faultinject"
+	"teledrive/internal/metrics"
+	"teledrive/internal/scenario"
+)
+
+func runWith(t *testing.T, cond faultinject.Condition, subj string, seed int64) {
+	prof, _ := driver.SubjectByName(subj)
+	scn := scenario.FollowVehicle()
+	assign := make([]faultinject.Condition, len(scn.POIs))
+	for i := range assign {
+		assign[i] = cond
+	}
+	out, err := Run(BenchConfig{Scenario: scn, Profile: prof, Seed: seed, FaultAssignments: assign})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SRR over whole run
+	var steer []float64
+	for _, e := range out.Log.Ego {
+		steer = append(steer, e.Steer)
+	}
+	srr, _ := metrics.ComputeSRR(steer, metrics.DefaultSRRConfig())
+	// SRR during fault windows only
+	var fsteer []float64
+	for _, e := range out.Log.Ego {
+		if out.Log.ConditionAt(e.Time) != "NFI" {
+			fsteer = append(fsteer, e.Steer)
+		}
+	}
+	fsrr, _ := metrics.ComputeSRR(fsteer, metrics.DefaultSRRConfig())
+	fmt.Printf("%-4s %-4s done=%v col=%d srrAll=%5.1f srrFault=%5.1f injected=%d dur=%v\n",
+		subj, cond, out.Completed, out.EgoCollisions, srr.RatePerMin, fsrr.RatePerMin, out.Injected, out.Log.Duration().Truncate(1e9))
+}
+
+func TestDebugFaultShapes(t *testing.T) {
+	for _, cond := range faultinject.AllConditions() {
+		runWith(t, cond, "T5", 42)
+	}
+	for _, cond := range faultinject.AllConditions() {
+		runWith(t, cond, "T6", 99)
+	}
+}

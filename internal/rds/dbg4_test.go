@@ -1,0 +1,38 @@
+package rds
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"teledrive/internal/driver"
+	"teledrive/internal/faultinject"
+	"teledrive/internal/scenario"
+)
+
+func TestDebugT6Delay50(t *testing.T) {
+	if os.Getenv("TELEDRIVE_CALIB") == "" {
+		t.Skip("debug")
+	}
+	prof, _ := driver.SubjectByName("T6")
+	scn := scenario.FollowVehicle()
+	assign := make([]faultinject.Condition, len(scn.POIs))
+	for i := range assign {
+		assign[i] = faultinject.CondDelay50
+	}
+	out, err := Run(BenchConfig{Scenario: scn, Profile: prof, Seed: 2106, FaultAssignments: assign})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// print lateral & steer every 0.5s between 50s and 90s (curve at 400-573)
+	for _, e := range out.Log.Ego {
+		if e.Time.Seconds() < 50 || e.Time.Seconds() > 90 {
+			continue
+		}
+		if int(e.Time.Seconds()*50)%25 != 0 {
+			continue
+		}
+		fmt.Printf("t=%5.1f st=%6.1f lat=%+6.3f steer=%+7.4f cond=%s\n",
+			e.Time.Seconds(), e.Station, e.Lateral, e.Steer, out.Log.ConditionAt(e.Time))
+	}
+}

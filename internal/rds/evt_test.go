@@ -1,0 +1,52 @@
+package rds
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"testing"
+
+	"teledrive/internal/driver"
+	"teledrive/internal/faultinject"
+	"teledrive/internal/scenario"
+)
+
+func TestEventTrace(t *testing.T) {
+	if os.Getenv("TELEDRIVE_CALIB") == "" {
+		t.Skip("calibration harness")
+	}
+	prof, _ := driver.SubjectByName("T6")
+	scn := scenario.FollowVehicle()
+	assign := make([]faultinject.Condition, len(scn.POIs))
+	for i := range assign {
+		assign[i] = faultinject.CondLoss5
+	}
+	out, err := Run(BenchConfig{Scenario: scn, Profile: prof, Seed: 4106, FaultAssignments: assign})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := 0
+	for _, e := range out.Log.Ego {
+		leadSt, leadV := math.NaN(), math.NaN()
+		for cur < len(out.Log.Others) && out.Log.Others[cur].Time < e.Time {
+			cur++
+		}
+		for j := cur; j < len(out.Log.Others) && out.Log.Others[j].Time == e.Time; j++ {
+			o := out.Log.Others[j]
+			if math.Abs(o.Lateral) < 1.9 && o.Station > e.Station {
+				if math.IsNaN(leadSt) || o.Station < leadSt {
+					leadSt, leadV = o.Station, o.Speed
+				}
+			}
+		}
+		ts := e.Time.Seconds()
+		if ts < 18 || ts > 34 {
+			continue
+		}
+		if int(ts*50)%10 != 0 {
+			continue
+		}
+		fmt.Printf("t=%5.1f egoSt=%6.1f v=%5.2f leadV=%5.2f gap=%6.2f thr=%.2f brk=%.2f cond=%s\n",
+			ts, e.Station, e.Speed, leadV, leadSt-e.Station-4.7, e.Throttle, e.Brake, out.Log.ConditionAt(e.Time))
+	}
+}

@@ -1,0 +1,60 @@
+package rds
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"testing"
+
+	"teledrive/internal/driver"
+	"teledrive/internal/faultinject"
+	"teledrive/internal/scenario"
+)
+
+func TestGapProbe(t *testing.T) {
+	if os.Getenv("TELEDRIVE_CALIB") == "" {
+		t.Skip("calibration harness")
+	}
+	for _, cond := range []faultinject.Condition{faultinject.CondNFI, faultinject.CondDelay50, faultinject.CondLoss5} {
+		for _, name := range []string{"T1", "T2", "T3", "T4", "T5", "T6", "T8", "T9", "T10", "T11", "T12"} {
+			prof, _ := driver.SubjectByName(name)
+			scn := scenario.FollowVehicle()
+			var assign []faultinject.Condition
+			if cond != faultinject.CondNFI {
+				assign = make([]faultinject.Condition, len(scn.POIs))
+				for i := range assign {
+					assign[i] = cond
+				}
+			}
+			out, err := Run(BenchConfig{Scenario: scn, Profile: prof, Seed: 4000 + prof.Seed, FaultAssignments: assign})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// min bumper gap to the lead (others lateral within corridor)
+			minGap, minDyn := math.Inf(1), math.Inf(1)
+			var atT, atTD float64
+			cur := 0
+			for _, e := range out.Log.Ego {
+				for cur < len(out.Log.Others) && out.Log.Others[cur].Time < e.Time {
+					cur++
+				}
+				for j := cur; j < len(out.Log.Others) && out.Log.Others[j].Time == e.Time; j++ {
+					o := out.Log.Others[j]
+					if math.Abs(o.Lateral) > 1.9 {
+						continue
+					}
+					gap := o.Station - e.Station - 4.7
+					if gap > 0 && gap < minGap {
+						minGap = gap
+						atT = e.Time.Seconds()
+					}
+					if gap > 0 && e.Speed > 3 && gap < minDyn {
+						minDyn = gap
+						atTD = e.Time.Seconds()
+					}
+				}
+			}
+			fmt.Printf("%-4s %-4s minGap=%5.2fm@%.0fs minDyn=%5.2fm@%.0fs col=%d\n", name, cond, minGap, atT, minDyn, atTD, out.EgoCollisions)
+		}
+	}
+}

@@ -1,0 +1,295 @@
+// Package rds composes the full Remote Driving System of the paper's
+// §III-A — vehicle subsystem (bridge server over the simulated world),
+// operator subsystem (bridge client + driver model at the driving
+// station), and communication network subsystem (netem duplex with the
+// fault injector) — and runs a scenario end-to-end.
+package rds
+
+import (
+	"fmt"
+	"time"
+
+	"teledrive/internal/bridge"
+	"teledrive/internal/driver"
+	"teledrive/internal/faultinject"
+	"teledrive/internal/netem"
+	"teledrive/internal/scenario"
+	"teledrive/internal/simclock"
+	"teledrive/internal/trace"
+	"teledrive/internal/transport"
+)
+
+// StationSpec is the driving-station configuration — the paper's
+// Table I, plus the modelled control parameters.
+type StationSpec struct {
+	CPUAndRAM     string
+	Monitor       string
+	InputDevice   string
+	GPU           string
+	OS            string
+	NvidiaDriver  string
+	WheelRangeDeg float64
+	// ControlPeriod is the station's input-polling/command period.
+	ControlPeriod time.Duration
+}
+
+// PaperStation reproduces Table I.
+func PaperStation() StationSpec {
+	return StationSpec{
+		CPUAndRAM:     "Intel Core i7-12700K (12-core), 16 Gb RAM",
+		Monitor:       "34\" Samsung WQHD (3440x1440) curved",
+		InputDevice:   "Logitech G27 steering wheel and pedals",
+		GPU:           "NVIDIA GeForce RTX 3080, 10 Gb",
+		OS:            "Ubuntu 18.04",
+		NvidiaDriver:  "470.103.01",
+		WheelRangeDeg: 900,
+		ControlPeriod: 20 * time.Millisecond,
+	}
+}
+
+// Rows renders the spec as (field, value) pairs in Table I order.
+func (s StationSpec) Rows() [][2]string {
+	return [][2]string{
+		{"CPU and RAM", s.CPUAndRAM},
+		{"Monitor", s.Monitor},
+		{"Input device", s.InputDevice},
+		{"GPU", s.GPU},
+		{"Operating system", s.OS},
+		{"NVIDIA driver", s.NvidiaDriver},
+	}
+}
+
+// BenchConfig configures one run of one subject through one scenario.
+type BenchConfig struct {
+	Scenario *scenario.Scenario
+	Profile  driver.Profile
+	// Seed decorrelates network and campaign randomness between runs.
+	Seed int64
+	// FaultAssignments maps each scenario POI to the condition injected
+	// there. nil or all-CondNFI makes this a golden run.
+	FaultAssignments []faultinject.Condition
+	// Station defaults to PaperStation().
+	Station *StationSpec
+	// Transport defaults to the reliable (TCP-like) channel.
+	Transport *transport.Options
+	// DriverConfig, when non-nil, overrides the task-derived default
+	// (used by the model-vehicle validity experiments).
+	DriverConfig *driver.Config
+	// PersistentRule, when non-nil, is applied to both links for the
+	// whole run (the §VIII validity sweeps use arbitrary delay/loss
+	// values beyond the five campaign conditions). PersistentLabel
+	// names it in the logs.
+	PersistentRule  *netem.Rule
+	PersistentLabel string
+	// InjectDirection restricts POI fault injection to one direction
+	// (ablation; the paper's loopback injection is bidirectional).
+	InjectDirection faultinject.Direction
+	// FrameInterval overrides the camera frame period (ablation; the
+	// paper's feed ran at 25-30 fps).
+	FrameInterval time.Duration
+}
+
+// Validate reports configuration errors.
+func (c *BenchConfig) Validate() error {
+	if c.Scenario == nil {
+		return fmt.Errorf("rds: config needs a scenario")
+	}
+	if err := c.Scenario.Validate(); err != nil {
+		return err
+	}
+	if err := c.Profile.Validate(); err != nil {
+		return err
+	}
+	if c.FaultAssignments != nil && len(c.FaultAssignments) != len(c.Scenario.POIs) {
+		return fmt.Errorf("rds: %d fault assignments for %d POIs", len(c.FaultAssignments), len(c.Scenario.POIs))
+	}
+	return nil
+}
+
+// IsGolden reports whether the config describes a golden (no-fault)
+// run.
+func (c *BenchConfig) IsGolden() bool {
+	for _, a := range c.FaultAssignments {
+		if a != faultinject.CondNFI {
+			return false
+		}
+	}
+	return true
+}
+
+// Outcome is the result of one bench run.
+type Outcome struct {
+	Log *trace.RunLog
+	// Completed is true when the ego reached the scenario end station.
+	Completed bool
+	// TimedOut is true when the scenario timeout expired first.
+	TimedOut bool
+	// Injected counts how many POIs actually saw a fault injected
+	// (a POI is skipped when its assignment is CondNFI).
+	Injected int
+	// EgoCollisions counts collision events involving the ego.
+	EgoCollisions int
+	ServerStats   bridge.ServerStats
+	ClientStats   bridge.ClientStats
+	// FinalStation is the ego's route station at the end of the run.
+	FinalStation float64
+	// WallTicks counts physics ticks executed.
+	WallTicks uint64
+}
+
+// Run executes one complete scenario drive and returns the outcome.
+func Run(cfg BenchConfig) (*Outcome, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	station := PaperStation()
+	if cfg.Station != nil {
+		station = *cfg.Station
+	}
+	topts := transport.Options{Name: "bridge", Reliable: true}
+	if cfg.Transport != nil {
+		topts = *cfg.Transport
+	}
+
+	built, err := cfg.Scenario.Build()
+	if err != nil {
+		return nil, err
+	}
+	clock := simclock.New()
+	sess, err := bridge.NewSessionWithTransport(clock, built.World, built.Ego, cfg.Seed, topts)
+	if err != nil {
+		return nil, err
+	}
+
+	runType := "faulty"
+	if cfg.IsGolden() && cfg.PersistentRule == nil {
+		runType = "golden"
+	}
+	log := &trace.RunLog{
+		Subject:  cfg.Profile.Name,
+		Scenario: cfg.Scenario.Name,
+		RunType:  runType,
+		Seed:     cfg.Seed,
+	}
+	rec := trace.NewRecorder(built.World, built.Ego, built.Route, log)
+
+	inj, err := faultinject.NewInjector(sess.Conn.Links, clock.Now)
+	if err != nil {
+		return nil, err
+	}
+	inj.OnChange = rec.RecordFault
+	inj.Direction = cfg.InjectDirection
+
+	dcfg := driver.DefaultConfig(cfg.Profile, built.Task)
+	if cfg.DriverConfig != nil {
+		dcfg = *cfg.DriverConfig
+		dcfg.Profile = cfg.Profile
+		dcfg.Task = built.Task
+	}
+	drv, err := driver.New(clock, sess.Client, dcfg)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Outcome{Log: log}
+
+	// Scenario supervision runs on the physics tick: telemetry
+	// sampling, POI-driven fault injection, end detection. Each POI
+	// fires at most once (the paper injects one fault per situation of
+	// interest).
+	activePOI := -1
+	fired := make([]bool, len(cfg.Scenario.POIs))
+	done := false
+	sess.Server.OnTick = func(now time.Duration) {
+		out.WallTicks++
+		rec.Sample(now)
+		st, _ := built.Route.Project(built.Ego.Pose().Pos)
+		out.FinalStation = st
+
+		// POI transitions.
+		cur := -1
+		for i, poi := range cfg.Scenario.POIs {
+			if st >= poi.From && st < poi.To {
+				cur = i
+				break
+			}
+		}
+		if cur != activePOI {
+			if activePOI >= 0 && inj.Active() != faultinject.CondNFI {
+				inj.Clear()
+				rec.SetCondition(now, "")
+			}
+			activePOI = cur
+			if cur >= 0 && !fired[cur] && cfg.FaultAssignments != nil {
+				fired[cur] = true
+				if cond := cfg.FaultAssignments[cur]; cond != faultinject.CondNFI {
+					if err := inj.Inject(cond); err == nil {
+						rec.SetCondition(now, cond.String())
+						out.Injected++
+					}
+				}
+			}
+		}
+
+		if st >= cfg.Scenario.EndStation {
+			done = true
+		}
+	}
+
+	// Operator station loop: poll the driver model at the control
+	// period and send its command to the vehicle.
+	var stationTick func(now time.Duration)
+	stationTick = func(now time.Duration) {
+		ctrl := drv.Tick(now)
+		// A full send window behaves like a congested socket: this
+		// command is lost; the next tick retries.
+		_ = sess.Client.SendControl(ctrl)
+		clock.Schedule(station.ControlPeriod, stationTick)
+	}
+	clock.Schedule(station.ControlPeriod, stationTick)
+
+	if cfg.FrameInterval > 0 {
+		sess.Server.SetFrameInterval(cfg.FrameInterval)
+	}
+
+	if cfg.PersistentRule != nil {
+		if err := sess.Conn.Links.ApplyBoth(*cfg.PersistentRule); err != nil {
+			return nil, fmt.Errorf("rds: persistent rule: %w", err)
+		}
+		label := cfg.PersistentLabel
+		if label == "" {
+			label = cfg.PersistentRule.String()
+		}
+		rec.SetCondition(0, label)
+	}
+
+	if cfg.Scenario.Weather != "" {
+		if _, err := sess.Client.SendMeta("set_weather", map[string]string{"weather": cfg.Scenario.Weather}); err != nil {
+			return nil, err
+		}
+	}
+
+	sess.Server.Start()
+	const chunk = 100 * time.Millisecond
+	for !done && clock.Now() < cfg.Scenario.Timeout {
+		clock.Advance(chunk)
+	}
+	sess.Server.Stop()
+	if inj.Active() != faultinject.CondNFI {
+		inj.Clear()
+		rec.SetCondition(clock.Now(), "")
+	}
+	// Close any still-open condition span.
+	rec.SetCondition(clock.Now(), "")
+
+	out.Completed = done
+	out.TimedOut = !done
+	out.ServerStats = sess.Server.Stats()
+	out.ClientStats = sess.Client.Stats()
+	for _, c := range log.Collisions {
+		if c.Actor == built.Ego.ID || c.Other == built.Ego.ID {
+			out.EgoCollisions++
+		}
+	}
+	return out, nil
+}

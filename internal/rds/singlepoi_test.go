@@ -1,0 +1,36 @@
+package rds
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"teledrive/internal/driver"
+	"teledrive/internal/faultinject"
+	"teledrive/internal/scenario"
+)
+
+func TestSinglePOICrash(t *testing.T) {
+	if os.Getenv("TELEDRIVE_CALIB") == "" {
+		t.Skip("calibration harness")
+	}
+	for _, name := range []string{"T6", "T2", "T9"} {
+		prof, _ := driver.SubjectByName(name)
+		for _, poi := range []int{1, 4, 6} {
+			for _, cond := range []faultinject.Condition{faultinject.CondDelay50, faultinject.CondLoss5} {
+				crashes := 0
+				for seed := int64(0); seed < 3; seed++ {
+					scn := scenario.FollowVehicle()
+					assign := make([]faultinject.Condition, len(scn.POIs))
+					assign[poi] = cond
+					out, err := Run(BenchConfig{Scenario: scn, Profile: prof, Seed: 5000*seed + prof.Seed, FaultAssignments: assign})
+					if err != nil {
+						t.Fatal(err)
+					}
+					crashes += out.EgoCollisions
+				}
+				fmt.Printf("%-4s poi=%d %-5s crashes=%d/3\n", name, poi, cond, crashes)
+			}
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package rds
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"teledrive/internal/driver"
+	"teledrive/internal/faultinject"
+	"teledrive/internal/scenario"
+)
+
+func TestSlalomCrashProbe(t *testing.T) {
+	if os.Getenv("TELEDRIVE_CALIB") == "" {
+		t.Skip("calibration harness")
+	}
+	conds := []faultinject.Condition{faultinject.CondNFI, faultinject.CondDelay25, faultinject.CondDelay50, faultinject.CondLoss2, faultinject.CondLoss5}
+	fmt.Printf("%-5s", "subj")
+	for _, c := range conds {
+		fmt.Printf("%7s", c)
+	}
+	fmt.Println(" (slalom crash runs / 3 seeds)")
+	for _, prof := range driver.Subjects() {
+		if prof.Name == "T7" {
+			continue
+		}
+		fmt.Printf("%-5s", prof.Name)
+		for _, cond := range conds {
+			crashes := 0
+			for seed := int64(0); seed < 3; seed++ {
+				scn := scenario.LaneChangeSlalom()
+				var assign []faultinject.Condition
+				if cond != faultinject.CondNFI {
+					assign = make([]faultinject.Condition, len(scn.POIs))
+					for i := range assign {
+						assign[i] = cond
+					}
+				}
+				out, err := Run(BenchConfig{Scenario: scn, Profile: prof, Seed: 7000*seed + prof.Seed, FaultAssignments: assign})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if out.EgoCollisions > 0 {
+					crashes++
+				}
+			}
+			fmt.Printf("%7d", crashes)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,44 @@
+package rds
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"testing"
+
+	"teledrive/internal/driver"
+	"teledrive/internal/faultinject"
+	"teledrive/internal/scenario"
+)
+
+func TestSlalomLateralError(t *testing.T) {
+	if os.Getenv("TELEDRIVE_CALIB") == "" {
+		t.Skip("calibration harness")
+	}
+	for _, name := range []string{"T3", "T6", "T9"} {
+		prof, _ := driver.SubjectByName(name)
+		for _, cond := range []faultinject.Condition{faultinject.CondNFI, faultinject.CondDelay50, faultinject.CondLoss5} {
+			scn := scenario.LaneChangeSlalom()
+			var assign []faultinject.Condition
+			if cond != faultinject.CondNFI {
+				assign = make([]faultinject.Condition, len(scn.POIs))
+				for i := range assign {
+					assign[i] = cond
+				}
+			}
+			out, err := Run(BenchConfig{Scenario: scn, Profile: prof, Seed: 7100 + prof.Seed, FaultAssignments: assign})
+			if err != nil {
+				t.Fatal(err)
+			}
+			maxLat := 0.0
+			for _, e := range out.Log.Ego {
+				if e.Station > 240 && e.Station < 520 {
+					if a := math.Abs(e.Lateral); a > maxLat {
+						maxLat = a
+					}
+				}
+			}
+			fmt.Printf("%-4s %-5s maxLat=%.2fm col=%d\n", name, cond, maxLat, out.EgoCollisions)
+		}
+	}
+}

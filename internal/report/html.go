@@ -1,0 +1,145 @@
+package report
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+
+	"teledrive/internal/campaign"
+	"teledrive/internal/faultinject"
+	"teledrive/internal/questionnaire"
+)
+
+// htmlT4Cell is a rendered Table IV cell.
+type htmlT4Cell struct {
+	Text    string
+	Missing bool
+}
+
+type htmlT4Row struct {
+	Subject string
+	Cells   []htmlT4Cell
+}
+
+// WriteCampaignHTML renders a self-contained HTML dashboard for a
+// campaign result.
+func WriteCampaignHTML(w io.Writer, res *campaign.Result) error {
+	t2 := res.BuildTableII()
+	t4 := res.BuildTableIV()
+	col := res.BuildCollisionAnalysis()
+	q := questionnaire.Summarize(res)
+
+	// Flatten Table IV rows into pre-rendered cells (templates and map
+	// keys with "%" don't mix well).
+	srrCell := func(c campaign.SRRCell, missing bool) htmlT4Cell {
+		if missing {
+			return htmlT4Cell{Text: "x", Missing: true}
+		}
+		if !c.Present {
+			return htmlT4Cell{Text: "-", Missing: true}
+		}
+		return htmlT4Cell{Text: fmt.Sprintf("%.1f", c.Rate)}
+	}
+	var t4Rows []htmlT4Row
+	for _, row := range t4.Rows {
+		cells := []htmlT4Cell{
+			srrCell(row.NFI, row.MissingGolden),
+			srrCell(row.FI, row.MissingFaulty),
+		}
+		for _, label := range conditionOrder {
+			cells = append(cells, srrCell(row.PerCondition[label], row.MissingFaulty))
+		}
+		cells = append(cells, srrCell(row.Avg, row.MissingFaulty))
+		t4Rows = append(t4Rows, htmlT4Row{Subject: row.Subject, Cells: cells})
+	}
+
+	// Table II rows likewise.
+	type t2Row struct {
+		Subject string
+		Counts  []int
+		Total   int
+	}
+	var t2Rows []t2Row
+	for _, row := range t2.Rows {
+		r := t2Row{Subject: row.Subject, Total: row.Total}
+		for _, c := range faultinject.FaultConditions() {
+			r.Counts = append(r.Counts, row.Counts[c])
+		}
+		t2Rows = append(t2Rows, r)
+	}
+
+	var figSVG template.HTML
+	if name, ok := res.Fig4AutoSubject(1); ok {
+		if fig, ok := res.BuildFig4(name, 1); ok {
+			var sb svgBuffer
+			if err := WriteFig4SVG(&sb, fig); err == nil {
+				figSVG = template.HTML(sb.s) //nolint:gosec // produced by our own renderer with escaping
+			}
+		}
+	}
+
+	// Render via a simpler direct template to avoid index gymnastics.
+	data := struct {
+		Seed               int64
+		TableIIRows        []t2Row
+		TableIITotal       int
+		T4Rows             []htmlT4Row
+		Collisions         campaign.CollisionAnalysis
+		QuestionnaireLines []string
+		Fig4SVG            template.HTML
+	}{
+		Seed:               res.Config.Seed,
+		TableIIRows:        t2Rows,
+		TableIITotal:       t2.Total,
+		T4Rows:             t4Rows,
+		Collisions:         col,
+		QuestionnaireLines: q.Lines(),
+		Fig4SVG:            figSVG,
+	}
+	return htmlDashboard.Execute(w, data)
+}
+
+var htmlDashboard = template.Must(template.New("dash").Parse(`<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8"><title>teledrive campaign report</title>
+<style>
+ body { font-family: sans-serif; margin: 2em; color: #222; max-width: 70em; }
+ h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 2em; }
+ table { border-collapse: collapse; margin: 0.6em 0; }
+ th, td { border: 1px solid #ccc; padding: 0.25em 0.7em; text-align: right; }
+ th { background: #f2f2f2; } td.label, th.label { text-align: left; }
+ .missing { color: #999; } .crash { color: #c0392b; font-weight: bold; }
+ .note { color: #555; font-size: 0.9em; }
+</style></head><body>
+<h1>Remote-driving network-disturbance campaign</h1>
+<p class="note">Reproduction of Trivedi &amp; Warg, VERDI @ DSN-W 2023 — simulated human-in-the-loop run, seed {{.Seed}}.</p>
+
+<h2>Table II — faults injected</h2>
+<table><tr><th class="label">Test</th><th>5ms</th><th>25ms</th><th>50ms</th><th>2%</th><th>5%</th><th>Total</th></tr>
+{{range .TableIIRows}}<tr><td class="label">{{.Subject}}</td>{{range .Counts}}<td>{{.}}</td>{{end}}<td>{{.Total}}</td></tr>
+{{end}}<tr><th class="label">Total</th><th colspan="5"></th><th>{{.TableIITotal}}</th></tr></table>
+
+<h2>Table IV — steering reversal rate (rev/min)</h2>
+<table><tr><th class="label">Test</th><th>NFI</th><th>FI</th><th>5ms</th><th>25ms</th><th>50ms</th><th>2%</th><th>5%</th><th>Avg</th></tr>
+{{range .T4Rows}}<tr><td class="label">{{.Subject}}</td>{{range .Cells}}<td{{if .Missing}} class="missing"{{end}}>{{.Text}}</td>{{end}}</tr>
+{{end}}</table>
+
+<h2>Collision analysis</h2>
+<p>Golden run: {{.Collisions.GoldenCollided}} of {{.Collisions.SubjectsAnalysed}} collided.
+Faulty run: <span class="crash">{{.Collisions.FaultyCollided}} of {{.Collisions.SubjectsAnalysed}}</span> collided.
+Crash-causing conditions: {{range .Collisions.CrashConditions}}<span class="crash">{{.}}</span> {{end}}</p>
+
+<h2>Questionnaire</h2>
+<ul>{{range .QuestionnaireLines}}<li>{{.}}</li>{{end}}</ul>
+
+<h2>Fig 4 — steering profile</h2>
+<figure>{{.Fig4SVG}}</figure>
+</body></html>
+`))
+
+// svgBuffer captures the SVG renderer's output as a string.
+type svgBuffer struct{ s string }
+
+func (b *svgBuffer) Write(p []byte) (int, error) {
+	b.s += string(p)
+	return len(p), nil
+}

@@ -1,0 +1,39 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"teledrive/internal/campaign"
+	"teledrive/internal/driver"
+)
+
+func TestWriteCampaignHTML(t *testing.T) {
+	var subs []driver.Profile
+	for _, n := range []string{"T5", "T10"} {
+		p, _ := driver.SubjectByName(n)
+		subs = append(subs, p)
+	}
+	res, err := campaign.Run(campaign.Config{Seed: 12, Subjects: subs, ApplyPaperExclusions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCampaignHTML(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<!DOCTYPE html>", "Table II", "Table IV", "Collision analysis", "Questionnaire", "<svg", "T5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("HTML missing %q", want)
+		}
+	}
+	// The masked subject's cells render as "x".
+	if !strings.Contains(out, `class="missing"`) {
+		t.Error("missing-cell styling absent")
+	}
+	if !strings.HasSuffix(strings.TrimSpace(out), "</html>") {
+		t.Error("HTML truncated")
+	}
+}

@@ -1,0 +1,234 @@
+// Package report renders campaign results as the paper's tables
+// (Tables I–IV), the §VI-E collision analysis, the §VI-F questionnaire
+// summary, and the Fig-4 steering-profile comparison — in plain text for
+// terminals and CSV for further processing.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"teledrive/internal/campaign"
+	"teledrive/internal/faultinject"
+	"teledrive/internal/metrics"
+	"teledrive/internal/questionnaire"
+	"teledrive/internal/rds"
+)
+
+// conditionOrder is the column order of the paper's tables.
+var conditionOrder = []string{"5ms", "25ms", "50ms", "2%", "5%"}
+
+// WriteTableI prints the driving-station technical specification
+// (paper Table I).
+func WriteTableI(w io.Writer, spec rds.StationSpec) {
+	fmt.Fprintln(w, "TABLE I: Technical Specifications for Driving Station")
+	for _, row := range spec.Rows() {
+		fmt.Fprintf(w, "  %-18s %s\n", row[0], row[1])
+	}
+}
+
+// WriteTableII prints the fault-injection summary (paper Table II).
+func WriteTableII(w io.Writer, t campaign.TableII) {
+	fmt.Fprintln(w, "TABLE II: Summary for Faults Injected")
+	fmt.Fprintf(w, "  %-5s %6s %6s %6s %6s %6s %7s\n", "Test", "5ms", "25ms", "50ms", "2%", "5%", "Total")
+	for _, row := range t.Rows {
+		fmt.Fprintf(w, "  %-5s %6d %6d %6d %6d %6d %7d\n",
+			row.Subject,
+			row.Counts[faultinject.CondDelay5],
+			row.Counts[faultinject.CondDelay25],
+			row.Counts[faultinject.CondDelay50],
+			row.Counts[faultinject.CondLoss2],
+			row.Counts[faultinject.CondLoss5],
+			row.Total)
+	}
+	fmt.Fprintf(w, "  %-5s %6d %6d %6d %6d %6d %7d\n", "Total",
+		t.Totals[faultinject.CondDelay5],
+		t.Totals[faultinject.CondDelay25],
+		t.Totals[faultinject.CondDelay50],
+		t.Totals[faultinject.CondLoss2],
+		t.Totals[faultinject.CondLoss5],
+		t.Total)
+}
+
+// WriteTableIII prints the TTC statistics (paper Table III): three
+// blocks — maximum, average, minimum — per subject × condition.
+func WriteTableIII(w io.Writer, t campaign.TableIII) {
+	fmt.Fprintln(w, "TABLE III: Statistics for TTC (in sec)")
+	blocks := []struct {
+		title string
+		pick  func(campaign.TTCCell) float64
+	}{
+		{"Maximum TTC", func(c campaign.TTCCell) float64 { return c.Res.Max }},
+		{"Average TTC", func(c campaign.TTCCell) float64 { return c.Res.Avg }},
+		{"Minimum TTC", func(c campaign.TTCCell) float64 { return c.Res.Min }},
+	}
+	for _, b := range blocks {
+		fmt.Fprintf(w, "  -- %s --\n", b.title)
+		fmt.Fprintf(w, "  %-5s %8s %8s %8s %8s %8s %8s\n", "Test", "NFI", "5ms", "25ms", "50ms", "2%", "5%")
+		for _, row := range t.Rows {
+			if row.Missing {
+				// §VI-A: lead-vehicle velocity was not recorded.
+				continue
+			}
+			fmt.Fprintf(w, "  %-5s", row.Subject)
+			for _, label := range append([]string{"NFI"}, conditionOrder...) {
+				cell, ok := row.Cells[label]
+				if !ok || !cell.Valid {
+					fmt.Fprintf(w, " %8s", "-")
+					continue
+				}
+				fmt.Fprintf(w, " %8.2f", b.pick(cell))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// WriteTableIV prints the SRR table (paper Table IV) with the same "x"
+// masking convention for lost recordings.
+func WriteTableIV(w io.Writer, t campaign.TableIV) {
+	fmt.Fprintln(w, "TABLE IV: Statistics for SRR (in reversals per minute)")
+	fmt.Fprintf(w, "  %-5s %6s %6s %7s %7s %7s %7s %7s %7s\n",
+		"Test", "NFI", "FI", "5ms", "25ms", "50ms", "2%", "5%", "Avg")
+	cell := func(c campaign.SRRCell, missing bool) string {
+		if missing {
+			return "x"
+		}
+		if !c.Present {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f", c.Rate)
+	}
+	for _, row := range t.Rows {
+		fmt.Fprintf(w, "  %-5s %6s %6s", row.Subject,
+			cell(row.NFI, row.MissingGolden), cell(row.FI, row.MissingFaulty))
+		for _, label := range conditionOrder {
+			fmt.Fprintf(w, " %7s", cell(row.PerCondition[label], row.MissingFaulty))
+		}
+		fmt.Fprintf(w, " %7s\n", cell(row.Avg, row.MissingFaulty))
+	}
+	fmt.Fprintf(w, "  %-5s %6s %6s", "Avg",
+		avgCell(t.ColumnAvg, "NFI"), avgCell(t.ColumnAvg, "FI"))
+	for _, label := range conditionOrder {
+		fmt.Fprintf(w, " %7s", avgCell(t.ColumnAvg, label))
+	}
+	fmt.Fprintf(w, " %7s\n", avgCell(t.ColumnAvg, "Avg"))
+}
+
+func avgCell(m map[string]float64, key string) string {
+	v, ok := m[key]
+	if !ok {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// WriteCollisionAnalysis prints the §VI-E collision findings.
+func WriteCollisionAnalysis(w io.Writer, c campaign.CollisionAnalysis) {
+	fmt.Fprintln(w, "COLLISION ANALYSIS (paper §VI-E)")
+	fmt.Fprintf(w, "  golden run: %d of %d participants collided\n", c.GoldenCollided, c.SubjectsAnalysed)
+	fmt.Fprintf(w, "  faulty run: %d of %d participants collided\n", c.FaultyCollided, c.SubjectsAnalysed)
+	if len(c.CrashConditions) == 0 {
+		fmt.Fprintln(w, "  no fault condition led to crashes")
+		return
+	}
+	fmt.Fprintf(w, "  fault types leading to crashes: %s\n", strings.Join(c.CrashConditions, ", "))
+	labels := make([]string, 0, len(c.CrashCountByCondition))
+	for label := range c.CrashCountByCondition {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	for _, label := range labels {
+		fmt.Fprintf(w, "    %-5s %d crash(es)\n", label, c.CrashCountByCondition[label])
+	}
+}
+
+// WriteQuestionnaire prints the §VI-F summary.
+func WriteQuestionnaire(w io.Writer, s questionnaire.Summary) {
+	fmt.Fprintln(w, "QUESTIONNAIRE SUMMARY (paper §VI-F)")
+	for _, line := range s.Lines() {
+		fmt.Fprintf(w, "  %s\n", line)
+	}
+}
+
+// WriteFig4 prints the steering-profile comparison as a text plot plus
+// the task times (paper Fig 4).
+func WriteFig4(w io.Writer, f campaign.Fig4Data) {
+	fmt.Fprintf(w, "FIG 4: Steering profile, subject %s, scenario %s\n", f.Subject, f.Scenario)
+	if f.GoldenOK && f.FaultyOK {
+		fmt.Fprintf(w, "  task-segment time: golden %.1fs, faulty %.1fs (%+.0f%%)\n",
+			f.GoldenTime.Seconds(), f.FaultyTime.Seconds(),
+			100*(f.FaultyTime.Seconds()-f.GoldenTime.Seconds())/f.GoldenTime.Seconds())
+	}
+	fmt.Fprintln(w, "  faulty run (top) vs golden run (bottom), wheel angle [deg]:")
+	renderProfile(w, f.Faulty)
+	renderProfile(w, f.Golden)
+}
+
+// renderProfile draws a compact ASCII strip chart of a steering series:
+// one character per time bucket, mapping wheel angle to a glyph.
+func renderProfile(w io.Writer, samples []metrics.Sample) {
+	if len(samples) == 0 {
+		fmt.Fprintln(w, "    (no data)")
+		return
+	}
+	const width = 100
+	glyphs := []rune("_.-~^")
+	bucket := (len(samples) + width - 1) / width
+	var sb strings.Builder
+	sb.WriteString("    |")
+	maxAbs := 1.0
+	for _, s := range samples {
+		if a := math.Abs(s.Value); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	for i := 0; i < len(samples); i += bucket {
+		end := i + bucket
+		if end > len(samples) {
+			end = len(samples)
+		}
+		// Bucket value: the largest magnitude inside the bucket, so
+		// corrections stay visible after downsampling.
+		v := 0.0
+		for _, s := range samples[i:end] {
+			if math.Abs(s.Value) > math.Abs(v) {
+				v = s.Value
+			}
+		}
+		idx := int((v/maxAbs + 1) / 2 * float64(len(glyphs)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(glyphs) {
+			idx = len(glyphs) - 1
+		}
+		sb.WriteRune(glyphs[idx])
+	}
+	sb.WriteString(fmt.Sprintf("|  peak %.1f deg over %.0fs", maxAbs, samples[len(samples)-1].Time.Seconds()))
+	fmt.Fprintln(w, sb.String())
+}
+
+// WriteSignificance prints the statistical extension (the paper's
+// future-work item): golden-vs-faulty hypothesis tests and background
+// correlations.
+func WriteSignificance(w io.Writer, s campaign.Significance) {
+	fmt.Fprintln(w, "STATISTICAL TESTS (extension; the paper lists these as future work)")
+	if s.SRRTestsOK {
+		fmt.Fprintf(w, "  SRR faulty vs golden:  Welch t=%.2f (df=%.1f, p=%.4f), Mann-Whitney U=%.0f (p=%.4f)\n",
+			s.SRRWelch.T, s.SRRWelch.DF, s.SRRWelch.P, s.SRRMannWhitney.U, s.SRRMannWhitney.P)
+	}
+	if s.SpeedTestsOK {
+		fmt.Fprintf(w, "  mean speed faulty vs golden: Welch t=%.2f (p=%.4f)\n", s.SpeedWelch.T, s.SpeedWelch.P)
+	}
+	if s.ReactionCorrOK {
+		fmt.Fprintf(w, "  Spearman rho(reaction time, SRR degradation) = %+.2f\n", s.ReactionVsDegradation)
+	}
+	if s.AnticipationCorrOK {
+		fmt.Fprintf(w, "  Spearman rho(anticipation skill, SRR degradation) = %+.2f\n", s.AnticipationVsDegradation)
+	}
+	fmt.Fprintf(w, "  subjects analysed: %d\n", s.Subjects)
+}

@@ -1,0 +1,170 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"teledrive/internal/campaign"
+	"teledrive/internal/faultinject"
+	"teledrive/internal/metrics"
+	"teledrive/internal/questionnaire"
+	"teledrive/internal/rds"
+)
+
+func TestWriteTableI(t *testing.T) {
+	var buf bytes.Buffer
+	WriteTableI(&buf, rds.PaperStation())
+	out := buf.String()
+	for _, want := range []string{"TABLE I", "Logitech G27", "Ubuntu 18.04", "RTX 3080"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteTableII(t *testing.T) {
+	tbl := campaign.TableII{
+		Rows: []campaign.TableIIRow{
+			{Subject: "T1", Counts: map[faultinject.Condition]int{
+				faultinject.CondDelay5: 3, faultinject.CondDelay25: 1,
+				faultinject.CondDelay50: 2, faultinject.CondLoss2: 3, faultinject.CondLoss5: 1,
+			}, Total: 10},
+		},
+		Totals: map[faultinject.Condition]int{faultinject.CondDelay5: 3},
+		Total:  10,
+	}
+	var buf bytes.Buffer
+	WriteTableII(&buf, tbl)
+	out := buf.String()
+	if !strings.Contains(out, "T1") || !strings.Contains(out, "10") {
+		t.Fatalf("Table II:\n%s", out)
+	}
+	if !strings.Contains(out, "Total") {
+		t.Fatal("Table II missing totals row")
+	}
+}
+
+func TestWriteTableIIIMasksMissing(t *testing.T) {
+	tbl := campaign.TableIII{
+		Rows: []campaign.TableIIIRow{
+			{Subject: "T1", Cells: map[string]campaign.TTCCell{}, Missing: true},
+			{Subject: "T5", Cells: map[string]campaign.TTCCell{
+				"NFI": {Valid: true, Res: metrics.TTCResult{Valid: true, Min: 2.64, Avg: 13.31, Max: 68.77}},
+			}},
+		},
+	}
+	var buf bytes.Buffer
+	WriteTableIII(&buf, tbl)
+	out := buf.String()
+	if strings.Contains(out, "T1") {
+		t.Fatal("masked subject T1 printed (lead velocity was not recorded)")
+	}
+	if !strings.Contains(out, "T5") || !strings.Contains(out, "68.77") {
+		t.Fatalf("Table III:\n%s", out)
+	}
+	// Unfilled conditions render as "-".
+	if !strings.Contains(out, "-") {
+		t.Fatal("Table III missing '-' cells")
+	}
+}
+
+func TestWriteTableIVMasking(t *testing.T) {
+	tbl := campaign.TableIV{
+		Rows: []campaign.TableIVRow{
+			{
+				Subject: "T8",
+				NFI:     campaign.SRRCell{Present: true, Rate: 3.4},
+				// Faulty-run recording lost (§VI-A) → "x" cells.
+				MissingFaulty: true,
+				PerCondition:  map[string]campaign.SRRCell{},
+			},
+			{
+				Subject: "T5",
+				NFI:     campaign.SRRCell{Present: true, Rate: 4.2},
+				FI:      campaign.SRRCell{Present: true, Rate: 5.2},
+				PerCondition: map[string]campaign.SRRCell{
+					"5ms": {Present: true, Rate: 2.1},
+				},
+				Avg: campaign.SRRCell{Present: true, Rate: 8.26},
+			},
+		},
+		ColumnAvg: map[string]float64{"NFI": 3.8, "5ms": 2.1},
+	}
+	var buf bytes.Buffer
+	WriteTableIV(&buf, tbl)
+	out := buf.String()
+	if !strings.Contains(out, "x") {
+		t.Fatalf("Table IV missing 'x' masking:\n%s", out)
+	}
+	if !strings.Contains(out, "3.4") || !strings.Contains(out, "8.3") {
+		t.Fatalf("Table IV values missing:\n%s", out)
+	}
+}
+
+func TestWriteCollisionAnalysis(t *testing.T) {
+	var buf bytes.Buffer
+	WriteCollisionAnalysis(&buf, campaign.CollisionAnalysis{
+		SubjectsAnalysed: 11, GoldenCollided: 2, FaultyCollided: 8,
+		CrashConditions:       []string{"50ms", "5%"},
+		CrashCountByCondition: map[string]int{"50ms": 3, "5%": 5},
+	})
+	out := buf.String()
+	for _, want := range []string{"2 of 11", "8 of 11", "50ms, 5%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("collision analysis missing %q:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	WriteCollisionAnalysis(&buf, campaign.CollisionAnalysis{SubjectsAnalysed: 11})
+	if !strings.Contains(buf.String(), "no fault condition") {
+		t.Fatal("empty analysis should say so")
+	}
+}
+
+func TestWriteQuestionnaire(t *testing.T) {
+	var buf bytes.Buffer
+	WriteQuestionnaire(&buf, questionnaire.Summary{Subjects: 11, Gaming: 10, QoEMean: 2.81, QoEMin: 2, QoEMax: 4})
+	out := buf.String()
+	if !strings.Contains(out, "2.81") || !strings.Contains(out, "10 of 11") {
+		t.Fatalf("questionnaire:\n%s", out)
+	}
+}
+
+func TestWriteFig4(t *testing.T) {
+	mk := func(n int, amp float64) []metrics.Sample {
+		out := make([]metrics.Sample, n)
+		for i := range out {
+			out[i] = metrics.Sample{Time: time.Duration(i) * 20 * time.Millisecond, Value: amp * float64(i%7-3)}
+		}
+		return out
+	}
+	f := campaign.Fig4Data{
+		Subject: "T6", Scenario: "lane-change-slalom",
+		Golden: mk(500, 2), Faulty: mk(700, 5),
+		GoldenTime: 19 * time.Second, GoldenOK: true,
+		FaultyTime: 33 * time.Second, FaultyOK: true,
+	}
+	var buf bytes.Buffer
+	WriteFig4(&buf, f)
+	out := buf.String()
+	if !strings.Contains(out, "19.0s") || !strings.Contains(out, "33.0s") {
+		t.Fatalf("Fig4 missing task times:\n%s", out)
+	}
+	if !strings.Contains(out, "+74%") {
+		t.Fatalf("Fig4 missing percentage:\n%s", out)
+	}
+	if strings.Count(out, "|") < 4 {
+		t.Fatalf("Fig4 missing profiles:\n%s", out)
+	}
+}
+
+func TestWriteFig4Empty(t *testing.T) {
+	var buf bytes.Buffer
+	WriteFig4(&buf, campaign.Fig4Data{Subject: "T1", Scenario: "x"})
+	if !strings.Contains(buf.String(), "no data") {
+		t.Fatal("empty Fig4 should degrade gracefully")
+	}
+}

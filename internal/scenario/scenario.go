@@ -1,0 +1,180 @@
+// Package scenario defines the driving scenarios of the paper's §V-B —
+// following a vehicle, lane change around stationary vehicles (slalom),
+// and overtaking — on the Town 5 analogue map, plus the free-drive
+// training town of §V-E1. Scenarios also carry the "points of interest"
+// where the campaign injects faults (§V-C: "points of interest while
+// following a vehicle, and when performing lane change operations").
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"teledrive/internal/driver"
+	"teledrive/internal/geom"
+	"teledrive/internal/vehicle"
+	"teledrive/internal/world"
+)
+
+// POI is a route interval where a fault may be injected: the fault is
+// added when the ego's route station enters [From, To) and deleted when
+// it leaves.
+type POI struct {
+	Label string
+	From  float64
+	To    float64
+	// Weight biases the campaign's fault-placement lottery toward this
+	// POI (default 1). The paper injected faults at "situations of
+	// interest"; stop-and-go events are the canonical ones in a
+	// car-following test and carry a higher weight.
+	Weight int
+}
+
+// ActorSpec declares one scripted road user.
+type ActorSpec struct {
+	Kind         world.ActorKind
+	Name         string
+	Extent       geom.Vec2
+	LaneID       string // rail path = that lane's centerline
+	StartStation float64
+	Profile      []world.ProfilePoint
+	Stops        []world.Stop
+	MaxAccel     float64
+	// MaxDecel, when positive, lets the actor brake harder than it
+	// accelerates (emergency-stop events).
+	MaxDecel float64
+	Loop     bool
+}
+
+// Scenario is a complete test-scenario definition.
+type Scenario struct {
+	Name string
+	// MapBuilder constructs a fresh map (worlds are not shared between
+	// runs).
+	MapBuilder func() *world.RoadMap
+	// RouteOffsets define the drivable route over the map reference
+	// line; lane changes are encoded here.
+	RouteOffsets []world.OffsetSegment
+	BlendLen     float64
+	LaneWidth    float64
+
+	EgoStartStation float64
+	// EgoSpec overrides the default sedan ego plant (the model-vehicle
+	// experiments drive a scaled RC car).
+	EgoSpec   *vehicle.Spec
+	SpeedPlan []driver.SpeedInstruction
+	StopAtEnd bool
+	// EndStation ends the run when the ego's route station passes it.
+	EndStation float64
+	// Timeout aborts a stuck run.
+	Timeout time.Duration
+	// Weather is the meta-condition ("clear-day", "night").
+	Weather string
+
+	Actors []ActorSpec
+	POIs   []POI
+	// TaskSegment is the [from, to] station pair timed for Fig 4.
+	TaskSegment [2]float64
+	// PrecisionZones are passed to the driver task (see driver.Task).
+	PrecisionZones [][2]float64
+}
+
+// Validate reports structural errors.
+func (s *Scenario) Validate() error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("scenario: missing name")
+	case s.MapBuilder == nil:
+		return fmt.Errorf("scenario %s: missing map builder", s.Name)
+	case len(s.RouteOffsets) == 0:
+		return fmt.Errorf("scenario %s: missing route offsets", s.Name)
+	case s.LaneWidth <= 0:
+		return fmt.Errorf("scenario %s: lane width %v", s.Name, s.LaneWidth)
+	case s.EndStation <= s.EgoStartStation:
+		return fmt.Errorf("scenario %s: end station %v not past start %v", s.Name, s.EndStation, s.EgoStartStation)
+	case s.Timeout <= 0:
+		return fmt.Errorf("scenario %s: missing timeout", s.Name)
+	}
+	for i, p := range s.POIs {
+		if p.To <= p.From {
+			return fmt.Errorf("scenario %s: POI %d has empty interval", s.Name, i)
+		}
+	}
+	return nil
+}
+
+// Built is an instantiated scenario: a fresh world with all actors
+// spawned and the driver task prepared.
+type Built struct {
+	World *world.World
+	Ego   *world.Actor
+	Route *geom.Path
+	Task  driver.Task
+}
+
+// Build instantiates the scenario into a fresh world.
+func (s *Scenario) Build() (*Built, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	m := s.MapBuilder()
+	route, err := world.BlendedRoute(m.Reference, s.RouteOffsets, s.BlendLen)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: route: %w", s.Name, err)
+	}
+	w := world.New(m)
+	egoSpec := vehicle.Sedan()
+	if s.EgoSpec != nil {
+		egoSpec = *s.EgoSpec
+	}
+	ego, err := w.SpawnEgo(egoSpec, route.PoseAt(s.EgoStartStation))
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	for _, spec := range s.Actors {
+		lane, ok := m.LaneByID(spec.LaneID)
+		if !ok {
+			return nil, fmt.Errorf("scenario %s: actor %s references unknown lane %q", s.Name, spec.Name, spec.LaneID)
+		}
+		maxAccel := spec.MaxAccel
+		if maxAccel <= 0 {
+			maxAccel = 2
+		}
+		rail, err := world.NewRail(lane.Center, spec.StartStation, spec.Profile, maxAccel)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: actor %s: %w", s.Name, spec.Name, err)
+		}
+		rail.SetLoop(spec.Loop)
+		rail.SetMaxDecel(spec.MaxDecel)
+		if len(spec.Stops) > 0 {
+			rail.SetStops(spec.Stops)
+		}
+		if _, err := w.SpawnScripted(spec.Kind, spec.Name, spec.Extent, rail); err != nil {
+			return nil, fmt.Errorf("scenario %s: actor %s: %w", s.Name, spec.Name, err)
+		}
+	}
+	return &Built{
+		World: w,
+		Ego:   ego,
+		Route: route,
+		Task: driver.Task{
+			Route:          route,
+			LaneWidth:      s.LaneWidth,
+			SpeedPlan:      s.SpeedPlan,
+			StopAtEnd:      s.StopAtEnd,
+			PrecisionZones: s.PrecisionZones,
+		},
+	}, nil
+}
+
+// sedanExtent is the bounding box of the standard traffic sedan.
+func sedanExtent() geom.Vec2 {
+	spec := vehicle.Sedan()
+	return geom.V(spec.Length, spec.Width)
+}
+
+// cyclistExtent is the bounding box of the cyclist actor.
+func cyclistExtent() geom.Vec2 {
+	spec := vehicle.Bicycle()
+	return geom.V(spec.Length, spec.Width)
+}

@@ -1,0 +1,35 @@
+package sensors
+
+import (
+	"testing"
+
+	"teledrive/internal/geom"
+	"teledrive/internal/world"
+)
+
+// FuzzUnmarshalWorldView asserts the world-view decoder never panics on
+// arbitrary input — frames that survived the transport CRC could still
+// be hostile in a real deployment.
+func FuzzUnmarshalWorldView(f *testing.F) {
+	good := MarshalWorldView(WorldView{
+		Frame: 3, Ego: ActorView{ID: 1, Kind: world.KindEgo, Pose: geom.Pose{Pos: geom.V(1, 2)}},
+		Others: []ActorView{{ID: 2, Kind: world.KindCar}},
+	})
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add(good[:len(good)-3])
+	withVideo := MarshalWorldView(WorldView{Ego: ActorView{ID: 1}, VideoFill: 64})
+	f.Add(withVideo)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := UnmarshalWorldView(data)
+		if err != nil {
+			return
+		}
+		// Accepted views must re-marshal to the identical bytes.
+		re := MarshalWorldView(v)
+		if len(re) != len(data) {
+			t.Fatalf("re-marshal length %d != input %d", len(re), len(data))
+		}
+	})
+}

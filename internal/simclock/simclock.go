@@ -1,0 +1,200 @@
+// Package simclock provides a deterministic simulated clock with a
+// discrete-event timer queue.
+//
+// Every component of the test bench — physics, sensors, the network link
+// emulator, transports, and the driver model — is driven from a single
+// Clock so that a campaign run is a pure function of its configuration and
+// seed. Wall-clock time never enters the simulation.
+//
+// Simulated time is represented as time.Duration elapsed since the start
+// of the simulation (t = 0). There is no epoch; absolute dates are
+// meaningless inside a run.
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Clock is a deterministic simulated clock. The zero value is ready to
+// use and reads 0 simulated time.
+//
+// Clock is not safe for concurrent use; the simulation is single-threaded
+// by design (determinism requirement, see DESIGN.md §6).
+type Clock struct {
+	now   time.Duration
+	queue timerQueue
+	seq   uint64
+}
+
+// New returns a Clock starting at simulated time 0.
+func New() *Clock {
+	return &Clock{}
+}
+
+// Now returns the current simulated time.
+func (c *Clock) Now() time.Duration {
+	return c.now
+}
+
+// Timer is a handle for a scheduled callback. It is returned by Schedule
+// and ScheduleAt and can be used to cancel the callback before it fires.
+type Timer struct {
+	at      time.Duration
+	seq     uint64
+	fn      func(now time.Duration)
+	index   int // heap index; -1 once fired or cancelled
+	stopped bool
+}
+
+// At returns the simulated time the timer is scheduled to fire.
+func (t *Timer) At() time.Duration {
+	return t.at
+}
+
+// Stopped reports whether the timer has been cancelled or has fired.
+func (t *Timer) Stopped() bool {
+	return t.stopped || t.index < 0
+}
+
+// Schedule registers fn to run after d has elapsed from the current
+// simulated time. A non-positive d schedules the callback at the current
+// time; it still fires only on the next Advance/AdvanceTo/Step call, never
+// synchronously. Callbacks scheduled for the same instant fire in
+// scheduling order.
+func (c *Clock) Schedule(d time.Duration, fn func(now time.Duration)) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return c.ScheduleAt(c.now+d, fn)
+}
+
+// ScheduleAt registers fn to run at absolute simulated time at. If at is
+// in the past it is clamped to the current time.
+func (c *Clock) ScheduleAt(at time.Duration, fn func(now time.Duration)) *Timer {
+	if fn == nil {
+		panic("simclock: ScheduleAt with nil callback")
+	}
+	if at < c.now {
+		at = c.now
+	}
+	t := &Timer{at: at, seq: c.seq, fn: fn}
+	c.seq++
+	heap.Push(&c.queue, t)
+	return t
+}
+
+// Cancel removes the timer from the queue. Cancelling an already-fired or
+// already-cancelled timer is a no-op. It reports whether the timer was
+// pending.
+func (c *Clock) Cancel(t *Timer) bool {
+	if t == nil || t.index < 0 {
+		return false
+	}
+	heap.Remove(&c.queue, t.index)
+	t.stopped = true
+	return true
+}
+
+// PendingTimers returns the number of timers waiting to fire.
+func (c *Clock) PendingTimers() int {
+	return c.queue.Len()
+}
+
+// NextAt returns the firing time of the earliest pending timer. The second
+// return value is false when no timers are pending.
+func (c *Clock) NextAt() (time.Duration, bool) {
+	if c.queue.Len() == 0 {
+		return 0, false
+	}
+	return c.queue[0].at, true
+}
+
+// Advance moves simulated time forward by d, firing all timers scheduled
+// in (now, now+d] in timestamp order. Callbacks may schedule further
+// timers; those are fired too if they fall within the window. Advance
+// panics if d is negative.
+func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("simclock: Advance(%v) with negative duration", d))
+	}
+	c.AdvanceTo(c.now + d)
+}
+
+// AdvanceTo moves simulated time forward to t, firing all timers scheduled
+// at or before t in timestamp order. AdvanceTo panics if t is in the past.
+func (c *Clock) AdvanceTo(t time.Duration) {
+	if t < c.now {
+		panic(fmt.Sprintf("simclock: AdvanceTo(%v) before current time %v", t, c.now))
+	}
+	for c.queue.Len() > 0 && c.queue[0].at <= t {
+		tm := heap.Pop(&c.queue).(*Timer)
+		c.now = tm.at
+		tm.stopped = true
+		tm.fn(c.now)
+	}
+	c.now = t
+}
+
+// Step fires the earliest pending timer, advancing simulated time to its
+// deadline. It reports whether a timer fired; when no timers are pending
+// the clock is unchanged and Step returns false.
+func (c *Clock) Step() bool {
+	if c.queue.Len() == 0 {
+		return false
+	}
+	tm := heap.Pop(&c.queue).(*Timer)
+	c.now = tm.at
+	tm.stopped = true
+	tm.fn(c.now)
+	return true
+}
+
+// Run fires pending timers until none remain or the limit is reached.
+// It returns the number of timers fired. A limit of 0 means no limit.
+// Run guards against runaway self-rescheduling loops in tests.
+func (c *Clock) Run(limit int) int {
+	fired := 0
+	for c.Step() {
+		fired++
+		if limit > 0 && fired >= limit {
+			break
+		}
+	}
+	return fired
+}
+
+// timerQueue is a min-heap ordered by (at, seq).
+type timerQueue []*Timer
+
+func (q timerQueue) Len() int { return len(q) }
+
+func (q timerQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q timerQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *timerQueue) Push(x any) {
+	t := x.(*Timer)
+	t.index = len(*q)
+	*q = append(*q, t)
+}
+
+func (q *timerQueue) Pop() any {
+	old := *q
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*q = old[:n-1]
+	return t
+}

@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+)
+
+// WriteJSON serializes a run log.
+func WriteJSON(w io.Writer, log *RunLog) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(log); err != nil {
+		return fmt.Errorf("trace: encode run log: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON parses a run log written by WriteJSON.
+func ReadJSON(r io.Reader) (*RunLog, error) {
+	var log RunLog
+	if err := json.NewDecoder(r).Decode(&log); err != nil {
+		return nil, fmt.Errorf("trace: decode run log: %w", err)
+	}
+	return &log, nil
+}
+
+// SaveJSONFile writes the run log to path, creating directories.
+func SaveJSONFile(path string, log *RunLog) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("trace: mkdir: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: create %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := WriteJSON(f, log); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadJSONFile reads a run log from path.
+func LoadJSONFile(path string) (*RunLog, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}
+
+// ExportCSV writes the run log as a directory of CSV files (ego.csv,
+// others.csv, collisions.csv, lane_invasions.csv, faults.csv), the
+// format the paper's offline analysis consumed.
+func ExportCSV(dir string, log *RunLog) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("trace: mkdir %s: %w", dir, err)
+	}
+	if err := writeCSV(filepath.Join(dir, "ego.csv"),
+		[]string{"time_s", "frame", "x", "y", "z", "vx", "vy", "vz", "ax", "ay", "az", "station", "speed", "throttle", "steer", "brake"},
+		len(log.Ego), func(i int) []string {
+			e := log.Ego[i]
+			return []string{
+				secs(e.Time), strconv.FormatUint(e.Frame, 10),
+				f(e.X), f(e.Y), f(e.Z), f(e.Vx), f(e.Vy), f(e.Vz),
+				f(e.Ax), f(e.Ay), f(e.Az), f(e.Station), f(e.Speed),
+				f(e.Throttle), f(e.Steer), f(e.Brake),
+			}
+		}); err != nil {
+		return err
+	}
+	if err := writeCSV(filepath.Join(dir, "others.csv"),
+		[]string{"actor", "time_s", "frame", "distance", "x", "y", "z", "vx", "vy", "vz", "station", "speed"},
+		len(log.Others), func(i int) []string {
+			o := log.Others[i]
+			return []string{
+				strconv.Itoa(int(o.Actor)), secs(o.Time), strconv.FormatUint(o.Frame, 10),
+				f(o.Distance), f(o.X), f(o.Y), f(o.Z), f(o.Vx), f(o.Vy), f(o.Vz),
+				f(o.Station), f(o.Speed),
+			}
+		}); err != nil {
+		return err
+	}
+	if err := writeCSV(filepath.Join(dir, "collisions.csv"),
+		[]string{"time_s", "frame", "actor", "other", "speed_a", "speed_b", "label"},
+		len(log.Collisions), func(i int) []string {
+			c := log.Collisions[i]
+			return []string{
+				secs(c.Time), strconv.FormatUint(c.Frame, 10),
+				strconv.Itoa(int(c.Actor)), strconv.Itoa(int(c.Other)),
+				f(c.SpeedA), f(c.SpeedB), c.Label,
+			}
+		}); err != nil {
+		return err
+	}
+	if err := writeCSV(filepath.Join(dir, "lane_invasions.csv"),
+		[]string{"time_s", "frame", "actor", "kind", "lane_id", "lateral", "label"},
+		len(log.LaneInvasions), func(i int) []string {
+			l := log.LaneInvasions[i]
+			return []string{
+				secs(l.Time), strconv.FormatUint(l.Frame, 10),
+				strconv.Itoa(int(l.Actor)), l.Kind, l.LaneID, f(l.Lateral), l.Label,
+			}
+		}); err != nil {
+		return err
+	}
+	return writeCSV(filepath.Join(dir, "faults.csv"),
+		[]string{"time_s", "link", "action", "desc", "label"},
+		len(log.Faults), func(i int) []string {
+			fr := log.Faults[i]
+			return []string{secs(fr.Time), fr.Link, fr.Action, fr.Desc, fr.Label}
+		})
+}
+
+func writeCSV(path string, header []string, n int, row func(int) []string) error {
+	file, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: create %s: %w", path, err)
+	}
+	defer file.Close()
+	w := csv.NewWriter(file)
+	if err := w.Write(header); err != nil {
+		return fmt.Errorf("trace: write %s: %w", path, err)
+	}
+	for i := 0; i < n; i++ {
+		if err := w.Write(row(i)); err != nil {
+			return fmt.Errorf("trace: write %s: %w", path, err)
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return fmt.Errorf("trace: flush %s: %w", path, err)
+	}
+	return file.Close()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', 9, 64) }
+
+func secs(d time.Duration) string {
+	return strconv.FormatFloat(d.Seconds(), 'f', 3, 64)
+}

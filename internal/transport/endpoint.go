@@ -1,0 +1,631 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"teledrive/internal/netem"
+	"teledrive/internal/simclock"
+)
+
+// Default timer bounds. RTOMin matches Linux TCP's 200 ms floor — the
+// constant responsible for the "video freezes then jumps" experience the
+// paper reports at 5 % packet loss.
+const (
+	DefaultRTOMin = 200 * time.Millisecond
+	DefaultRTOMax = 3 * time.Second
+	// DefaultWindow is the maximum number of unacknowledged fragments
+	// (MTU-sized packets), ≈ a 700 KiB socket buffer. When the window is
+	// full, Send fails and the application decides what to drop (the
+	// bridge drops stale video frames, like a saturated encoder queue).
+	DefaultWindow = 512
+)
+
+// ErrWindowFull is returned by Send when the reliable channel has too
+// many unacknowledged messages in flight.
+var ErrWindowFull = errors.New("transport: send window full")
+
+// MTU is the maximum fragment payload carried in one network packet.
+// Messages larger than this are fragmented — exactly why a video frame
+// of tens of kilobytes suffers far more from p% packet loss than p% of
+// frames: with n fragments per frame, the chance a frame needs at least
+// one retransmission is 1−(1−p)ⁿ.
+const MTU = 1400
+
+// fragment header: flags(1) msgID(4) fragIdx(2) fragCount(2).
+const (
+	fragHeaderLen = 9
+	fragFlagLast  = 1 << 0
+)
+
+// Stats counts endpoint activity.
+type Stats struct {
+	MsgsSent       uint64
+	FragmentsSent  uint64 // MTU-sized packets produced by fragmentation
+	MsgsDelivered  uint64 // in-order deliveries to the application
+	Retransmits    uint64
+	CorruptDropped uint64 // frames that failed CRC/decoding
+	DuplicateDrops uint64 // already-delivered data frames
+	OutOfOrderHeld uint64 // frames buffered waiting for a gap to fill
+	AcksSent       uint64
+	AcksReceived   uint64
+	WindowRejects  uint64 // Send calls rejected by a full window
+	DatagramsStale uint64 // datagrams that arrived older than one already delivered
+	SRTT           time.Duration
+	RTO            time.Duration
+}
+
+// Handler consumes application messages delivered by an endpoint. seq is
+// the sender's message sequence; latency is the end-to-end message
+// latency including retransmission and head-of-line blocking time.
+type Handler func(payload []byte, seq uint64, latency time.Duration)
+
+// Options configures an Endpoint.
+type Options struct {
+	// Name appears in error messages ("vehicle", "station").
+	Name string
+	// Reliable selects the mini-TCP mode (true, default via NewReliable)
+	// or fire-and-forget datagrams (false, via NewDatagram).
+	Reliable bool
+	// Window overrides DefaultWindow. Only meaningful when Reliable.
+	Window int
+	// RTOMin/RTOMax override the retransmission-timeout bounds.
+	RTOMin, RTOMax time.Duration
+	// Congestion enables Reno-style congestion control (slow start,
+	// AIMD, multiplicative decrease on loss). Off by default: the
+	// paper's loopback link has effectively unlimited bandwidth, so the
+	// calibrated experiments run with a fixed window; enable this to
+	// study throughput collapse under loss (BenchmarkAblationCongestion).
+	Congestion bool
+}
+
+func (o *Options) fillDefaults() {
+	if o.Window <= 0 {
+		o.Window = DefaultWindow
+	}
+	if o.RTOMin <= 0 {
+		o.RTOMin = DefaultRTOMin
+	}
+	if o.RTOMax <= 0 {
+		o.RTOMax = DefaultRTOMax
+	}
+	if o.Name == "" {
+		o.Name = "endpoint"
+	}
+}
+
+// Endpoint is one side of a message channel. Create a connected pair
+// with Connect, or wire endpoints to links manually with AttachLink +
+// HandlePacket. Endpoint is not safe for concurrent use; it is driven by
+// the single-threaded simulation loop.
+type Endpoint struct {
+	opts    Options
+	clock   *simclock.Clock
+	out     *netem.Link
+	handler Handler
+	stats   Stats
+
+	// Sender state.
+	nextSeq  uint64
+	unacked  []*segment // ordered by seq
+	rtxTimer *simclock.Timer
+	srtt     time.Duration
+	rttvar   time.Duration
+	rto      time.Duration
+	backoff  uint
+	lastAck  uint64
+	dupAcks  int
+	cwnd     float64 // congestion window in fragments (Congestion mode)
+	ssthresh float64
+
+	// Receiver state.
+	nextExpected uint64             // next in-order seq to deliver (reliable)
+	held         map[uint64]heldMsg // out-of-order buffer
+	lastDatagram uint64             // newest datagram msgID delivered
+
+	// Sender-side message numbering (one message = one or more
+	// fragments).
+	nextMsgID uint32
+	// Reassembly of fragmented messages, keyed by msgID.
+	partials map[uint32]*partialMsg
+}
+
+type partialMsg struct {
+	chunks  [][]byte
+	have    int
+	firstTS time.Duration
+}
+
+type segment struct {
+	seq     uint64
+	payload []byte
+	sentAt  time.Duration
+	rtx     bool // retransmitted at least once (Karn's rule)
+}
+
+type heldMsg struct {
+	payload []byte
+	sentAt  time.Duration
+}
+
+// NewEndpoint creates an endpoint. The handler receives delivered
+// messages; it must be non-nil. Call AttachLink before Send.
+func NewEndpoint(clock *simclock.Clock, opts Options, handler Handler) *Endpoint {
+	if clock == nil || handler == nil {
+		panic("transport: NewEndpoint requires a clock and a handler")
+	}
+	opts.fillDefaults()
+	return &Endpoint{
+		opts:         opts,
+		clock:        clock,
+		handler:      handler,
+		nextSeq:      1,
+		nextExpected: 1,
+		held:         make(map[uint64]heldMsg),
+		partials:     make(map[uint32]*partialMsg),
+		rto:          opts.RTOMin,
+		cwnd:         10, // RFC 6928 initial window
+		ssthresh:     float64(opts.Window),
+	}
+}
+
+// sendWindow returns the current effective send window in fragments.
+func (e *Endpoint) sendWindow() int {
+	if !e.opts.Congestion {
+		return e.opts.Window
+	}
+	w := int(e.cwnd)
+	if w < 1 {
+		w = 1
+	}
+	if w > e.opts.Window {
+		w = e.opts.Window
+	}
+	return w
+}
+
+// Cwnd returns the congestion window in fragments (meaningful only in
+// Congestion mode).
+func (e *Endpoint) Cwnd() float64 { return e.cwnd }
+
+// fragmentize splits a message into MTU-sized chunks, each prefixed with
+// the fragment header: flags(1) msgID(4) fragIdx(2) fragCount(2).
+func fragmentize(msgID uint32, payload []byte) [][]byte {
+	n := (len(payload) + MTU - 1) / MTU
+	if n == 0 {
+		n = 1
+	}
+	out := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		lo := i * MTU
+		hi := lo + MTU
+		if hi > len(payload) {
+			hi = len(payload)
+		}
+		chunk := payload[lo:hi]
+		buf := make([]byte, fragHeaderLen+len(chunk))
+		if i == n-1 {
+			buf[0] = fragFlagLast
+		}
+		buf[1] = byte(msgID >> 24)
+		buf[2] = byte(msgID >> 16)
+		buf[3] = byte(msgID >> 8)
+		buf[4] = byte(msgID)
+		buf[5] = byte(i >> 8)
+		buf[6] = byte(i)
+		buf[7] = byte(n >> 8)
+		buf[8] = byte(n)
+		copy(buf[fragHeaderLen:], chunk)
+		out = append(out, buf)
+	}
+	return out
+}
+
+// parseFragment splits a fragment header off a wire payload.
+func parseFragment(buf []byte) (msgID uint32, idx, count int, chunk []byte, ok bool) {
+	if len(buf) < fragHeaderLen {
+		return 0, 0, 0, nil, false
+	}
+	msgID = uint32(buf[1])<<24 | uint32(buf[2])<<16 | uint32(buf[3])<<8 | uint32(buf[4])
+	idx = int(buf[5])<<8 | int(buf[6])
+	count = int(buf[7])<<8 | int(buf[8])
+	if count == 0 || idx >= count {
+		return 0, 0, 0, nil, false
+	}
+	return msgID, idx, count, buf[fragHeaderLen:], true
+}
+
+// AttachLink sets the egress link toward the peer.
+func (e *Endpoint) AttachLink(out *netem.Link) { e.out = out }
+
+// Stats returns a snapshot of the endpoint counters, including the
+// current RTT estimate.
+func (e *Endpoint) Stats() Stats {
+	s := e.stats
+	s.SRTT = e.srtt
+	s.RTO = e.rto
+	return s
+}
+
+// InFlight returns the number of unacknowledged messages.
+func (e *Endpoint) InFlight() int { return len(e.unacked) }
+
+// Send transmits one application message to the peer, fragmenting it
+// into MTU-sized packets. In reliable mode it returns ErrWindowFull when
+// the message's fragments do not fit in the unacknowledged window; in
+// datagram mode it never fails (fragments may silently be lost, losing
+// the whole message).
+func (e *Endpoint) Send(payload []byte) error {
+	if e.out == nil {
+		return fmt.Errorf("transport: %s: no link attached", e.opts.Name)
+	}
+	if len(payload) > MaxPayload {
+		return fmt.Errorf("%w: %d bytes", ErrPayloadTooBig, len(payload))
+	}
+	now := e.clock.Now()
+	e.nextMsgID++
+	frags := fragmentize(e.nextMsgID, payload)
+
+	if !e.opts.Reliable {
+		for _, frag := range frags {
+			buf, err := EncodeFrame(Frame{Type: FrameDatagram, Seq: e.nextSeq, Timestamp: now, Payload: frag})
+			if err != nil {
+				return err
+			}
+			e.nextSeq++
+			e.stats.FragmentsSent++
+			e.out.Send(buf)
+		}
+		e.stats.MsgsSent++
+		return nil
+	}
+
+	// Window admission. In fixed-window mode the whole message must
+	// fit. In congestion mode a message may overshoot the window once
+	// the pipe has room (messages are atomic here, unlike TCP's byte
+	// stream, so a frame larger than cwnd must still be sendable).
+	if e.opts.Congestion {
+		if len(e.unacked) >= e.sendWindow() {
+			e.stats.WindowRejects++
+			return fmt.Errorf("%w (%s: %d in flight, cwnd %d)", ErrWindowFull, e.opts.Name, len(e.unacked), e.sendWindow())
+		}
+	} else if len(e.unacked)+len(frags) > e.opts.Window {
+		e.stats.WindowRejects++
+		return fmt.Errorf("%w (%s: %d in flight, %d new, window %d)", ErrWindowFull, e.opts.Name, len(e.unacked), len(frags), e.opts.Window)
+	}
+	for _, frag := range frags {
+		seg := &segment{seq: e.nextSeq, payload: frag, sentAt: now}
+		e.nextSeq++
+		e.unacked = append(e.unacked, seg)
+		e.stats.FragmentsSent++
+		e.transmit(seg, now)
+	}
+	e.stats.MsgsSent++
+	if e.rtxTimer == nil || e.rtxTimer.Stopped() {
+		e.armTimer()
+	}
+	return nil
+}
+
+func (e *Endpoint) transmit(seg *segment, now time.Duration) {
+	buf, err := EncodeFrame(Frame{Type: FrameData, Seq: seg.seq, Timestamp: now, Payload: seg.payload})
+	if err != nil {
+		// Payload size is validated once at Send time; failure here is a
+		// programming error worth surfacing loudly in simulation.
+		panic(fmt.Sprintf("transport: %s: encode: %v", e.opts.Name, err))
+	}
+	e.out.Send(buf)
+}
+
+// HandlePacket is the netem receiver for the endpoint's ingress link:
+// wire it as the peer link's delivery callback.
+func (e *Endpoint) HandlePacket(pkt netem.Packet) {
+	f, err := DecodeFrame(pkt.Payload)
+	if err != nil {
+		// Corrupt frames are indistinguishable from loss, as on a real
+		// NIC that drops bad-checksum packets.
+		e.stats.CorruptDropped++
+		return
+	}
+	switch f.Type {
+	case FrameAck:
+		e.handleAck(f)
+	case FrameData:
+		e.handleData(f)
+	case FrameDatagram:
+		e.handleDatagram(f)
+	default:
+		e.stats.CorruptDropped++
+	}
+}
+
+func (e *Endpoint) handleData(f Frame) {
+	now := e.clock.Now()
+	switch {
+	case f.Seq < e.nextExpected:
+		e.stats.DuplicateDrops++
+	case f.Seq == e.nextExpected:
+		e.acceptFragment(f.Payload, f.Timestamp, now)
+		e.nextExpected++
+		// Flush any consecutive held fragments.
+		for {
+			h, ok := e.held[e.nextExpected]
+			if !ok {
+				break
+			}
+			delete(e.held, e.nextExpected)
+			e.acceptFragment(h.payload, h.sentAt, now)
+			e.nextExpected++
+		}
+	default: // gap: hold until the missing segment arrives
+		if _, dup := e.held[f.Seq]; !dup {
+			e.held[f.Seq] = heldMsg{payload: cloneBytes(f.Payload), sentAt: f.Timestamp}
+			e.stats.OutOfOrderHeld++
+		} else {
+			e.stats.DuplicateDrops++
+		}
+	}
+	e.sendAck()
+}
+
+func (e *Endpoint) handleDatagram(f Frame) {
+	e.acceptFragment(f.Payload, f.Timestamp, e.clock.Now())
+}
+
+// acceptFragment feeds one received fragment into the reassembler and
+// delivers the message once every fragment is present. The delivered
+// latency spans from the earliest fragment's send time — so a frame
+// delayed by a retransmitted fragment carries the whole stall.
+func (e *Endpoint) acceptFragment(buf []byte, ts, now time.Duration) {
+	msgID, idx, count, chunk, ok := parseFragment(buf)
+	if !ok {
+		e.stats.CorruptDropped++
+		return
+	}
+	p := e.partials[msgID]
+	if p == nil {
+		p = &partialMsg{chunks: make([][]byte, count), firstTS: ts}
+		e.partials[msgID] = p
+	}
+	if len(p.chunks) != count {
+		// Inconsistent duplicate with a different count: drop the whole
+		// message rather than deliver garbage.
+		delete(e.partials, msgID)
+		e.stats.CorruptDropped++
+		return
+	}
+	if p.chunks[idx] == nil {
+		p.chunks[idx] = cloneBytes(chunk)
+		p.have++
+	}
+	if ts < p.firstTS {
+		p.firstTS = ts
+	}
+	if p.have < count {
+		return
+	}
+	total := 0
+	for _, c := range p.chunks {
+		total += len(c)
+	}
+	full := make([]byte, 0, total)
+	for _, c := range p.chunks {
+		full = append(full, c...)
+	}
+	delete(e.partials, msgID)
+
+	if !e.opts.Reliable {
+		if msgID <= uint32(e.lastDatagram) && e.lastDatagram != 0 {
+			// Stale datagram message: deliver anyway (the application
+			// sees arrival order) but count it.
+			e.stats.DatagramsStale++
+		} else {
+			e.lastDatagram = uint64(msgID)
+		}
+		// Garbage-collect partials that can no longer complete sensibly.
+		for id := range e.partials {
+			if id+32 < msgID {
+				delete(e.partials, id)
+			}
+		}
+	}
+	e.deliver(full, uint64(msgID), now-p.firstTS)
+}
+
+func (e *Endpoint) deliver(payload []byte, seq uint64, latency time.Duration) {
+	e.stats.MsgsDelivered++
+	e.handler(payload, seq, latency)
+}
+
+func (e *Endpoint) sendAck() {
+	// Cumulative ACK: everything below nextExpected has been delivered.
+	buf, err := EncodeFrame(Frame{Type: FrameAck, Seq: e.nextExpected - 1, Timestamp: e.clock.Now()})
+	if err != nil {
+		panic(fmt.Sprintf("transport: %s: encode ack: %v", e.opts.Name, err))
+	}
+	e.stats.AcksSent++
+	e.out.Send(buf)
+}
+
+func (e *Endpoint) handleAck(f Frame) {
+	e.stats.AcksReceived++
+	acked := f.Seq
+	now := e.clock.Now()
+	n := 0
+	var sample *segment
+	hadRtx := false
+	for _, seg := range e.unacked {
+		if seg.seq > acked {
+			e.unacked[n] = seg
+			n++
+			continue
+		}
+		if seg.rtx {
+			hadRtx = true
+		}
+		sample = seg
+	}
+	// RTT sampling: Karn's algorithm, extended to cumulative ACKs — a
+	// run that includes any retransmitted segment yields no sample,
+	// because the older segments in it were acknowledged late due to
+	// head-of-line blocking, not network delay. Otherwise sample the
+	// highest (most recently sent) segment.
+	if sample != nil && !hadRtx {
+		e.updateRTT(now - sample.sentAt)
+	}
+	if n < len(e.unacked) {
+		newlyAcked := len(e.unacked) - n
+		clear(e.unacked[n:])
+		e.unacked = e.unacked[:n]
+		e.backoff = 0
+		e.dupAcks = 0
+		e.lastAck = acked
+		if e.opts.Congestion {
+			// Reno growth: exponential in slow start, additive after.
+			for i := 0; i < newlyAcked; i++ {
+				if e.cwnd < e.ssthresh {
+					e.cwnd++
+				} else {
+					e.cwnd += 1 / e.cwnd
+				}
+			}
+			if e.cwnd > float64(e.opts.Window) {
+				e.cwnd = float64(e.opts.Window)
+			}
+		}
+		e.rearmTimer()
+		return
+	}
+	// No progress: a duplicate cumulative ACK signals that later segments
+	// arrived past a hole. Three in a row trigger fast retransmit of the
+	// oldest outstanding segment, as in TCP.
+	if acked == e.lastAck && len(e.unacked) > 0 && e.unacked[0].seq == acked+1 {
+		e.dupAcks++
+		if e.dupAcks >= 3 {
+			e.dupAcks = 0
+			seg := e.unacked[0]
+			seg.rtx = true
+			e.stats.Retransmits++
+			e.transmit(seg, seg.sentAt)
+			if e.opts.Congestion {
+				// Fast recovery: multiplicative decrease.
+				e.ssthresh = e.cwnd / 2
+				if e.ssthresh < 2 {
+					e.ssthresh = 2
+				}
+				e.cwnd = e.ssthresh
+			}
+			e.rearmTimer()
+		}
+	} else {
+		e.lastAck = acked
+		e.dupAcks = 0
+	}
+}
+
+func (e *Endpoint) updateRTT(sample time.Duration) {
+	if sample < 0 {
+		return
+	}
+	if e.srtt == 0 {
+		e.srtt = sample
+		e.rttvar = sample / 2
+	} else {
+		diff := e.srtt - sample
+		if diff < 0 {
+			diff = -diff
+		}
+		e.rttvar += (diff - e.rttvar) / 4
+		e.srtt += (sample - e.srtt) / 8
+	}
+	e.rto = clampDur(e.srtt+4*e.rttvar, e.opts.RTOMin, e.opts.RTOMax)
+}
+
+func (e *Endpoint) armTimer() {
+	d := e.rto << e.backoff
+	if d > e.opts.RTOMax {
+		d = e.opts.RTOMax
+	}
+	e.rtxTimer = e.clock.Schedule(d, e.onTimeout)
+}
+
+func (e *Endpoint) rearmTimer() {
+	if e.rtxTimer != nil {
+		e.clock.Cancel(e.rtxTimer)
+		e.rtxTimer = nil
+	}
+	if len(e.unacked) > 0 {
+		e.armTimer()
+	}
+}
+
+func (e *Endpoint) onTimeout(now time.Duration) {
+	if len(e.unacked) == 0 {
+		return
+	}
+	// Go-back-N lite: retransmit the oldest unacked segment and back off.
+	seg := e.unacked[0]
+	seg.rtx = true
+	e.stats.Retransmits++
+	e.transmit(seg, seg.sentAt) // keep original timestamp for latency accounting
+	if e.opts.Congestion {
+		// RTO: collapse to one segment, as Reno does.
+		e.ssthresh = e.cwnd / 2
+		if e.ssthresh < 2 {
+			e.ssthresh = 2
+		}
+		e.cwnd = 1
+	}
+	if e.backoff < 4 {
+		e.backoff++
+	}
+	e.armTimer()
+}
+
+func clampDur(d, lo, hi time.Duration) time.Duration {
+	if d < lo {
+		return lo
+	}
+	if d > hi {
+		return hi
+	}
+	return d
+}
+
+func cloneBytes(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// Conn is a connected pair of endpoints with their two netem links,
+// the standard way to build a vehicle↔station channel.
+type Conn struct {
+	// A and B are the two endpoints (conventionally A = vehicle,
+	// B = station).
+	A, B *Endpoint
+	// Links carries traffic A→B on Down and B→A on Up, so a fault rule
+	// applied to Links hits both the sensor stream and the command
+	// stream, like the paper's loopback injection.
+	Links *netem.Duplex
+}
+
+// Connect builds a reliable (or datagram, per opts.Reliable) duplex
+// channel between two handlers. aHandler receives messages sent by B and
+// vice versa.
+func Connect(clock *simclock.Clock, seed int64, opts Options, aHandler, bHandler Handler) *Conn {
+	optsA, optsB := opts, opts
+	if optsA.Name == "" {
+		optsA.Name, optsB.Name = "A", "B"
+	} else {
+		optsA.Name += "/A"
+		optsB.Name += "/B"
+	}
+	a := NewEndpoint(clock, optsA, aHandler)
+	b := NewEndpoint(clock, optsB, bHandler)
+	links := netem.NewDuplex(clock, seed, b.HandlePacket, a.HandlePacket)
+	a.AttachLink(links.Down)
+	b.AttachLink(links.Up)
+	return &Conn{A: a, B: b, Links: links}
+}

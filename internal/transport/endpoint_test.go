@@ -1,0 +1,553 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"teledrive/internal/netem"
+	"teledrive/internal/simclock"
+)
+
+// msgRec records delivered messages.
+type msgRec struct {
+	payloads  []string
+	seqs      []uint64
+	latencies []time.Duration
+}
+
+func (m *msgRec) handler(payload []byte, seq uint64, latency time.Duration) {
+	m.payloads = append(m.payloads, string(payload))
+	m.seqs = append(m.seqs, seq)
+	m.latencies = append(m.latencies, latency)
+}
+
+func newPair(t *testing.T, opts Options) (*simclock.Clock, *Conn, *msgRec, *msgRec) {
+	t.Helper()
+	clk := simclock.New()
+	ra, rb := &msgRec{}, &msgRec{}
+	conn := Connect(clk, 42, opts, ra.handler, rb.handler)
+	return clk, conn, ra, rb
+}
+
+func TestReliableBasicExchange(t *testing.T) {
+	clk, conn, ra, rb := newPair(t, Options{Reliable: true})
+	if err := conn.A.Send([]byte("frame-1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.B.Send([]byte("cmd-1")); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Millisecond)
+	if len(rb.payloads) != 1 || rb.payloads[0] != "frame-1" {
+		t.Fatalf("B received %v", rb.payloads)
+	}
+	if len(ra.payloads) != 1 || ra.payloads[0] != "cmd-1" {
+		t.Fatalf("A received %v", ra.payloads)
+	}
+	if conn.A.InFlight() != 0 || conn.B.InFlight() != 0 {
+		t.Fatalf("in flight after ack: A=%d B=%d", conn.A.InFlight(), conn.B.InFlight())
+	}
+}
+
+func TestReliableInOrderUnderJitterReordering(t *testing.T) {
+	clk, conn, _, rb := newPair(t, Options{Reliable: true})
+	// Heavy jitter reorders packets on the wire; the reliable channel
+	// must still deliver in order.
+	if err := conn.Links.Down.AddRule(netem.Rule{
+		Delay: 30 * time.Millisecond, Jitter: 25 * time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := conn.A.Send([]byte(fmt.Sprintf("m%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+		clk.Advance(2 * time.Millisecond)
+	}
+	clk.Advance(5 * time.Second)
+	if len(rb.payloads) != n {
+		t.Fatalf("delivered %d, want %d", len(rb.payloads), n)
+	}
+	for i, p := range rb.payloads {
+		if p != fmt.Sprintf("m%03d", i) {
+			t.Fatalf("out of order at %d: %v", i, rb.payloads[:i+1])
+		}
+	}
+}
+
+func TestReliableRecoversFromLoss(t *testing.T) {
+	clk, conn, _, rb := newPair(t, Options{Reliable: true})
+	conn.Links.Down.AddRule(netem.Rule{Loss: 0.3})
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := conn.A.Send([]byte(fmt.Sprintf("m%03d", i))); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+		clk.Advance(20 * time.Millisecond)
+	}
+	clk.Advance(time.Minute)
+	if len(rb.payloads) != n {
+		t.Fatalf("delivered %d, want %d (loss must be fully recovered)", len(rb.payloads), n)
+	}
+	for i, p := range rb.payloads {
+		if p != fmt.Sprintf("m%03d", i) {
+			t.Fatalf("out of order at %d", i)
+		}
+	}
+	if conn.A.Stats().Retransmits == 0 {
+		t.Fatal("expected retransmissions under 30% loss")
+	}
+}
+
+func TestHeadOfLineBlockingStall(t *testing.T) {
+	// The paper's key transport phenomenon: one lost video frame stalls
+	// all later frames until a retransmission lands, then they burst
+	// out. With fewer than three following frames there are not enough
+	// duplicate ACKs for fast retransmit, so the RTO drives recovery.
+	clk, conn, _, rb := newPair(t, Options{Reliable: true})
+
+	// Drop exactly the first data frame using 100% loss for one send.
+	conn.Links.Down.AddRule(netem.Rule{Loss: 1})
+	conn.A.Send([]byte("m0"))
+	conn.Links.Down.DeleteRule()
+
+	for i := 1; i <= 2; i++ {
+		conn.A.Send([]byte(fmt.Sprintf("m%d", i)))
+		clk.Advance(10 * time.Millisecond)
+	}
+	// Both arrived but are held: nothing delivered yet.
+	if len(rb.payloads) != 0 {
+		t.Fatalf("delivered %v before retransmit", rb.payloads)
+	}
+	// After the RTO the retransmitted m0 unblocks the whole run.
+	clk.Advance(DefaultRTOMin + 50*time.Millisecond)
+	if len(rb.payloads) != 3 {
+		t.Fatalf("delivered %d after RTO, want 3", len(rb.payloads))
+	}
+	if rb.payloads[0] != "m0" || rb.payloads[2] != "m2" {
+		t.Fatalf("order: %v", rb.payloads)
+	}
+	// Later messages carry the blocking time in their latency.
+	if rb.latencies[1] < DefaultRTOMin/2 {
+		t.Fatalf("m1 latency %v does not reflect HoL blocking", rb.latencies[1])
+	}
+}
+
+func TestFastRetransmitBeatsRTO(t *testing.T) {
+	// With a steady frame stream behind the hole, three duplicate ACKs
+	// trigger fast retransmit well before the 200 ms RTO — the stall is
+	// short, exactly the "skipped frames" feel the paper describes.
+	clk, conn, _, rb := newPair(t, Options{Reliable: true})
+	conn.Links.Down.AddRule(netem.Rule{Loss: 1})
+	conn.A.Send([]byte("m0"))
+	conn.Links.Down.DeleteRule()
+
+	for i := 1; i <= 5; i++ {
+		conn.A.Send([]byte(fmt.Sprintf("m%d", i)))
+		clk.Advance(10 * time.Millisecond)
+	}
+	// 50 ms elapsed: fast retransmit has already recovered the hole.
+	if len(rb.payloads) != 6 {
+		t.Fatalf("delivered %d within 50ms, want 6 via fast retransmit", len(rb.payloads))
+	}
+	if rb.payloads[0] != "m0" || rb.payloads[5] != "m5" {
+		t.Fatalf("order: %v", rb.payloads)
+	}
+	if got := conn.A.Stats().Retransmits; got != 1 {
+		t.Fatalf("retransmits = %d, want exactly 1 (fast)", got)
+	}
+}
+
+func TestWindowFull(t *testing.T) {
+	clk, conn, _, _ := newPair(t, Options{Reliable: true, Window: 4})
+	// Black-hole the link so nothing is ever acked.
+	conn.Links.Down.AddRule(netem.Rule{Loss: 1})
+	for i := 0; i < 4; i++ {
+		if err := conn.A.Send([]byte("x")); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	err := conn.A.Send([]byte("x"))
+	if !errors.Is(err, ErrWindowFull) {
+		t.Fatalf("err = %v, want ErrWindowFull", err)
+	}
+	if got := conn.A.Stats().WindowRejects; got != 1 {
+		t.Fatalf("WindowRejects = %d", got)
+	}
+	_ = clk
+}
+
+func TestWindowReopensAfterAck(t *testing.T) {
+	clk, conn, _, rb := newPair(t, Options{Reliable: true, Window: 2})
+	conn.A.Send([]byte("a"))
+	conn.A.Send([]byte("b"))
+	if err := conn.A.Send([]byte("c")); !errors.Is(err, ErrWindowFull) {
+		t.Fatalf("expected window full, got %v", err)
+	}
+	clk.Advance(10 * time.Millisecond) // deliver + acks
+	if err := conn.A.Send([]byte("c")); err != nil {
+		t.Fatalf("window did not reopen: %v", err)
+	}
+	clk.Advance(10 * time.Millisecond)
+	if len(rb.payloads) != 3 {
+		t.Fatalf("delivered %v", rb.payloads)
+	}
+}
+
+func TestCorruptionDetectedAndRecovered(t *testing.T) {
+	clk, conn, _, rb := newPair(t, Options{Reliable: true})
+	conn.Links.Down.AddRule(netem.Rule{Corrupt: 0.5})
+	const n = 60
+	for i := 0; i < n; i++ {
+		conn.A.Send([]byte(fmt.Sprintf("m%03d", i)))
+		clk.Advance(20 * time.Millisecond)
+	}
+	clk.Advance(time.Minute)
+	if len(rb.payloads) != n {
+		t.Fatalf("delivered %d, want %d", len(rb.payloads), n)
+	}
+	if conn.B.Stats().CorruptDropped == 0 {
+		t.Fatal("no corrupt frames detected under 50% corruption")
+	}
+}
+
+func TestRTTEstimateConverges(t *testing.T) {
+	clk, conn, _, _ := newPair(t, Options{Reliable: true})
+	conn.Links.ApplyBoth(netem.Rule{Delay: 25 * time.Millisecond})
+	for i := 0; i < 50; i++ {
+		conn.A.Send([]byte("ping"))
+		clk.Advance(100 * time.Millisecond)
+	}
+	srtt := conn.A.Stats().SRTT
+	if srtt < 40*time.Millisecond || srtt > 60*time.Millisecond {
+		t.Fatalf("SRTT = %v, want ≈50ms (25ms each way)", srtt)
+	}
+}
+
+func TestDatagramModeDropsSilently(t *testing.T) {
+	clk, conn, _, rb := newPair(t, Options{Reliable: false})
+	conn.Links.Down.AddRule(netem.Rule{Loss: 0.5, Limit: 10000})
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if err := conn.A.Send([]byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clk.Advance(time.Second)
+	got := len(rb.payloads)
+	if got == 0 || got == n {
+		t.Fatalf("datagram deliveries = %d, want partial delivery", got)
+	}
+	if conn.A.Stats().Retransmits != 0 {
+		t.Fatal("datagram mode must never retransmit")
+	}
+}
+
+func TestDatagramStaleCounting(t *testing.T) {
+	clk, conn, _, rb := newPair(t, Options{Reliable: false})
+	// Strong jitter reorders datagrams; stale arrivals are counted but
+	// still delivered.
+	conn.Links.Down.AddRule(netem.Rule{Delay: 20 * time.Millisecond, Jitter: 19 * time.Millisecond})
+	const n = 200
+	for i := 0; i < n; i++ {
+		conn.A.Send([]byte("v"))
+		clk.Advance(time.Millisecond)
+	}
+	clk.Advance(time.Second)
+	if len(rb.payloads) != n {
+		t.Fatalf("delivered %d, want %d", len(rb.payloads), n)
+	}
+	if conn.B.Stats().DatagramsStale == 0 {
+		t.Fatal("expected stale datagrams under heavy jitter")
+	}
+}
+
+func TestSendWithoutLinkFails(t *testing.T) {
+	clk := simclock.New()
+	e := NewEndpoint(clk, Options{Reliable: true}, func([]byte, uint64, time.Duration) {})
+	if err := e.Send([]byte("x")); err == nil {
+		t.Fatal("Send without link succeeded")
+	}
+}
+
+func TestDeliveredSeqsAreSenderSeqs(t *testing.T) {
+	clk, conn, _, rb := newPair(t, Options{Reliable: true})
+	for i := 0; i < 5; i++ {
+		conn.A.Send([]byte("x"))
+		clk.Advance(time.Millisecond)
+	}
+	for i, s := range rb.seqs {
+		if s != uint64(i+1) {
+			t.Fatalf("seqs = %v", rb.seqs)
+		}
+	}
+}
+
+func TestBidirectionalFaultHitsBothStreams(t *testing.T) {
+	clk, conn, ra, rb := newPair(t, Options{Reliable: true})
+	conn.Links.ApplyBoth(netem.Rule{Delay: 50 * time.Millisecond})
+	conn.A.Send([]byte("video"))
+	conn.B.Send([]byte("command"))
+	clk.Advance(49 * time.Millisecond)
+	if len(ra.payloads)+len(rb.payloads) != 0 {
+		t.Fatal("messages arrived before the injected delay")
+	}
+	clk.Advance(2 * time.Millisecond)
+	if len(ra.payloads) != 1 || len(rb.payloads) != 1 {
+		t.Fatalf("A=%v B=%v", ra.payloads, rb.payloads)
+	}
+	if ra.latencies[0] < 50*time.Millisecond || rb.latencies[0] < 50*time.Millisecond {
+		t.Fatalf("latencies %v %v below injected delay", ra.latencies, rb.latencies)
+	}
+}
+
+func TestRetransmitBackoffBounded(t *testing.T) {
+	clk, conn, _, _ := newPair(t, Options{Reliable: true, RTOMin: 50 * time.Millisecond, RTOMax: 400 * time.Millisecond})
+	conn.Links.Down.AddRule(netem.Rule{Loss: 1})
+	conn.A.Send([]byte("doomed"))
+	clk.Advance(10 * time.Second)
+	rtx := conn.A.Stats().Retransmits
+	// With backoff capped at RTOMax=400ms, 10s of black hole yields at
+	// least 10s/400ms = 25 retransmissions minus the ramp-up.
+	if rtx < 20 {
+		t.Fatalf("retransmits = %d, want ≥20 (timer must keep firing)", rtx)
+	}
+	if conn.A.InFlight() != 1 {
+		t.Fatalf("in flight = %d, want 1", conn.A.InFlight())
+	}
+}
+
+func TestLatencyAccountsRetransmission(t *testing.T) {
+	clk, conn, _, rb := newPair(t, Options{Reliable: true})
+	conn.Links.Down.AddRule(netem.Rule{Loss: 1})
+	conn.A.Send([]byte("m"))
+	conn.Links.Down.DeleteRule()
+	clk.Advance(5 * time.Second)
+	if len(rb.payloads) != 1 {
+		t.Fatalf("delivered %d", len(rb.payloads))
+	}
+	if rb.latencies[0] < DefaultRTOMin {
+		t.Fatalf("latency %v must include the RTO wait", rb.latencies[0])
+	}
+}
+
+func TestConnDeterminism(t *testing.T) {
+	run := func() []string {
+		clk := simclock.New()
+		var got []string
+		rec := func(p []byte, seq uint64, l time.Duration) {
+			got = append(got, fmt.Sprintf("%s@%d/%v", p, seq, l))
+		}
+		conn := Connect(clk, 7, Options{Reliable: true}, func([]byte, uint64, time.Duration) {}, rec)
+		conn.Links.ApplyBoth(netem.Rule{Delay: 10 * time.Millisecond, Jitter: 5 * time.Millisecond, Loss: 0.1})
+		for i := 0; i < 200; i++ {
+			conn.A.Send([]byte(fmt.Sprintf("m%d", i)))
+			clk.Advance(15 * time.Millisecond)
+		}
+		clk.Advance(10 * time.Second)
+		return got
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("diverge at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFragmentationRoundTrip(t *testing.T) {
+	clk, conn, _, rb := newPair(t, Options{Reliable: true})
+	big := make([]byte, 3*MTU+123)
+	for i := range big {
+		big[i] = byte(i * 7)
+	}
+	if err := conn.A.Send(big); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Millisecond)
+	if len(rb.payloads) != 1 {
+		t.Fatalf("delivered %d messages, want 1", len(rb.payloads))
+	}
+	if rb.payloads[0] != string(big) {
+		t.Fatal("fragmented payload corrupted")
+	}
+	if got := conn.A.Stats().FragmentsSent; got != 4 {
+		t.Fatalf("fragments = %d, want 4", got)
+	}
+}
+
+func TestFragmentLossStallsWholeMessage(t *testing.T) {
+	// Losing ONE fragment of a frame delays the whole frame — the
+	// many-packets-per-frame effect that makes small loss rates so
+	// punishing for video.
+	clk, conn, _, rb := newPair(t, Options{Reliable: true})
+	big := make([]byte, 5*MTU)
+
+	conn.Links.Down.AddRule(netem.Rule{Loss: 1})
+	// Black-hole exactly one fragment: send under loss for a moment.
+	// Instead: send the message with loss on, then clear — all fragments
+	// lost; retransmission recovers them one RTO at a time. Simpler:
+	// use a one-shot: drop only the first fragment via a rule window.
+	conn.Links.Down.DeleteRule()
+
+	// Deterministic single-fragment drop: set 100% loss, send one
+	// fragment's worth via a small message, then the big one clean.
+	// (Direct single-fragment surgery isn't exposed; approximate by
+	// sending under 20% loss and verifying eventual delivery + a stall.)
+	conn.Links.Down.AddRule(netem.Rule{Loss: 0.2})
+	start := clk.Now()
+	for i := 0; i < 20; i++ {
+		if err := conn.A.Send(big); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+		clk.Advance(36 * time.Millisecond)
+	}
+	clk.Advance(10 * time.Second)
+	if len(rb.payloads) != 20 {
+		t.Fatalf("delivered %d, want all 20 despite fragment loss", len(rb.payloads))
+	}
+	// At 20% per-fragment loss with 5 fragments, most messages needed a
+	// retransmission: latency spread must show stalls.
+	var maxLat time.Duration
+	for _, l := range rb.latencies {
+		if l > maxLat {
+			maxLat = l
+		}
+	}
+	if maxLat < 30*time.Millisecond {
+		t.Fatalf("max latency %v shows no head-of-line stall", maxLat)
+	}
+	_ = start
+}
+
+func TestDatagramFragmentLossDropsMessage(t *testing.T) {
+	clk, conn, _, rb := newPair(t, Options{Reliable: false})
+	big := make([]byte, 10*MTU)
+	conn.Links.Down.AddRule(netem.Rule{Loss: 0.3, Limit: 100000})
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := conn.A.Send(big); err != nil {
+			t.Fatal(err)
+		}
+		clk.Advance(time.Millisecond)
+	}
+	clk.Advance(time.Second)
+	// P(all 10 fragments survive) = 0.7^10 ≈ 2.8%; most messages vanish
+	// entirely, none arrive corrupted or partial.
+	if len(rb.payloads) >= n/2 {
+		t.Fatalf("delivered %d of %d; datagram fragmentation should drop incomplete messages", len(rb.payloads), n)
+	}
+	for i, p := range rb.payloads {
+		if len(p) != len(big) {
+			t.Fatalf("message %d truncated: %d bytes", i, len(p))
+		}
+	}
+}
+
+func TestSendRejectsOversizedMessage(t *testing.T) {
+	_, conn, _, _ := newPair(t, Options{Reliable: true})
+	if err := conn.A.Send(make([]byte, MaxPayload+1)); !errors.Is(err, ErrPayloadTooBig) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWindowCountsFragments(t *testing.T) {
+	_, conn, _, _ := newPair(t, Options{Reliable: true, Window: 8})
+	conn.Links.Down.AddRule(netem.Rule{Loss: 1}) // never acked
+	// One 5-fragment message fits; a second does not (10 > 8).
+	if err := conn.A.Send(make([]byte, 5*MTU)); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.A.Send(make([]byte, 5*MTU)); !errors.Is(err, ErrWindowFull) {
+		t.Fatalf("err = %v, want window full", err)
+	}
+	// A small message still fits in the remaining 3 slots.
+	if err := conn.A.Send([]byte("small")); err != nil {
+		t.Fatalf("small message rejected: %v", err)
+	}
+}
+
+func TestCongestionSlowStartGrowth(t *testing.T) {
+	clk, conn, _, _ := newPair(t, Options{Reliable: true, Congestion: true})
+	if got := conn.A.Cwnd(); got != 10 {
+		t.Fatalf("initial cwnd = %v, want 10", got)
+	}
+	// Clean ACKs grow the window.
+	for i := 0; i < 30; i++ {
+		conn.A.Send(make([]byte, 2*MTU))
+		clk.Advance(10 * time.Millisecond)
+	}
+	if got := conn.A.Cwnd(); got <= 10 {
+		t.Fatalf("cwnd after clean transfer = %v, want growth", got)
+	}
+}
+
+func TestCongestionCollapseOnRTO(t *testing.T) {
+	clk, conn, _, _ := newPair(t, Options{Reliable: true, Congestion: true})
+	conn.Links.Down.AddRule(netem.Rule{Loss: 1})
+	conn.A.Send(make([]byte, MTU))
+	clk.Advance(2 * time.Second) // several RTOs
+	if got := conn.A.Cwnd(); got > 1.5 {
+		t.Fatalf("cwnd after RTOs = %v, want collapse to ≈1", got)
+	}
+}
+
+func TestCongestionFastRecoveryHalves(t *testing.T) {
+	clk, conn, _, _ := newPair(t, Options{Reliable: true, Congestion: true})
+	// Grow the window first.
+	for i := 0; i < 50; i++ {
+		conn.A.Send(make([]byte, 2*MTU))
+		clk.Advance(10 * time.Millisecond)
+	}
+	before := conn.A.Cwnd()
+	// Drop one fragment, deliver the rest: dup ACKs → fast retransmit.
+	conn.Links.Down.AddRule(netem.Rule{Loss: 1})
+	conn.A.Send(make([]byte, MTU))
+	conn.Links.Down.DeleteRule()
+	for i := 0; i < 5; i++ {
+		conn.A.Send(make([]byte, MTU))
+		clk.Advance(5 * time.Millisecond)
+	}
+	clk.Advance(100 * time.Millisecond)
+	after := conn.A.Cwnd()
+	if after >= before {
+		t.Fatalf("cwnd %v -> %v: no multiplicative decrease", before, after)
+	}
+}
+
+func TestCongestionThroughputCollapseUnderLoss(t *testing.T) {
+	// The Mathis effect: sustained loss caps TCP throughput. Count
+	// frames delivered in a fixed time with and without loss.
+	run := func(loss float64) int {
+		clk := simclock.New()
+		n := 0
+		conn := Connect(clk, 3, Options{Reliable: true, Congestion: true},
+			func([]byte, uint64, time.Duration) {},
+			func([]byte, uint64, time.Duration) { n++ },
+		)
+		if loss > 0 {
+			conn.Links.Down.AddRule(netem.Rule{Loss: loss, Limit: 100000})
+		}
+		frame := make([]byte, 24000)
+		for i := 0; i < 280; i++ { // 10 s of 28 fps video
+			_ = conn.A.Send(frame) // window-full drops are the point
+			clk.Advance(36 * time.Millisecond)
+		}
+		clk.Advance(10 * time.Second)
+		return n
+	}
+	clean := run(0)
+	lossy := run(0.05)
+	if clean < 250 {
+		t.Fatalf("clean congestion-controlled stream delivered only %d frames", clean)
+	}
+	if lossy >= clean*9/10 {
+		t.Fatalf("5%% loss delivered %d of %d frames; expected visible throughput collapse", lossy, clean)
+	}
+}

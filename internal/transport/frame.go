@@ -1,0 +1,123 @@
+// Package transport implements the wire layer between the vehicle
+// subsystem and the operator station: a binary frame codec with CRC-32
+// integrity, plus a reliable in-order message channel (a miniature TCP)
+// and an unreliable datagram mode, both running over netem links.
+//
+// The paper's CARLA deployment talks TCP over loopback; its observed
+// packet-loss symptom — "certain frames being skipped" — is the
+// head-of-line blocking stall of a reliable stream. Endpoint reproduces
+// that: lost segments trigger an RTO, delivery halts until the
+// retransmission lands, then buffered messages burst out.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"time"
+)
+
+// FrameType discriminates wire frames.
+type FrameType uint8
+
+const (
+	// FrameData carries one application message with a sequence number.
+	FrameData FrameType = iota + 1
+	// FrameAck carries a cumulative acknowledgement.
+	FrameAck
+	// FrameDatagram carries an unacknowledged, unordered message.
+	FrameDatagram
+)
+
+// String returns a short name for logs.
+func (t FrameType) String() string {
+	switch t {
+	case FrameData:
+		return "DATA"
+	case FrameAck:
+		return "ACK"
+	case FrameDatagram:
+		return "DGRAM"
+	default:
+		return fmt.Sprintf("FRAME(%d)", uint8(t))
+	}
+}
+
+// Frame is one unit on the wire.
+type Frame struct {
+	Type FrameType
+	// Seq is the message sequence for FrameData/FrameDatagram, or the
+	// cumulative acknowledged sequence for FrameAck.
+	Seq uint64
+	// Timestamp is the sender's simulated send time; receivers use it
+	// for latency accounting.
+	Timestamp time.Duration
+	Payload   []byte
+}
+
+const (
+	frameMagic    = 0x7D5A // arbitrary constant marking a teledrive frame
+	headerLen     = 2 + 1 + 8 + 8 + 4
+	trailerLen    = 4 // CRC-32 over header+payload
+	frameOverhead = headerLen + trailerLen
+	// MaxPayload bounds a frame payload; larger messages are a caller bug.
+	MaxPayload = 1 << 20
+)
+
+// Codec errors. ErrCorruptFrame covers CRC mismatches and bad magic —
+// receivers treat such frames exactly like lost packets.
+var (
+	ErrCorruptFrame  = errors.New("transport: corrupt frame")
+	ErrShortFrame    = errors.New("transport: short frame")
+	ErrPayloadTooBig = errors.New("transport: payload exceeds MaxPayload")
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// EncodeFrame serializes f. The layout is
+//
+//	magic(2) type(1) seq(8) timestamp(8) payloadLen(4) payload CRC32C(4)
+//
+// with all integers big-endian.
+func EncodeFrame(f Frame) ([]byte, error) {
+	if len(f.Payload) > MaxPayload {
+		return nil, fmt.Errorf("%w: %d bytes", ErrPayloadTooBig, len(f.Payload))
+	}
+	buf := make([]byte, headerLen+len(f.Payload)+trailerLen)
+	binary.BigEndian.PutUint16(buf[0:2], frameMagic)
+	buf[2] = uint8(f.Type)
+	binary.BigEndian.PutUint64(buf[3:11], f.Seq)
+	binary.BigEndian.PutUint64(buf[11:19], uint64(f.Timestamp))
+	binary.BigEndian.PutUint32(buf[19:23], uint32(len(f.Payload)))
+	copy(buf[headerLen:], f.Payload)
+	sum := crc32.Checksum(buf[:headerLen+len(f.Payload)], crcTable)
+	binary.BigEndian.PutUint32(buf[headerLen+len(f.Payload):], sum)
+	return buf, nil
+}
+
+// DecodeFrame parses a wire buffer produced by EncodeFrame. The returned
+// payload aliases buf.
+func DecodeFrame(buf []byte) (Frame, error) {
+	if len(buf) < frameOverhead {
+		return Frame{}, fmt.Errorf("%w: %d bytes", ErrShortFrame, len(buf))
+	}
+	if binary.BigEndian.Uint16(buf[0:2]) != frameMagic {
+		return Frame{}, fmt.Errorf("%w: bad magic", ErrCorruptFrame)
+	}
+	plen := binary.BigEndian.Uint32(buf[19:23])
+	if plen > MaxPayload || int(plen) != len(buf)-frameOverhead {
+		return Frame{}, fmt.Errorf("%w: bad length %d for %d-byte frame", ErrCorruptFrame, plen, len(buf))
+	}
+	body := buf[:headerLen+int(plen)]
+	want := binary.BigEndian.Uint32(buf[headerLen+int(plen):])
+	if crc32.Checksum(body, crcTable) != want {
+		return Frame{}, fmt.Errorf("%w: crc mismatch", ErrCorruptFrame)
+	}
+	return Frame{
+		Type:      FrameType(buf[2]),
+		Seq:       binary.BigEndian.Uint64(buf[3:11]),
+		Timestamp: time.Duration(binary.BigEndian.Uint64(buf[11:19])),
+		Payload:   buf[headerLen : headerLen+int(plen)],
+	}, nil
+}

@@ -1,0 +1,115 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"teledrive/internal/netem"
+	"teledrive/internal/simclock"
+)
+
+// TestReliableExactlyOnceProperty: under randomized network conditions
+// the reliable channel delivers every message exactly once, in order,
+// with no corruption — the TCP contract.
+func TestReliableExactlyOnceProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		clk := simclock.New()
+		var got []string
+		conn := Connect(clk, seed, Options{Reliable: true},
+			func([]byte, uint64, time.Duration) {},
+			func(p []byte, _ uint64, _ time.Duration) { got = append(got, string(p)) },
+		)
+		rule := netem.Rule{
+			Delay:   time.Duration(rng.Intn(60)) * time.Millisecond,
+			Jitter:  time.Duration(rng.Intn(20)) * time.Millisecond,
+			Loss:    rng.Float64() * 0.3,
+			Corrupt: rng.Float64() * 0.1,
+			Limit:   100000,
+		}
+		if err := conn.Links.Down.AddRule(rule); err != nil {
+			return false
+		}
+		if rng.Intn(2) == 0 {
+			conn.Links.Up.AddRule(netem.Rule{Loss: rng.Float64() * 0.2, Limit: 100000})
+		}
+		const n = 60
+		sent := 0
+		for i := 0; i < n; i++ {
+			msg := fmt.Sprintf("msg-%04d", i)
+			if err := conn.A.Send([]byte(msg)); err != nil {
+				// Window full under heavy loss: wait and retry once.
+				clk.Advance(500 * time.Millisecond)
+				if err := conn.A.Send([]byte(msg)); err != nil {
+					continue // give up on this message; do not count it
+				}
+			}
+			sent++
+			clk.Advance(time.Duration(10+rng.Intn(40)) * time.Millisecond)
+		}
+		clk.Advance(2 * time.Minute)
+		if len(got) != sent {
+			t.Logf("seed %d: delivered %d of %d", seed, len(got), sent)
+			return false
+		}
+		// In-order (message numbers strictly increasing).
+		last := -1
+		for _, m := range got {
+			var k int
+			if _, err := fmt.Sscanf(m, "msg-%d", &k); err != nil {
+				return false
+			}
+			if k <= last {
+				return false
+			}
+			last = k
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNetemConservationProperty: every packet is accounted for exactly
+// once across delivered/lost/tail-dropped, minus what is still in
+// flight.
+func TestNetemConservationProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		clk := simclock.New()
+		delivered := uint64(0)
+		link := netem.NewLink("p", clk, seed, func(netem.Packet) { delivered++ })
+		rule := netem.Rule{
+			Delay:     time.Duration(rng.Intn(100)) * time.Millisecond,
+			Jitter:    time.Duration(rng.Intn(30)) * time.Millisecond,
+			Loss:      rng.Float64() * 0.5,
+			Duplicate: rng.Float64() * 0.2,
+			Limit:     1 + rng.Intn(200),
+		}
+		if err := link.AddRule(rule); err != nil {
+			return false
+		}
+		n := 200 + rng.Intn(800)
+		for i := 0; i < n; i++ {
+			link.Send(make([]byte, 1+rng.Intn(100)))
+			if rng.Intn(4) == 0 {
+				clk.Advance(time.Duration(rng.Intn(10)) * time.Millisecond)
+			}
+		}
+		clk.Advance(time.Minute)
+		st := link.Stats()
+		if link.InFlight() != 0 {
+			return false
+		}
+		// Sent = delivered (minus duplicates) + lost + tail-dropped.
+		return st.Sent == st.Delivered-st.Duplicated+st.Lost+st.TailDropped &&
+			st.Delivered == delivered
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,32 @@
+package validity
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"teledrive/internal/driver"
+)
+
+func TestSweepSmoke(t *testing.T) {
+	if os.Getenv("TELEDRIVE_CALIB") == "" {
+		t.Skip("calibration harness")
+	}
+	prof, _ := driver.SubjectByName("T5")
+	for _, env := range []Env{Simulator(prof), ModelVehicle()} {
+		delays := PaperDelays()
+		if env.Name == "model-vehicle" {
+			delays = ModelDelays()
+		}
+		pts, err := Sweep(env, delays, PaperLosses(), 2024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pts {
+			fmt.Printf("%-14s %-12s grade=%-10s done=%v col=%d dep=%d srr=%5.1f v=%4.1f lat=%.3f\n",
+				p.Env, p.Label, p.Grade, p.Completed, p.Collisions, p.LaneDepartures, p.SRR, p.MeanSpeed, p.MeanAbsLateral)
+		}
+	}
+	_ = time.Second
+}

@@ -1,0 +1,115 @@
+package world
+
+import (
+	"fmt"
+	"math"
+
+	"teledrive/internal/geom"
+)
+
+// Lane is one driving lane: a centerline path plus a width. Lane IDs are
+// unique within a RoadMap.
+type Lane struct {
+	ID     string
+	Center *geom.Path
+	Width  float64
+}
+
+// Contains reports whether a point lies within the lane (lateral offset
+// at most half the width), along with the projection results.
+func (l *Lane) Contains(p geom.Vec2) (station, lateral float64, inside bool) {
+	station, lateral = l.Center.Project(p)
+	return station, lateral, math.Abs(lateral) <= l.Width/2
+}
+
+// RoadMap is the static road network.
+type RoadMap struct {
+	Name string
+	// Reference is the road's reference line; lanes are lateral offsets
+	// of it. Scenario routes are built against the reference.
+	Reference *geom.Path
+	Lanes     []*Lane
+}
+
+// LaneByID returns the lane with the given ID.
+func (m *RoadMap) LaneByID(id string) (*Lane, bool) {
+	for _, l := range m.Lanes {
+		if l.ID == id {
+			return l, true
+		}
+	}
+	return nil, false
+}
+
+// NearestLane returns the lane whose centerline is laterally closest to
+// p, with the projection onto it. It returns nil when the map has no
+// lanes.
+func (m *RoadMap) NearestLane(p geom.Vec2) (lane *Lane, station, lateral float64) {
+	best := math.Inf(1)
+	for _, l := range m.Lanes {
+		s, lat := l.Center.Project(p)
+		if a := math.Abs(lat); a < best {
+			best = a
+			lane, station, lateral = l, s, lat
+		}
+	}
+	return lane, station, lateral
+}
+
+// OffsetSegment describes the lateral offset of a route relative to the
+// reference line over a station interval. Between segments the offset
+// blends smoothly (smoothstep), producing realistic lane-change
+// geometry.
+type OffsetSegment struct {
+	FromStation float64
+	Offset      float64
+}
+
+// BlendedRoute builds a drivable route path over the reference line with
+// piecewise lateral offsets. segs must be ordered by FromStation; the
+// first segment's offset applies from station 0. blendLen is the
+// longitudinal distance over which an offset change is blended (a lane
+// change takes blendLen metres).
+func BlendedRoute(ref *geom.Path, segs []OffsetSegment, blendLen float64) (*geom.Path, error) {
+	if ref == nil {
+		return nil, fmt.Errorf("world: BlendedRoute requires a reference path")
+	}
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("world: BlendedRoute requires at least one offset segment")
+	}
+	for i := 1; i < len(segs); i++ {
+		if segs[i].FromStation <= segs[i-1].FromStation {
+			return nil, fmt.Errorf("world: offset segments not strictly ordered at %d", i)
+		}
+	}
+	if blendLen <= 0 {
+		blendLen = 30
+	}
+	const step = 2.0 // metres between route samples
+	n := int(ref.Length()/step) + 1
+	pts := make([]geom.Vec2, 0, n+1)
+	for i := 0; i <= n; i++ {
+		s := math.Min(float64(i)*step, ref.Length())
+		off := offsetAt(segs, s, blendLen)
+		pose := ref.PoseAt(s)
+		normal := pose.Forward().Perp()
+		pts = append(pts, pose.Pos.Add(normal.Scale(off)))
+	}
+	return geom.NewPath(pts)
+}
+
+// offsetAt evaluates the blended lateral offset at station s.
+func offsetAt(segs []OffsetSegment, s, blendLen float64) float64 {
+	cur := segs[0].Offset
+	for i := 1; i < len(segs); i++ {
+		start := segs[i].FromStation
+		if s < start {
+			break
+		}
+		t := geom.Clamp((s-start)/blendLen, 0, 1)
+		// Smoothstep easing between the previous and the new offset.
+		t = t * t * (3 - 2*t)
+		cur = cur + (segs[i].Offset-cur)*t
+	}
+	return cur
+}

@@ -1,0 +1,169 @@
+package world
+
+import (
+	"fmt"
+	"sort"
+
+	"teledrive/internal/geom"
+)
+
+// ProfilePoint sets a target speed from a given station onward. A rail's
+// speed profile is a piecewise-constant function of station.
+type ProfilePoint struct {
+	Station float64 // metres along the rail path
+	Speed   float64 // target speed from this station on, m/s
+}
+
+// Rail moves an actor deterministically along a path. Speed tracks the
+// profile with a symmetric acceleration limit; the pose is the path pose
+// at the current station. Rails never leave their path — scripted
+// traffic is exactly reproducible across runs.
+type Rail struct {
+	path     *geom.Path
+	station  float64
+	speed    float64
+	accel    float64 // last step's acceleration
+	maxAccel float64
+	maxDecel float64 // braking limit (defaults to maxAccel)
+	profile  []ProfilePoint
+	loop     bool
+	done     bool
+
+	stops    []Stop
+	stopIdx  int
+	holding  bool
+	holdLeft float64
+}
+
+// Stop makes a rail actor halt at a station for a dwell time before
+// continuing — the "lead vehicle brakes, waits, moves off" events the
+// follow-vehicle scenario needs.
+type Stop struct {
+	Station float64 // where to stop, metres along the path
+	Hold    float64 // how long to stand still, seconds
+}
+
+// NewRail creates a rail on path starting at startStation with the given
+// speed profile (sorted by station internally; an empty profile means
+// "stand still"). maxAccel bounds speed changes; it must be positive.
+func NewRail(path *geom.Path, startStation float64, profile []ProfilePoint, maxAccel float64) (*Rail, error) {
+	if path == nil {
+		return nil, fmt.Errorf("world: rail requires a path")
+	}
+	if maxAccel <= 0 {
+		return nil, fmt.Errorf("world: rail maxAccel %v must be positive", maxAccel)
+	}
+	if startStation < 0 || startStation > path.Length() {
+		return nil, fmt.Errorf("world: rail start station %v outside [0, %v]", startStation, path.Length())
+	}
+	for _, p := range profile {
+		if p.Speed < 0 {
+			return nil, fmt.Errorf("world: rail profile speed %v negative", p.Speed)
+		}
+	}
+	prof := make([]ProfilePoint, len(profile))
+	copy(prof, profile)
+	sort.Slice(prof, func(i, j int) bool { return prof[i].Station < prof[j].Station })
+	r := &Rail{path: path, station: startStation, profile: prof, maxAccel: maxAccel, maxDecel: maxAccel}
+	return r, nil
+}
+
+// SetLoop makes the rail wrap around to station 0 at the end of the path
+// instead of stopping.
+func (r *Rail) SetLoop(loop bool) { r.loop = loop }
+
+// SetMaxDecel sets a braking limit different from the acceleration
+// limit (an emergency-braking lead decelerates much harder than it
+// accelerates). Non-positive values are ignored.
+func (r *Rail) SetMaxDecel(d float64) {
+	if d > 0 {
+		r.maxDecel = d
+	}
+}
+
+// SetStops installs dwell stops. Stops must be ordered by station and
+// ahead of the current station; they are visited once each.
+func (r *Rail) SetStops(stops []Stop) {
+	r.stops = make([]Stop, len(stops))
+	copy(r.stops, stops)
+	sort.Slice(r.stops, func(i, j int) bool { return r.stops[i].Station < r.stops[j].Station })
+	r.stopIdx = 0
+	r.holding = false
+}
+
+// Station returns the current station along the path.
+func (r *Rail) Station() float64 { return r.station }
+
+// Speed returns the current speed.
+func (r *Rail) Speed() float64 { return r.speed }
+
+// Accel returns the acceleration applied in the last step.
+func (r *Rail) Accel() float64 { return r.accel }
+
+// Done reports whether a non-looping rail has reached the end of its
+// path and stopped.
+func (r *Rail) Done() bool { return r.done }
+
+// Pose returns the path pose at the current station.
+func (r *Rail) Pose() geom.Pose { return r.path.PoseAt(r.station) }
+
+// TargetSpeed returns the profile speed at the current station.
+func (r *Rail) TargetSpeed() float64 {
+	target := 0.0
+	for _, p := range r.profile {
+		if p.Station > r.station {
+			break
+		}
+		target = p.Speed
+	}
+	return target
+}
+
+// Step advances the rail by dt seconds.
+func (r *Rail) Step(dt float64) {
+	if dt <= 0 || r.done {
+		r.accel = 0
+		return
+	}
+	target := r.TargetSpeed()
+
+	// Dwell-stop logic: approaching the next stop, brake so the rail
+	// halts at (or just past) the stop station, dwell, then continue.
+	if r.stopIdx < len(r.stops) {
+		stop := r.stops[r.stopIdx]
+		switch {
+		case r.holding:
+			r.holdLeft -= dt
+			if r.holdLeft <= 0 {
+				r.holding = false
+				r.stopIdx++
+			} else {
+				target = 0
+			}
+		case r.station >= stop.Station || r.speed*r.speed/(2*r.maxDecel) >= stop.Station-r.station:
+			// At the stop, or inside braking distance of it.
+			target = 0
+			if r.speed < 0.01 && r.station >= stop.Station-1 {
+				r.speed = 0
+				r.holding = true
+				r.holdLeft = stop.Hold
+			}
+		}
+	}
+	prev := r.speed
+	delta := geom.Clamp(target-r.speed, -r.maxDecel*dt, r.maxAccel*dt)
+	r.speed += delta
+	r.accel = (r.speed - prev) / dt
+	r.station += r.speed * dt
+	if r.station >= r.path.Length() {
+		if r.loop {
+			for r.station >= r.path.Length() {
+				r.station -= r.path.Length()
+			}
+		} else {
+			r.station = r.path.Length()
+			r.speed = 0
+			r.done = true
+		}
+	}
+}

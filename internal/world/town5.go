@@ -1,0 +1,82 @@
+package world
+
+import (
+	"math"
+
+	"teledrive/internal/geom"
+)
+
+// Town 5 analogue. The paper's operational domain is CARLA's Town 5: a
+// highway and multi-lane road network (§V-B). This map captures the
+// parts the scenarios exercise: a long multi-lane road with straights
+// and sweeping curves, two same-direction lanes, an opposing lane, and a
+// paved shoulder for the cyclist events.
+
+// Lane IDs in Town5.
+const (
+	LaneDrive1   = "d1" // right-hand driving lane (default)
+	LaneDrive2   = "d2" // left passing lane, same direction
+	LaneOpposing = "o1" // oncoming lane
+	LaneShoulder = "sh" // paved shoulder used by cyclists
+)
+
+// Standard lane geometry for Town5.
+const (
+	Town5LaneWidth     = 3.5
+	Town5ShoulderWidth = 2.0
+)
+
+// Lateral offsets of lane centers from the reference line. The reference
+// line runs along the center of the right driving lane.
+const (
+	offsetDrive1   = 0.0
+	offsetDrive2   = Town5LaneWidth                             // 3.5 m to the left
+	offsetOpposing = 2 * Town5LaneWidth                         // 7.0 m to the left
+	offsetShoulder = -(Town5LaneWidth/2 + Town5ShoulderWidth/2) // right of d1
+)
+
+// Town5 builds the map. The reference line is ≈1.6 km: a long straight,
+// a gentle right sweep, a straight, a left sweep, and a final straight —
+// covering the paper's "straight and curved roads" proficiency
+// requirements.
+func Town5() *RoadMap {
+	ref := geom.NewPathBuilder(geom.Pose{}).
+		Straight(400).
+		Arc(220, -math.Pi/4). // gentle right sweep
+		Straight(300).
+		Arc(180, math.Pi/3). // left sweep
+		Straight(450).
+		MustBuild()
+	return &RoadMap{
+		Name:      "Town5",
+		Reference: ref,
+		Lanes: []*Lane{
+			{ID: LaneDrive1, Center: ref.Offset(offsetDrive1), Width: Town5LaneWidth},
+			{ID: LaneDrive2, Center: ref.Offset(offsetDrive2), Width: Town5LaneWidth},
+			{ID: LaneOpposing, Center: ref.Offset(offsetOpposing), Width: Town5LaneWidth},
+			{ID: LaneShoulder, Center: ref.Offset(offsetShoulder), Width: Town5ShoulderWidth},
+		},
+	}
+}
+
+// TrainingTown builds the small empty map used for the paper's step-1
+// training drive (§V-E1): a simple loop with one lane and no traffic.
+func TrainingTown() *RoadMap {
+	ref := geom.NewPathBuilder(geom.Pose{}).
+		Straight(200).
+		Arc(60, math.Pi/2).
+		Straight(100).
+		Arc(60, math.Pi/2).
+		Straight(200).
+		Arc(60, math.Pi/2).
+		Straight(100).
+		Arc(60, math.Pi/2).
+		MustBuild()
+	return &RoadMap{
+		Name:      "TrainingTown",
+		Reference: ref,
+		Lanes: []*Lane{
+			{ID: LaneDrive1, Center: ref.Offset(0), Width: Town5LaneWidth},
+		},
+	}
+}

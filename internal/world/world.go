@@ -1,0 +1,318 @@
+package world
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"teledrive/internal/geom"
+	"teledrive/internal/vehicle"
+)
+
+// CollisionEvent is emitted once when two actors start overlapping,
+// matching the semantics of CARLA's collision sensor (§V-F: timestamp,
+// frame, collision actors).
+type CollisionEvent struct {
+	Time   time.Duration
+	Frame  uint64
+	Actor  ActorID // the sensing actor (lower ID of the pair)
+	Other  ActorID
+	Pos    geom.Vec2 // approximate contact position (midpoint of centers)
+	SpeedA float64   // actor speeds at impact, for severity analysis
+	SpeedB float64
+}
+
+// LaneEventKind distinguishes the two lane events CARLA's lane-invasion
+// sensor reports.
+type LaneEventKind int
+
+const (
+	// LaneCrossed means the actor moved from one lane into an adjacent
+	// one (crossed a marking).
+	LaneCrossed LaneEventKind = iota + 1
+	// LaneDeparted means the actor left the paved lanes entirely.
+	LaneDeparted
+)
+
+// String returns a readable kind name.
+func (k LaneEventKind) String() string {
+	switch k {
+	case LaneCrossed:
+		return "crossed"
+	case LaneDeparted:
+		return "departed"
+	default:
+		return fmt.Sprintf("lane-event(%d)", int(k))
+	}
+}
+
+// LaneInvasionEvent is emitted when a watched actor crosses lane
+// markings (§V-F: timestamp, frame, lane that is invaded).
+type LaneInvasionEvent struct {
+	Time    time.Duration
+	Frame   uint64
+	Actor   ActorID
+	Kind    LaneEventKind
+	LaneID  string  // lane entered (LaneCrossed) or last lane (LaneDeparted)
+	Lateral float64 // lateral offset from that lane's center
+}
+
+// World is the simulation environment. It is stepped at a fixed rate by
+// the vehicle subsystem. World is not safe for concurrent use.
+type World struct {
+	Map *RoadMap
+
+	// OnCollision and OnLaneInvasion, when non-nil, receive events as
+	// they happen during Step.
+	OnCollision    func(CollisionEvent)
+	OnLaneInvasion func(LaneInvasionEvent)
+
+	actors  []*Actor
+	nextID  ActorID
+	frame   uint64
+	simTime time.Duration
+
+	colliding map[[2]ActorID]bool
+	laneState map[ActorID]string // current lane per lane-watched actor ("" = off-road)
+	laneWatch map[ActorID]bool
+}
+
+// New creates an empty world on the given map.
+func New(m *RoadMap) *World {
+	return &World{
+		Map:       m,
+		nextID:    1,
+		colliding: make(map[[2]ActorID]bool),
+		laneState: make(map[ActorID]string),
+		laneWatch: make(map[ActorID]bool),
+	}
+}
+
+// Frame returns the current tick counter.
+func (w *World) Frame() uint64 { return w.frame }
+
+// SimTime returns the accumulated simulated time.
+func (w *World) SimTime() time.Duration { return w.simTime }
+
+// Actors returns the live actor list (do not mutate).
+func (w *World) Actors() []*Actor { return w.actors }
+
+// Actor returns the actor with the given ID.
+func (w *World) Actor(id ActorID) (*Actor, bool) {
+	for _, a := range w.actors {
+		if a.ID == id {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// SpawnEgo creates the dynamic remotely-driven vehicle. There can be at
+// most one ego per world.
+func (w *World) SpawnEgo(spec vehicle.Spec, pose geom.Pose) (*Actor, error) {
+	for _, a := range w.actors {
+		if a.Kind == KindEgo {
+			return nil, fmt.Errorf("world: ego already spawned (actor %d)", a.ID)
+		}
+	}
+	plant, err := vehicle.New(spec, pose)
+	if err != nil {
+		return nil, fmt.Errorf("world: spawn ego: %w", err)
+	}
+	a := &Actor{
+		ID:     w.allocID(),
+		Kind:   KindEgo,
+		Name:   spec.Name,
+		Extent: geom.V(spec.Length, spec.Width),
+		Plant:  plant,
+	}
+	w.actors = append(w.actors, a)
+	w.WatchLane(a.ID, true)
+	return a, nil
+}
+
+// SpawnScripted creates a rail-riding road user.
+func (w *World) SpawnScripted(kind ActorKind, name string, extent geom.Vec2, rail *Rail) (*Actor, error) {
+	if rail == nil {
+		return nil, fmt.Errorf("world: scripted actor needs a rail")
+	}
+	if kind == KindEgo {
+		return nil, fmt.Errorf("world: ego cannot be scripted")
+	}
+	a := &Actor{
+		ID:     w.allocID(),
+		Kind:   kind,
+		Name:   name,
+		Extent: extent,
+		rail:   rail,
+	}
+	w.actors = append(w.actors, a)
+	return a, nil
+}
+
+// Ego returns the ego actor, or nil when none was spawned.
+func (w *World) Ego() *Actor {
+	for _, a := range w.actors {
+		if a.Kind == KindEgo {
+			return a
+		}
+	}
+	return nil
+}
+
+// WatchLane enables or disables lane-invasion events for the actor.
+// The ego is watched by default.
+func (w *World) WatchLane(id ActorID, watch bool) {
+	if watch {
+		w.laneWatch[id] = true
+	} else {
+		delete(w.laneWatch, id)
+	}
+}
+
+func (w *World) allocID() ActorID {
+	id := w.nextID
+	w.nextID++
+	return id
+}
+
+// Step advances the simulation by dt seconds: actor motion, then
+// collision detection, then lane-invasion detection.
+func (w *World) Step(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	for _, a := range w.actors {
+		a.step(dt)
+	}
+	w.frame++
+	w.simTime += time.Duration(dt * float64(time.Second))
+	w.detectCollisions()
+	w.detectLaneInvasions()
+}
+
+// detectCollisions runs pairwise OBB tests with an AABB broad phase and
+// emits one event per pair on the transition into contact.
+func (w *World) detectCollisions() {
+	type cached struct {
+		obb  geom.OBB
+		aabb geom.AABB
+	}
+	boxes := make([]cached, len(w.actors))
+	for i, a := range w.actors {
+		obb := a.BoundingBox()
+		boxes[i] = cached{obb: obb, aabb: geom.AABBOf(obb)}
+	}
+	for i := 0; i < len(w.actors); i++ {
+		for j := i + 1; j < len(w.actors); j++ {
+			a, b := w.actors[i], w.actors[j]
+			key := pairKey(a.ID, b.ID)
+			if !boxes[i].aabb.Overlaps(boxes[j].aabb) {
+				delete(w.colliding, key)
+				continue
+			}
+			hit := boxes[i].obb.Intersects(boxes[j].obb)
+			was := w.colliding[key]
+			switch {
+			case hit && !was:
+				w.colliding[key] = true
+				if w.OnCollision != nil {
+					w.OnCollision(CollisionEvent{
+						Time:   w.simTime,
+						Frame:  w.frame,
+						Actor:  a.ID,
+						Other:  b.ID,
+						Pos:    a.Pose().Pos.Lerp(b.Pose().Pos, 0.5),
+						SpeedA: a.Speed(),
+						SpeedB: b.Speed(),
+					})
+				}
+			case !hit && was:
+				delete(w.colliding, key)
+			}
+		}
+	}
+}
+
+func pairKey(a, b ActorID) [2]ActorID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]ActorID{a, b}
+}
+
+// detectLaneInvasions tracks which lane each watched actor occupies and
+// emits events on transitions.
+func (w *World) detectLaneInvasions() {
+	if w.Map == nil || len(w.Map.Lanes) == 0 {
+		return
+	}
+	for _, a := range w.actors {
+		if !w.laneWatch[a.ID] {
+			continue
+		}
+		lane, _, lat := w.Map.NearestLane(a.Pose().Pos)
+		cur := ""
+		if lane != nil && math.Abs(lat) <= lane.Width/2 {
+			cur = lane.ID
+		}
+		prev, seen := w.laneState[a.ID]
+		if !seen {
+			// First observation sets the baseline without an event.
+			w.laneState[a.ID] = cur
+			continue
+		}
+		if cur == prev {
+			continue
+		}
+		w.laneState[a.ID] = cur
+		if w.OnLaneInvasion == nil {
+			continue
+		}
+		ev := LaneInvasionEvent{
+			Time:    w.simTime,
+			Frame:   w.frame,
+			Actor:   a.ID,
+			Lateral: lat,
+		}
+		if cur == "" {
+			ev.Kind = LaneDeparted
+			ev.LaneID = prev
+		} else {
+			ev.Kind = LaneCrossed
+			ev.LaneID = cur
+		}
+		w.OnLaneInvasion(ev)
+	}
+}
+
+// GapAhead finds the nearest actor in front of `from` within the lateral
+// corridor of width corridorWidth centred on from's heading, up to
+// maxRange metres ahead. It returns the bumper-to-bumper gap and the
+// found actor (nil when the corridor is clear). This is the ground-truth
+// query used by the TTC metric and the traffic scripts.
+func (w *World) GapAhead(from *Actor, corridorWidth, maxRange float64) (gap float64, lead *Actor) {
+	pose := from.Pose()
+	best := math.Inf(1)
+	for _, a := range w.actors {
+		if a.ID == from.ID {
+			continue
+		}
+		rel := pose.InversePoint(a.Pose().Pos)
+		if rel.X <= 0 || rel.X > maxRange {
+			continue
+		}
+		if math.Abs(rel.Y) > corridorWidth/2 {
+			continue
+		}
+		g := rel.X - from.Extent.X/2 - a.Extent.X/2
+		if g < best {
+			best = g
+			lead = a
+		}
+	}
+	if lead == nil {
+		return math.Inf(1), nil
+	}
+	return best, lead
+}

@@ -1,0 +1,444 @@
+package world
+
+import (
+	"math"
+	"testing"
+
+	"teledrive/internal/geom"
+	"teledrive/internal/vehicle"
+)
+
+const tick = 0.02
+
+func straightMap(t *testing.T, length float64) *RoadMap {
+	t.Helper()
+	ref := geom.MustPath([]geom.Vec2{geom.V(0, 0), geom.V(length, 0)})
+	return &RoadMap{
+		Name:      "straight",
+		Reference: ref,
+		Lanes: []*Lane{
+			{ID: "d1", Center: ref.Offset(0), Width: 3.5},
+			{ID: "d2", Center: ref.Offset(3.5), Width: 3.5},
+		},
+	}
+}
+
+func mustRail(t *testing.T, p *geom.Path, start float64, prof []ProfilePoint, acc float64) *Rail {
+	t.Helper()
+	r, err := NewRail(p, start, prof, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestSpawnEgoOnce(t *testing.T) {
+	w := New(straightMap(t, 500))
+	ego, err := w.SpawnEgo(vehicle.Sedan(), geom.Pose{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ego.Kind != KindEgo || ego.ID != 1 {
+		t.Fatalf("ego = %+v", ego)
+	}
+	if _, err := w.SpawnEgo(vehicle.Sedan(), geom.Pose{}); err == nil {
+		t.Fatal("second ego spawn succeeded")
+	}
+	if w.Ego() != ego {
+		t.Fatal("Ego() lookup failed")
+	}
+}
+
+func TestSpawnScriptedValidation(t *testing.T) {
+	w := New(straightMap(t, 500))
+	if _, err := w.SpawnScripted(KindCar, "lead", geom.V(4.7, 1.9), nil); err == nil {
+		t.Fatal("nil rail accepted")
+	}
+	rail := mustRail(t, w.Map.Reference, 0, nil, 2)
+	if _, err := w.SpawnScripted(KindEgo, "x", geom.V(1, 1), rail); err == nil {
+		t.Fatal("scripted ego accepted")
+	}
+}
+
+func TestRailFollowsProfile(t *testing.T) {
+	m := straightMap(t, 500)
+	rail := mustRail(t, m.Reference, 0, []ProfilePoint{{Station: 0, Speed: 10}, {Station: 100, Speed: 5}}, 3)
+	for i := 0; i < 50*20; i++ { // 20 seconds
+		rail.Step(tick)
+	}
+	// By now well past station 100, so target is 5 m/s.
+	if got := rail.Speed(); math.Abs(got-5) > 0.01 {
+		t.Fatalf("rail speed = %v, want 5", got)
+	}
+	if rail.Station() < 100 {
+		t.Fatalf("rail station = %v, want > 100", rail.Station())
+	}
+}
+
+func TestRailAccelLimited(t *testing.T) {
+	m := straightMap(t, 500)
+	rail := mustRail(t, m.Reference, 0, []ProfilePoint{{Station: 0, Speed: 10}}, 2)
+	rail.Step(tick)
+	if got := rail.Speed(); math.Abs(got-2*tick) > 1e-9 {
+		t.Fatalf("first-step speed = %v, want accel-limited %v", got, 2*tick)
+	}
+	if got := rail.Accel(); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("accel = %v, want 2", got)
+	}
+}
+
+func TestRailStopsAtEnd(t *testing.T) {
+	m := straightMap(t, 50)
+	rail := mustRail(t, m.Reference, 0, []ProfilePoint{{Station: 0, Speed: 20}}, 100)
+	for i := 0; i < 50*10; i++ {
+		rail.Step(tick)
+	}
+	if !rail.Done() {
+		t.Fatal("rail not done after driving past the end")
+	}
+	if rail.Speed() != 0 || rail.Station() != m.Reference.Length() {
+		t.Fatalf("end state: speed=%v station=%v", rail.Speed(), rail.Station())
+	}
+}
+
+func TestRailLoops(t *testing.T) {
+	m := straightMap(t, 50)
+	rail := mustRail(t, m.Reference, 0, []ProfilePoint{{Station: 0, Speed: 20}}, 100)
+	rail.SetLoop(true)
+	for i := 0; i < 50*10; i++ {
+		rail.Step(tick)
+	}
+	if rail.Done() {
+		t.Fatal("looping rail reported done")
+	}
+	if rail.Station() < 0 || rail.Station() >= 50 {
+		t.Fatalf("looped station = %v", rail.Station())
+	}
+}
+
+func TestRailValidation(t *testing.T) {
+	m := straightMap(t, 50)
+	if _, err := NewRail(nil, 0, nil, 1); err == nil {
+		t.Fatal("nil path accepted")
+	}
+	if _, err := NewRail(m.Reference, -1, nil, 1); err == nil {
+		t.Fatal("negative station accepted")
+	}
+	if _, err := NewRail(m.Reference, 999, nil, 1); err == nil {
+		t.Fatal("station beyond path accepted")
+	}
+	if _, err := NewRail(m.Reference, 0, nil, 0); err == nil {
+		t.Fatal("zero accel accepted")
+	}
+	if _, err := NewRail(m.Reference, 0, []ProfilePoint{{0, -5}}, 1); err == nil {
+		t.Fatal("negative profile speed accepted")
+	}
+}
+
+func TestCollisionEventOnce(t *testing.T) {
+	w := New(straightMap(t, 500))
+	var events []CollisionEvent
+	w.OnCollision = func(ev CollisionEvent) { events = append(events, ev) }
+
+	ego, err := w.SpawnEgo(vehicle.Sedan(), geom.Pose{Pos: geom.V(0, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parked car 30 m ahead in the same lane.
+	parked := mustRail(t, w.Map.Reference, 30, nil, 1)
+	if _, err := w.SpawnScripted(KindParkedCar, "parked", geom.V(4.7, 1.9), parked); err != nil {
+		t.Fatal(err)
+	}
+
+	ego.Plant.Apply(vehicle.Control{Throttle: 1})
+	for i := 0; i < 50*10; i++ {
+		w.Step(tick)
+	}
+	if len(events) != 1 {
+		t.Fatalf("collision events = %d, want exactly 1 (debounced)", len(events))
+	}
+	ev := events[0]
+	if ev.Actor != ego.ID && ev.Other != ego.ID {
+		t.Fatalf("event does not involve ego: %+v", ev)
+	}
+	if ev.SpeedA <= 0 {
+		t.Fatalf("impact speed = %v, want positive", ev.SpeedA)
+	}
+}
+
+func TestNoCollisionWhenLaneApart(t *testing.T) {
+	w := New(straightMap(t, 500))
+	var events []CollisionEvent
+	w.OnCollision = func(ev CollisionEvent) { events = append(events, ev) }
+
+	ego, _ := w.SpawnEgo(vehicle.Sedan(), geom.Pose{Pos: geom.V(0, 0)})
+	// Car in the adjacent lane (3.5 m lateral), same stations.
+	lane2, _ := w.Map.LaneByID("d2")
+	rail := mustRail(t, lane2.Center, 0, []ProfilePoint{{0, 10}}, 3)
+	w.SpawnScripted(KindCar, "neighbour", geom.V(4.7, 1.9), rail)
+
+	ego.Plant.Apply(vehicle.Control{Throttle: 0.5})
+	for i := 0; i < 50*10; i++ {
+		w.Step(tick)
+	}
+	if len(events) != 0 {
+		t.Fatalf("spurious collisions: %+v", events)
+	}
+}
+
+func TestLaneInvasionEvents(t *testing.T) {
+	w := New(straightMap(t, 500))
+	var events []LaneInvasionEvent
+	w.OnLaneInvasion = func(ev LaneInvasionEvent) { events = append(events, ev) }
+
+	ego, _ := w.SpawnEgo(vehicle.Sedan(), geom.Pose{Pos: geom.V(0, 0)})
+	// Drive forward while drifting left into lane d2.
+	ego.Plant.SetState(vehicle.State{Pose: geom.Pose{Pos: geom.V(0, 0), Yaw: 0.12}, Speed: 15})
+	ego.Plant.Apply(vehicle.Control{Throttle: 0.4})
+	for i := 0; i < 50*6; i++ {
+		w.Step(tick)
+	}
+	if len(events) == 0 {
+		t.Fatal("no lane events while drifting across lanes")
+	}
+	if events[0].Kind != LaneCrossed || events[0].LaneID != "d2" {
+		t.Fatalf("first event = %+v, want crossing into d2", events[0])
+	}
+	// Eventually the drift leaves the paved lanes entirely.
+	last := events[len(events)-1]
+	if last.Kind != LaneDeparted {
+		t.Fatalf("last event = %+v, want departure", last)
+	}
+}
+
+func TestLaneWatchToggle(t *testing.T) {
+	w := New(straightMap(t, 500))
+	var events []LaneInvasionEvent
+	w.OnLaneInvasion = func(ev LaneInvasionEvent) { events = append(events, ev) }
+	ego, _ := w.SpawnEgo(vehicle.Sedan(), geom.Pose{})
+	w.WatchLane(ego.ID, false)
+	ego.Plant.SetState(vehicle.State{Pose: geom.Pose{Yaw: 0.3}, Speed: 15})
+	for i := 0; i < 50*5; i++ {
+		w.Step(tick)
+	}
+	if len(events) != 0 {
+		t.Fatalf("events despite watch disabled: %+v", events)
+	}
+}
+
+func TestGapAhead(t *testing.T) {
+	w := New(straightMap(t, 500))
+	ego, _ := w.SpawnEgo(vehicle.Sedan(), geom.Pose{Pos: geom.V(0, 0)})
+	lead := mustRail(t, w.Map.Reference, 50, nil, 1)
+	leadActor, _ := w.SpawnScripted(KindCar, "lead", geom.V(4.7, 1.9), lead)
+
+	gap, found := w.GapAhead(ego, 3.0, 200)
+	if found == nil || found.ID != leadActor.ID {
+		t.Fatalf("GapAhead found %v", found)
+	}
+	want := 50.0 - 4.7 // center distance minus two half-lengths
+	if math.Abs(gap-want) > 1e-6 {
+		t.Fatalf("gap = %v, want %v", gap, want)
+	}
+}
+
+func TestGapAheadIgnoresBehindAndSideways(t *testing.T) {
+	w := New(straightMap(t, 500))
+	ego, _ := w.SpawnEgo(vehicle.Sedan(), geom.Pose{Pos: geom.V(100, 0)})
+	behind := mustRail(t, w.Map.Reference, 50, nil, 1)
+	w.SpawnScripted(KindCar, "behind", geom.V(4.7, 1.9), behind)
+	lane2, _ := w.Map.LaneByID("d2")
+	side := mustRail(t, lane2.Center, 130, nil, 1)
+	w.SpawnScripted(KindCar, "side", geom.V(4.7, 1.9), side)
+
+	if gap, found := w.GapAhead(ego, 3.0, 200); found != nil {
+		t.Fatalf("GapAhead found %v at %v, want clear corridor", found.Name, gap)
+	}
+}
+
+func TestGapAheadRange(t *testing.T) {
+	w := New(straightMap(t, 2000))
+	ego, _ := w.SpawnEgo(vehicle.Sedan(), geom.Pose{})
+	far := mustRail(t, w.Map.Reference, 500, nil, 1)
+	w.SpawnScripted(KindCar, "far", geom.V(4.7, 1.9), far)
+	if _, found := w.GapAhead(ego, 3.0, 200); found != nil {
+		t.Fatal("actor beyond range reported")
+	}
+}
+
+func TestWorldFrameAndTime(t *testing.T) {
+	w := New(straightMap(t, 100))
+	for i := 0; i < 50; i++ {
+		w.Step(tick)
+	}
+	if w.Frame() != 50 {
+		t.Fatalf("frame = %d, want 50", w.Frame())
+	}
+	if got := w.SimTime().Seconds(); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("sim time = %v, want 1s", got)
+	}
+}
+
+func TestNearestLane(t *testing.T) {
+	m := straightMap(t, 100)
+	lane, s, lat := m.NearestLane(geom.V(50, 3.0))
+	if lane == nil || lane.ID != "d2" {
+		t.Fatalf("nearest lane = %v", lane)
+	}
+	if math.Abs(s-50) > 1e-9 || math.Abs(lat-(-0.5)) > 1e-9 {
+		t.Fatalf("projection = (%v, %v)", s, lat)
+	}
+}
+
+func TestLaneContains(t *testing.T) {
+	m := straightMap(t, 100)
+	lane, _ := m.LaneByID("d1")
+	if _, _, in := lane.Contains(geom.V(50, 1.0)); !in {
+		t.Fatal("point inside lane reported outside")
+	}
+	if _, _, in := lane.Contains(geom.V(50, 2.0)); in {
+		t.Fatal("point outside lane reported inside")
+	}
+}
+
+func TestBlendedRouteLaneChange(t *testing.T) {
+	m := straightMap(t, 300)
+	route, err := BlendedRoute(m.Reference, []OffsetSegment{
+		{FromStation: 0, Offset: 0},
+		{FromStation: 100, Offset: 3.5},
+		{FromStation: 200, Offset: 0},
+	}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before the change: on d1. Mid-way after station 130: on d2.
+	if p := route.PointAt(50); math.Abs(p.Y) > 0.01 {
+		t.Fatalf("route at 50m: %v, want on d1", p)
+	}
+	s, _ := route.Project(geom.V(160, 3.5))
+	if p := route.PointAt(s); math.Abs(p.Y-3.5) > 0.05 {
+		t.Fatalf("route at x=160: %v, want on d2", p)
+	}
+	// Blend is smooth: no lateral jumps > 0.5 m between samples.
+	pts := route.Points()
+	for i := 1; i < len(pts); i++ {
+		if math.Abs(pts[i].Y-pts[i-1].Y) > 0.5 {
+			t.Fatalf("lateral jump at %d: %v -> %v", i, pts[i-1], pts[i])
+		}
+	}
+}
+
+func TestBlendedRouteValidation(t *testing.T) {
+	m := straightMap(t, 100)
+	if _, err := BlendedRoute(nil, []OffsetSegment{{0, 0}}, 30); err == nil {
+		t.Fatal("nil reference accepted")
+	}
+	if _, err := BlendedRoute(m.Reference, nil, 30); err == nil {
+		t.Fatal("empty segments accepted")
+	}
+	if _, err := BlendedRoute(m.Reference, []OffsetSegment{{50, 0}, {50, 1}}, 30); err == nil {
+		t.Fatal("unordered segments accepted")
+	}
+}
+
+func TestTown5Geometry(t *testing.T) {
+	m := Town5()
+	if m.Reference.Length() < 1400 {
+		t.Fatalf("Town5 reference length = %v, want ≥ 1400 m", m.Reference.Length())
+	}
+	for _, id := range []string{LaneDrive1, LaneDrive2, LaneOpposing, LaneShoulder} {
+		lane, ok := m.LaneByID(id)
+		if !ok {
+			t.Fatalf("lane %q missing", id)
+		}
+		if lane.Width <= 0 {
+			t.Fatalf("lane %q width %v", id, lane.Width)
+		}
+	}
+	// Lanes must be laterally separated everywhere along the road.
+	d1, _ := m.LaneByID(LaneDrive1)
+	d2, _ := m.LaneByID(LaneDrive2)
+	for s := 0.0; s < d1.Center.Length(); s += 50 {
+		p := d1.Center.PointAt(s)
+		_, lat := d2.Center.Project(p)
+		if math.Abs(lat) < 3.0 {
+			t.Fatalf("lanes d1/d2 only %.2f m apart at s=%v", lat, s)
+		}
+	}
+}
+
+func TestTrainingTownClosedLoop(t *testing.T) {
+	m := TrainingTown()
+	ref := m.Reference
+	start, end := ref.PointAt(0), ref.PointAt(ref.Length())
+	if start.Dist(end) > 5 {
+		t.Fatalf("training loop not closed: start %v end %v", start, end)
+	}
+}
+
+func TestActorKindString(t *testing.T) {
+	if KindEgo.String() != "ego" || KindParkedCar.String() != "parked-car" {
+		t.Fatal("kind names wrong")
+	}
+	if ActorKind(42).String() == "" {
+		t.Fatal("unknown kind should render")
+	}
+	if LaneCrossed.String() != "crossed" || LaneDeparted.String() != "departed" {
+		t.Fatal("lane event names wrong")
+	}
+}
+
+func TestRailDwellStops(t *testing.T) {
+	m := straightMap(t, 500)
+	rail := mustRail(t, m.Reference, 0, []ProfilePoint{{Station: 0, Speed: 10}}, 3)
+	rail.SetStops([]Stop{{Station: 100, Hold: 2}})
+	stoppedAt := -1.0
+	var resumeTime float64
+	stopTime := -1.0
+	for i := 0; i < 50*60; i++ {
+		rail.Step(tick)
+		now := float64(i+1) * tick
+		if rail.Speed() == 0 && stopTime < 0 && rail.Station() > 50 {
+			stopTime = now
+			stoppedAt = rail.Station()
+		}
+		if stopTime > 0 && resumeTime == 0 && rail.Speed() > 0.5 {
+			resumeTime = now
+		}
+	}
+	if stopTime < 0 {
+		t.Fatal("rail never stopped at the dwell stop")
+	}
+	if stoppedAt < 95 || stoppedAt > 110 {
+		t.Fatalf("stopped at station %v, want ≈100", stoppedAt)
+	}
+	if resumeTime == 0 {
+		t.Fatal("rail never resumed after the dwell")
+	}
+	if dwell := resumeTime - stopTime; dwell < 1.8 || dwell > 3.5 {
+		t.Fatalf("dwell = %vs, want ≈2s", dwell)
+	}
+	// Rail continues past the stop afterwards.
+	if rail.Station() < 150 {
+		t.Fatalf("rail stuck at %v after dwell", rail.Station())
+	}
+}
+
+func TestRailMultipleStops(t *testing.T) {
+	m := straightMap(t, 500)
+	rail := mustRail(t, m.Reference, 0, []ProfilePoint{{Station: 0, Speed: 12}}, 4)
+	rail.SetStops([]Stop{{Station: 100, Hold: 1}, {Station: 200, Hold: 1}})
+	zeroSpells := 0
+	wasZero := false
+	for i := 0; i < 50*90; i++ {
+		rail.Step(tick)
+		isZero := rail.Speed() == 0 && !rail.Done()
+		if isZero && !wasZero {
+			zeroSpells++
+		}
+		wasZero = isZero
+	}
+	if zeroSpells != 2 {
+		t.Fatalf("stop spells = %d, want 2", zeroSpells)
+	}
+}

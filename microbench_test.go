@@ -1,0 +1,159 @@
+// Substrate micro-benchmarks: throughput of the building blocks the
+// experiment harness is made of. These are conventional performance
+// benchmarks (ns/op, allocs/op) rather than result reproductions.
+package teledrive_test
+
+import (
+	"testing"
+	"time"
+
+	"teledrive/internal/driver"
+	"teledrive/internal/geom"
+	"teledrive/internal/metrics"
+	"teledrive/internal/netem"
+	"teledrive/internal/rds"
+	"teledrive/internal/scenario"
+	"teledrive/internal/sensors"
+	"teledrive/internal/simclock"
+	"teledrive/internal/transport"
+	"teledrive/internal/vehicle"
+	"teledrive/internal/world"
+)
+
+func BenchmarkNetemLink(b *testing.B) {
+	clk := simclock.New()
+	link := netem.NewLink("bench", clk, 1, func(netem.Packet) {})
+	if err := link.AddRule(netem.Rule{
+		Delay: 20 * time.Millisecond, Jitter: 5 * time.Millisecond, Loss: 0.02, Limit: 1 << 20,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 1400)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		link.Send(payload)
+		if i%64 == 0 {
+			clk.Advance(time.Millisecond)
+		}
+	}
+	clk.Advance(time.Minute)
+}
+
+func BenchmarkTransportRoundTrip(b *testing.B) {
+	clk := simclock.New()
+	received := 0
+	conn := transport.Connect(clk, 1, transport.Options{Reliable: true},
+		func([]byte, uint64, time.Duration) {},
+		func([]byte, uint64, time.Duration) { received++ },
+	)
+	payload := make([]byte, 24000) // one video frame
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := conn.A.Send(payload); err != nil {
+			b.Fatal(err)
+		}
+		clk.Advance(36 * time.Millisecond)
+	}
+	if received == 0 {
+		b.Fatal("nothing delivered")
+	}
+}
+
+func BenchmarkWorldStep(b *testing.B) {
+	built, err := scenario.FollowVehicle().Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	built.Ego.Plant.Apply(vehicle.Control{Throttle: 0.4})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		built.World.Step(0.02)
+	}
+}
+
+func BenchmarkCameraCapture(b *testing.B) {
+	built, err := scenario.FollowVehicle().Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cam := sensors.NewCamera(built.World, built.Ego)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		view := cam.Capture()
+		buf := sensors.MarshalWorldView(view)
+		if _, err := sensors.UnmarshalWorldView(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSRRCompute(b *testing.B) {
+	cfg := metrics.DefaultSRRConfig()
+	steer := make([]float64, int(cfg.SampleRate)*200) // a 200 s run
+	for i := range steer {
+		steer[i] = 0.02 * float64(i%50-25) / 25
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := metrics.ComputeSRR(steer, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDriverTick(b *testing.B) {
+	clk := simclock.New()
+	built, err := scenario.FollowVehicle().Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	prof, _ := driver.SubjectByName("T5")
+	view := sensors.NewCamera(built.World, built.Ego).Capture()
+	perc := staticPerception{view: view}
+	drv, err := driver.New(clk, perc, driver.DefaultConfig(prof, built.Task))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drv.Tick(time.Duration(i) * 20 * time.Millisecond)
+	}
+}
+
+type staticPerception struct{ view sensors.WorldView }
+
+func (p staticPerception) Frame() (sensors.WorldView, bool) { return p.view, true }
+func (p staticPerception) FrameAge() time.Duration          { return 36 * time.Millisecond }
+
+func BenchmarkFullScenarioRun(b *testing.B) {
+	prof, _ := driver.SubjectByName("T5")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := rds.Run(rds.BenchConfig{
+			Scenario: scenario.LaneChangeSlalom(), Profile: prof, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !out.Completed {
+			b.Fatal("run did not complete")
+		}
+	}
+}
+
+func BenchmarkPathProject(b *testing.B) {
+	m := world.Town5()
+	p := geom.V(500, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Reference.Project(p)
+	}
+}
