@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test vet race bench
+
+# Tier-1 verification: everything must build, vet clean, and pass.
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: vet
+	$(GO) test ./...
+
+# Race-detector smoke over the packages with concurrent execution: the
+# campaign worker pool, the core run path it parallelises, and the
+# validity sweep pool. The determinism and parallel tests in these
+# packages exercise multi-worker execution, so data races in the
+# plan/execute split surface here.
+race:
+	$(GO) test -race ./internal/campaign/... ./internal/core/... ./internal/validity/...
+
+# Per-table/figure reproduction benches + ablations + worker scaling.
+bench:
+	$(GO) test -bench=. -benchmem

@@ -11,6 +11,7 @@
 package teledrive_test
 
 import (
+	"fmt"
 	"io"
 	"os"
 	"sync"
@@ -239,6 +240,50 @@ func BenchmarkValiditySweep(b *testing.B) {
 	}
 	b.ReportMetric(grade(simPts, "loss 10%"), "sim_loss10_grade")
 	b.ReportMetric(grade(mvPts, "loss 10%"), "model_loss10_grade")
+}
+
+// BenchmarkCampaignWorkers measures the plan/execute split's scaling:
+// the full default campaign (12 subjects × 3 scenarios × golden+faulty
+// = 72 cells) at 1, 2, 4, and 8 workers. Results are bit-identical
+// across worker counts (the determinism tests enforce it); only the
+// wall clock changes — compare wall_s (or ns/op) across the
+// sub-benchmarks for the true speedup. The concurrency metric (summed
+// per-cell wall-clock ÷ campaign wall-clock) is the average number of
+// in-flight cells: on a host with ≥ workers cores it coincides with
+// the speedup; on an oversubscribed host it only shows the pool kept
+// N cells running while the wall clock stayed put.
+func BenchmarkCampaignWorkers(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var res *campaign.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = campaign.Run(campaign.Config{
+					Seed:                 4,
+					Plan:                 campaign.PlanPaper,
+					ApplyPaperExclusions: true,
+					Workers:              w,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			var cellSum time.Duration
+			for _, sub := range res.Subjects {
+				if sub.Training != nil {
+					cellSum += sub.Training.Elapsed
+				}
+				for _, run := range sub.Runs {
+					cellSum += run.Golden.Elapsed + run.Faulty.Elapsed
+				}
+			}
+			b.ReportMetric(res.Elapsed.Seconds(), "wall_s")
+			b.ReportMetric(cellSum.Seconds(), "cells_s")
+			if res.Elapsed > 0 {
+				b.ReportMetric(cellSum.Seconds()/res.Elapsed.Seconds(), "concurrency")
+			}
+		})
+	}
 }
 
 // --- Ablations (DESIGN.md §5) -------------------------------------------

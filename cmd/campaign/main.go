@@ -43,6 +43,7 @@ func run(args []string) error {
 		htmlOut   = fs.String("html", "", "write a self-contained HTML dashboard to this file")
 		csvDir    = fs.String("csv", "", "export per-run CSV logs to this directory")
 		noExclude = fs.Bool("no-exclusions", false, "keep T7 and skip the paper's missing-data masks")
+		workers   = fs.Int("workers", 0, "parallel simulation workers (0 = all CPUs, 1 = sequential); results are identical for any value")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,12 +63,13 @@ func run(args []string) error {
 		return fmt.Errorf("unknown plan %q", *plan)
 	}
 
-	fmt.Printf("running campaign: seed=%d plan=%s training=%v ...\n", *seed, *plan, *training)
+	fmt.Printf("running campaign: seed=%d plan=%s training=%v workers=%d ...\n", *seed, *plan, *training, *workers)
 	res, err := campaign.Run(campaign.Config{
 		Seed:                 *seed,
 		Plan:                 mode,
 		IncludeTraining:      *training,
 		ApplyPaperExclusions: !*noExclude,
+		Workers:              *workers,
 	})
 	if err != nil {
 		return err

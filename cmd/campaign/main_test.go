@@ -1,0 +1,20 @@
+package main
+
+import "testing"
+
+func TestRunFlagErrors(t *testing.T) {
+	if err := run([]string{"-plan", "bogus"}); err == nil {
+		t.Fatal("unknown plan accepted")
+	}
+	if err := run([]string{"-workers", "x"}); err == nil {
+		t.Fatal("non-integer workers accepted")
+	}
+}
+
+func TestRunSpecOnly(t *testing.T) {
+	// -spec prints Table I and exits before any simulation, so flag
+	// plumbing (including -workers) parses without running a campaign.
+	if err := run([]string{"-spec", "-workers", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}

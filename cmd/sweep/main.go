@@ -34,6 +34,7 @@ func run(args []string) error {
 		subject = fs.String("subject", "T5", "operator profile for the simulator")
 		seed    = fs.Int64("seed", 2024, "sweep seed")
 		grid    = fs.Bool("grid", false, "run the combined delay x loss grid (future-work extension)")
+		workers = fs.Int("workers", 0, "parallel sweep-point workers (0 = all CPUs, 1 = sequential); results are identical for any value")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -57,24 +58,24 @@ func run(args []string) error {
 
 	for _, env := range envs {
 		if *grid {
-			if err := runGrid(env, *seed); err != nil {
+			if err := runGrid(env, *seed, *workers); err != nil {
 				return err
 			}
 			continue
 		}
-		if err := runLadders(env, *seed); err != nil {
+		if err := runLadders(env, *seed, *workers); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func runLadders(env validity.Env, seed int64) error {
+func runLadders(env validity.Env, seed int64, workers int) error {
 	delays := validity.PaperDelays()
 	if env.Name == "model-vehicle" {
 		delays = validity.ModelDelays()
 	}
-	points, err := validity.Sweep(env, delays, validity.PaperLosses(), seed)
+	points, err := validity.SweepWorkers(env, delays, validity.PaperLosses(), seed, workers)
 	if err != nil {
 		return err
 	}
@@ -104,13 +105,13 @@ func gradeGlyph(g validity.Drivability) string {
 	}
 }
 
-func runGrid(env validity.Env, seed int64) error {
+func runGrid(env validity.Env, seed int64, workers int) error {
 	delays := []time.Duration{0, 25 * time.Millisecond, 50 * time.Millisecond, 100 * time.Millisecond, 200 * time.Millisecond}
 	losses := []float64{0, 0.02, 0.05, 0.10}
 	if env.Name == "model-vehicle" {
 		delays = []time.Duration{0, 10 * time.Millisecond, 20 * time.Millisecond, 50 * time.Millisecond, 100 * time.Millisecond}
 	}
-	grid, err := validity.GridSweep(env, delays, losses, seed)
+	grid, err := validity.GridSweepWorkers(env, delays, losses, seed, workers)
 	if err != nil {
 		return err
 	}

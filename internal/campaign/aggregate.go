@@ -8,6 +8,18 @@ import (
 	"teledrive/internal/metrics"
 )
 
+// sortedLabels returns the map's keys in sorted order, so that float
+// accumulations over the map are reproducible (Go randomizes map
+// iteration order between calls).
+func sortedLabels[V any](m map[string]V) []string {
+	labels := make([]string, 0, len(m))
+	for label := range m {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	return labels
+}
+
 // TableII is the fault-injection summary (paper Table II): per subject,
 // the number of faults of each type actually injected.
 type TableII struct {
@@ -70,17 +82,20 @@ func (r *Result) BuildTableIII() TableIII {
 		}
 		merged := make(map[string]metrics.TTCResult)
 		for _, run := range sub.Runs {
+			// Merge in sorted label order: Merge's weighted average is
+			// not associative in floating point, so map-order iteration
+			// would make merged cells nondeterministic between calls.
 			// Golden-run TTC (all of it counts as NFI).
-			for _, res := range run.Golden.Analysis.TTCByCondition {
-				merged["NFI"] = metrics.Merge(merged["NFI"], res)
+			for _, label := range sortedLabels(run.Golden.Analysis.TTCByCondition) {
+				merged["NFI"] = metrics.Merge(merged["NFI"], run.Golden.Analysis.TTCByCondition[label])
 			}
 			// Faulty-run TTC per condition; the faulty run's own NFI
 			// spans are not a table column in the paper and are skipped.
-			for label, res := range run.Faulty.Analysis.TTCByCondition {
+			for _, label := range sortedLabels(run.Faulty.Analysis.TTCByCondition) {
 				if label == "NFI" {
 					continue
 				}
-				merged[label] = metrics.Merge(merged[label], res)
+				merged[label] = metrics.Merge(merged[label], run.Faulty.Analysis.TTCByCondition[label])
 			}
 		}
 		for label, res := range merged {
@@ -159,8 +174,17 @@ func (r *Result) BuildTableIV() TableIV {
 			row.FI = SRRCell{Present: true, Rate: faultyRevMin / faultyMin}
 		}
 		if !row.MissingFaulty {
+			// Iterate in sorted label order: float accumulation is not
+			// associative, so map-order iteration would make the Avg
+			// column nondeterministic at the bit level between calls.
+			labels := make([]string, 0, len(condMin))
+			for label := range condMin {
+				labels = append(labels, label)
+			}
+			sort.Strings(labels)
 			var avgRev, avgMin float64
-			for label, m := range condMin {
+			for _, label := range labels {
+				m := condMin[label]
 				if m <= 0 {
 					continue
 				}

@@ -1,8 +1,6 @@
 package campaign
 
 import (
-	"fmt"
-	"math/rand"
 	"time"
 
 	"teledrive/internal/core"
@@ -40,6 +38,12 @@ type Config struct {
 	// ApplyPaperExclusions reproduces §VI-A: exclude T7 and mask the
 	// cells whose recordings failed.
 	ApplyPaperExclusions bool
+	// Workers bounds the number of simulation cells run concurrently
+	// during the execute phase. 0 means runtime.GOMAXPROCS(0); 1 is the
+	// exact legacy sequential path. Campaign results are bit-identical
+	// for every value — all randomness is consumed by the sequential
+	// plan phase and every cell carries an explicit seed.
+	Workers int
 }
 
 func (c *Config) fillDefaults() {
@@ -60,10 +64,13 @@ type ScenarioResult struct {
 
 // SubjectResult is everything one subject produced.
 type SubjectResult struct {
-	Profile  driver.Profile
-	Budget   FaultBudget
-	Runs     []ScenarioResult
-	Training *core.Result // nil unless IncludeTraining
+	Profile driver.Profile
+	Budget  FaultBudget
+	// Assignment is the plan-phase POI→condition mapping the faulty
+	// runs executed (one slice per scenario).
+	Assignment Assignment
+	Runs       []ScenarioResult
+	Training   *core.Result // nil unless IncludeTraining
 
 	// Excluded reproduces the paper's §VI-A data processing (T7).
 	Excluded      bool
@@ -109,85 +116,16 @@ type Result struct {
 
 // Run executes the campaign: for every subject, a golden run and a
 // faulty run through every scenario (plus optional training), exactly
-// the §V-E2 protocol.
+// the §V-E2 protocol. It is the composition of the two phases: a
+// sequential plan (BuildPlan — consumes all campaign randomness) and a
+// parallel execute (Plan.Execute — a Config.Workers-wide pool over
+// independent cells).
 func Run(cfg Config) (*Result, error) {
-	cfg.fillDefaults()
-	started := time.Now()
-	budgets := PaperFaultBudgets()
-	rng := rand.New(rand.NewSource(cfg.Seed))
-
-	res := &Result{Config: cfg}
-	for _, prof := range cfg.Subjects {
-		sub := SubjectResult{Profile: prof}
-		if cfg.ApplyPaperExclusions {
-			if prof.Name == "T7" {
-				sub.Excluded = true
-				sub.ExcludeReason = "left-hand-drive habituation unduly affected right-hand scenarios (§VI-A)"
-			}
-			sub.Missing = paperMissing(prof.Name)
-		}
-
-		switch cfg.Plan {
-		case PlanRandom:
-			sub.Budget = RandomFaultBudget(rng)
-		default:
-			b, ok := budgets[prof.Name]
-			if !ok {
-				b = RandomFaultBudget(rng)
-			}
-			sub.Budget = b
-		}
-
-		scns := cfg.Scenarios()
-		assignment, err := BuildAssignment(scns, sub.Budget, rng)
-		if err != nil {
-			return nil, fmt.Errorf("campaign: subject %s: %w", prof.Name, err)
-		}
-
-		if cfg.IncludeTraining {
-			training, err := core.RunOne(core.RunSpec{
-				Scenario:  scenario.Training(),
-				Profile:   prof,
-				Seed:      cfg.Seed ^ prof.Seed ^ 0x7e57,
-				Transport: cfg.Transport,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("campaign: subject %s training: %w", prof.Name, err)
-			}
-			sub.Training = training
-		}
-
-		for i, scn := range scns {
-			seed := cfg.Seed ^ prof.Seed ^ int64(i)<<32
-			golden, err := core.RunOne(core.RunSpec{
-				Scenario:  scn,
-				Profile:   prof,
-				Seed:      seed,
-				Faults:    core.GoldenPlan(scn),
-				Transport: cfg.Transport,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("campaign: subject %s golden %s: %w", prof.Name, scn.Name, err)
-			}
-			// Fresh scenario instance for the faulty run: worlds are
-			// single-use.
-			faultyScn := cfg.Scenarios()[i]
-			faulty, err := core.RunOne(core.RunSpec{
-				Scenario:  faultyScn,
-				Profile:   prof,
-				Seed:      seed ^ 0xFA11,
-				Faults:    assignment.PerScenario[i],
-				Transport: cfg.Transport,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("campaign: subject %s faulty %s: %w", prof.Name, scn.Name, err)
-			}
-			sub.Runs = append(sub.Runs, ScenarioResult{Scenario: scn, Golden: golden, Faulty: faulty})
-		}
-		res.Subjects = append(res.Subjects, sub)
+	plan, err := BuildPlan(cfg)
+	if err != nil {
+		return nil, err
 	}
-	res.Elapsed = time.Since(started)
-	return res, nil
+	return plan.Execute()
 }
 
 // Analysed returns the subjects that enter the result tables (excluded

@@ -14,6 +14,8 @@
 package core
 
 import (
+	"time"
+
 	"teledrive/internal/driver"
 	"teledrive/internal/faultinject"
 	"teledrive/internal/rds"
@@ -39,10 +41,16 @@ type RunSpec struct {
 type Result struct {
 	Outcome  *rds.Outcome
 	Analysis *Analysis
+	// Elapsed is the wall-clock cost of this single drive (simulation +
+	// analysis, not simulated time). The campaign runner executes cells
+	// concurrently; per-cell wall-clock makes the speedup observable
+	// (sum of Elapsed over cells vs campaign.Result.Elapsed).
+	Elapsed time.Duration
 }
 
 // RunOne executes a single drive and analyses it.
 func RunOne(spec RunSpec) (*Result, error) {
+	started := time.Now()
 	out, err := rds.Run(rds.BenchConfig{
 		Scenario:         spec.Scenario,
 		Profile:          spec.Profile,
@@ -57,6 +65,7 @@ func RunOne(spec RunSpec) (*Result, error) {
 	return &Result{
 		Outcome:  out,
 		Analysis: AnalyzeRun(out.Log, spec.Scenario),
+		Elapsed:  time.Since(started),
 	}, nil
 }
 

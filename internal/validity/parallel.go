@@ -1,0 +1,179 @@
+// Parallel sweep execution. The §VIII sweeps follow the same
+// plan/execute split as the campaign runner: each sweep enumerates its
+// measurement points up front (every point carries an explicit seed),
+// runs them on a bounded worker pool, and applies classification and
+// the monotone-grade pass sequentially afterwards — so sweep results
+// are bit-identical for any worker count.
+package validity
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"teledrive/internal/netem"
+)
+
+// pointJob is one planned sweep measurement.
+type pointJob struct {
+	rule  netem.Rule
+	label string
+	// desc is the error context ("baseline", "delay 100ms", ...),
+	// matching the legacy sequential error messages.
+	desc string
+	seed int64
+}
+
+// runPoints executes the planned jobs on a bounded pool and returns
+// the points in job order. The first failure (in job order) cancels
+// outstanding work and is returned.
+func runPoints(env Env, jobs []pointJob, workers int) ([]Point, error) {
+	pts := make([]Point, len(jobs))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for i, j := range jobs {
+			p, err := RunPoint(env, j.rule, j.label, j.seed)
+			if err != nil {
+				return nil, fmt.Errorf("validity: %s %s: %w", env.Name, j.desc, err)
+			}
+			pts[i] = p
+		}
+		return pts, nil
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	queue := make(chan int)
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range queue {
+				if ctx.Err() != nil {
+					continue
+				}
+				p, err := RunPoint(env, jobs[i].rule, jobs[i].label, jobs[i].seed)
+				if err != nil {
+					errs[i] = err
+					cancel()
+					continue
+				}
+				pts[i] = p
+			}
+		}()
+	}
+	for i := range jobs {
+		queue <- i
+	}
+	close(queue)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("validity: %s %s: %w", env.Name, jobs[i].desc, err)
+		}
+	}
+	return pts, nil
+}
+
+// SweepWorkers is Sweep with a bounded worker pool: all points
+// (baseline included) are simulated concurrently, then classified and
+// monotone-adjusted sequentially. Results are bit-identical to
+// Sweep's for every workers value.
+func SweepWorkers(env Env, delays []time.Duration, losses []float64, seed int64, workers int) ([]Point, error) {
+	jobs := []pointJob{{rule: netem.Rule{}, label: "none", desc: "baseline", seed: seed}}
+	for i, d := range delays {
+		jobs = append(jobs, pointJob{
+			rule: netem.Rule{Delay: d}, label: fmt.Sprintf("delay %v", d),
+			desc: fmt.Sprintf("delay %v", d), seed: seed + int64(i) + 1,
+		})
+	}
+	for i, l := range losses {
+		jobs = append(jobs, pointJob{
+			rule: netem.Rule{Loss: l}, label: fmt.Sprintf("loss %.0f%%", l*100),
+			desc: fmt.Sprintf("loss %v", l), seed: seed + 100 + int64(i),
+		})
+	}
+	pts, err := runPoints(env, jobs, workers)
+	if err != nil {
+		return nil, err
+	}
+	pts[0].Grade = DrivOK
+	baseline := pts[0]
+	// Grades within one fault family are monotone non-decreasing in
+	// magnitude (see Sweep).
+	grade := func(from, to int) {
+		worst := DrivOK
+		for k := from; k < to; k++ {
+			pts[k].Grade = Classify(pts[k], baseline)
+			if pts[k].Grade < worst {
+				pts[k].Grade = worst
+			}
+			worst = pts[k].Grade
+		}
+	}
+	grade(1, 1+len(delays))
+	grade(1+len(delays), len(pts))
+	return pts, nil
+}
+
+// GridSweepWorkers is GridSweep with a bounded worker pool; like
+// SweepWorkers, simulation is concurrent and grading sequential.
+func GridSweepWorkers(env Env, delays []time.Duration, losses []float64, seed int64, workers int) ([]GridPoint, error) {
+	jobs := []pointJob{{rule: netem.Rule{}, label: "none", desc: "grid baseline", seed: seed}}
+	type cellRef struct {
+		di, li, job int
+	}
+	var refs []cellRef
+	for di, d := range delays {
+		for li, l := range losses {
+			if d == 0 && l == 0 {
+				refs = append(refs, cellRef{di, li, 0})
+				continue
+			}
+			label := fmt.Sprintf("delay %v + loss %.0f%%", d, l*100)
+			refs = append(refs, cellRef{di, li, len(jobs)})
+			jobs = append(jobs, pointJob{
+				rule: netem.Rule{Delay: d, Loss: l}, label: label, desc: label,
+				seed: seed + int64(di*100+li) + 1,
+			})
+		}
+	}
+	pts, err := runPoints(env, jobs, workers)
+	if err != nil {
+		return nil, err
+	}
+	pts[0].Grade = DrivOK
+	baseline := pts[0]
+
+	grades := make(map[[2]int]Drivability)
+	out := make([]GridPoint, 0, len(refs))
+	for _, ref := range refs {
+		p := pts[ref.job]
+		if ref.job != 0 {
+			p.Grade = Classify(p, baseline)
+		}
+		// Monotonicity against the left and upper neighbours.
+		if ref.di > 0 {
+			if g := grades[[2]int{ref.di - 1, ref.li}]; p.Grade < g {
+				p.Grade = g
+			}
+		}
+		if ref.li > 0 {
+			if g := grades[[2]int{ref.di, ref.li - 1}]; p.Grade < g {
+				p.Grade = g
+			}
+		}
+		grades[[2]int{ref.di, ref.li}] = p.Grade
+		out = append(out, GridPoint{Delay: delays[ref.di], Loss: losses[ref.li], Point: p})
+	}
+	return out, nil
+}

@@ -213,44 +213,13 @@ func Classify(p, baseline Point) Drivability {
 
 // Sweep runs the full §VIII sweep for one environment: the fault-free
 // baseline, then each delay and loss magnitude. Results carry grades.
+// Grades within one fault family are monotone non-decreasing in
+// magnitude: the sweep reports threshold claims ("above X ms the
+// drive degrades"), so a higher magnitude is at least as bad as a
+// lower one even when a single seeded run happens to grade milder.
+// Sweep is the sequential (one-worker) form of SweepWorkers.
 func Sweep(env Env, delays []time.Duration, losses []float64, seed int64) ([]Point, error) {
-	baseline, err := RunPoint(env, netem.Rule{}, "none", seed)
-	if err != nil {
-		return nil, fmt.Errorf("validity: %s baseline: %w", env.Name, err)
-	}
-	baseline.Grade = DrivOK
-	out := []Point{baseline}
-	// Grades within one fault family are monotone non-decreasing in
-	// magnitude: the sweep reports threshold claims ("above X ms the
-	// drive degrades"), so a higher magnitude is at least as bad as a
-	// lower one even when a single seeded run happens to grade milder.
-	worst := DrivOK
-	for i, d := range delays {
-		p, err := RunPoint(env, netem.Rule{Delay: d}, fmt.Sprintf("delay %v", d), seed+int64(i)+1)
-		if err != nil {
-			return nil, fmt.Errorf("validity: %s delay %v: %w", env.Name, d, err)
-		}
-		p.Grade = Classify(p, baseline)
-		if p.Grade < worst {
-			p.Grade = worst
-		}
-		worst = p.Grade
-		out = append(out, p)
-	}
-	worst = DrivOK
-	for i, l := range losses {
-		p, err := RunPoint(env, netem.Rule{Loss: l}, fmt.Sprintf("loss %.0f%%", l*100), seed+100+int64(i))
-		if err != nil {
-			return nil, fmt.Errorf("validity: %s loss %v: %w", env.Name, l, err)
-		}
-		p.Grade = Classify(p, baseline)
-		if p.Grade < worst {
-			p.Grade = worst
-		}
-		worst = p.Grade
-		out = append(out, p)
-	}
-	return out, nil
+	return SweepWorkers(env, delays, losses, seed, 1)
 }
 
 // PaperDelays returns the delay magnitudes discussed in §VIII.
@@ -284,43 +253,8 @@ type GridPoint struct {
 // — the paper's future-work item "evaluate more combinations of fault
 // models". The zero-fault cell is the baseline for classification, and
 // grades are monotone along each row and column (a combination is at
-// least as bad as either of its components alone).
+// least as bad as either of its components alone). GridSweep is the
+// sequential (one-worker) form of GridSweepWorkers.
 func GridSweep(env Env, delays []time.Duration, losses []float64, seed int64) ([]GridPoint, error) {
-	baseline, err := RunPoint(env, netem.Rule{}, "none", seed)
-	if err != nil {
-		return nil, fmt.Errorf("validity: %s grid baseline: %w", env.Name, err)
-	}
-	baseline.Grade = DrivOK
-
-	grades := make(map[[2]int]Drivability)
-	var out []GridPoint
-	for di, d := range delays {
-		for li, l := range losses {
-			label := fmt.Sprintf("delay %v + loss %.0f%%", d, l*100)
-			var p Point
-			if d == 0 && l == 0 {
-				p = baseline
-			} else {
-				p, err = RunPoint(env, netem.Rule{Delay: d, Loss: l}, label, seed+int64(di*100+li)+1)
-				if err != nil {
-					return nil, fmt.Errorf("validity: %s %s: %w", env.Name, label, err)
-				}
-				p.Grade = Classify(p, baseline)
-			}
-			// Monotonicity against the left and upper neighbours.
-			if di > 0 {
-				if g := grades[[2]int{di - 1, li}]; p.Grade < g {
-					p.Grade = g
-				}
-			}
-			if li > 0 {
-				if g := grades[[2]int{di, li - 1}]; p.Grade < g {
-					p.Grade = g
-				}
-			}
-			grades[[2]int{di, li}] = p.Grade
-			out = append(out, GridPoint{Delay: d, Loss: l, Point: p})
-		}
-	}
-	return out, nil
+	return GridSweepWorkers(env, delays, losses, seed, 1)
 }
