@@ -1,24 +1,43 @@
 GO ?= go
 
-.PHONY: build test vet race bench
+.PHONY: build test vet lint race fuzz check bench
 
-# Tier-1 verification: everything must build, vet clean, and pass.
+# Tier-1 verification: everything must build, vet clean, lint clean,
+# and pass.
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
 
-test: vet
+# Determinism linter (cmd/teledrive-lint): four repo-specific rules —
+# wallclock, globalrand, maporderfloat, floateq — that machine-check
+# the invariants the golden/faulty comparison depends on. See
+# internal/analysis and DESIGN.md §6.
+lint:
+	$(GO) run ./cmd/teledrive-lint ./...
+
+test: vet lint
 	$(GO) test ./...
 
-# Race-detector smoke over the packages with concurrent execution: the
-# campaign worker pool, the core run path it parallelises, and the
-# validity sweep pool. The determinism and parallel tests in these
-# packages exercise multi-worker execution, so data races in the
-# plan/execute split surface here.
+# Race-detector pass over every package. The campaign worker pool, the
+# core run path, and the validity sweep pool carry the concurrency, and
+# their determinism tests exercise multi-worker execution under the
+# detector; running ./... keeps any future concurrency covered too.
 race:
-	$(GO) test -race ./internal/campaign/... ./internal/core/... ./internal/validity/...
+	$(GO) test -race ./...
+
+# Short fuzz passes over the hostile-input surfaces: the lint
+# suppression parser (runs over every comment in the repo on each
+# `make lint`), the world-view decoder, and the transport framing.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzParseAllow -fuzztime=5s ./internal/analysis
+	$(GO) test -run='^$$' -fuzz=FuzzUnmarshalWorldView -fuzztime=5s ./internal/sensors
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeFrame -fuzztime=5s ./internal/transport
+
+# Everything a PR must survive: compile, static checks, determinism
+# lint, race-clean tests, and the short fuzz budget.
+check: build vet lint race fuzz
 
 # Per-table/figure reproduction benches + ablations + worker scaling.
 bench:

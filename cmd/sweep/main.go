@@ -125,7 +125,7 @@ func runGrid(env validity.Env, seed int64, workers int) error {
 		fmt.Printf("%12v", d)
 		for _, l := range losses {
 			for _, cell := range grid {
-				if cell.Delay == d && cell.Loss == l {
+				if cell.Delay == d && cell.Loss == l { //lint:allow floateq grid cells echo the exact values of this losses slice; never recomputed
 					fmt.Printf("%8s", gradeGlyph(cell.Point.Grade))
 					break
 				}

@@ -1,0 +1,181 @@
+// Command teledrive-lint runs the repo's determinism linter: four
+// static-analysis rules (wallclock, globalrand, maporderfloat, floateq)
+// that machine-check the invariants the campaign methodology depends on
+// — see internal/analysis and DESIGN.md §6.
+//
+// Usage:
+//
+//	teledrive-lint [-v] [packages ...]
+//
+// Package patterns are directories; a trailing /... recurses. The
+// default is ./... from the current directory. Exit status: 0 clean,
+// 1 diagnostics found, 2 the linter itself failed.
+//
+// Diagnostics print as `file:line: [rule] message`; suppress a
+// deliberate violation in place with `//lint:allow <rule> <reason>`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"teledrive/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("teledrive-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	verbose := fs.Bool("v", false, "report package count and elapsed wall-clock time")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	started := time.Now() //lint:allow wallclock timing the lint pass itself for EXPERIMENTS.md, not simulation state
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "teledrive-lint:", err)
+		return 2
+	}
+	root, err := findModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "teledrive-lint:", err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "teledrive-lint:", err)
+		return 2
+	}
+
+	dirs, err := expandPatterns(patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "teledrive-lint:", err)
+		return 2
+	}
+
+	failed := false
+	var all []analysis.Diagnostic
+	packages := 0
+	for _, dir := range dirs {
+		diags, err := loader.LintDir(dir, analysis.Analyzers())
+		if err != nil {
+			fmt.Fprintf(stderr, "teledrive-lint: %s: %v\n", dir, err)
+			failed = true
+			continue
+		}
+		packages++
+		all = append(all, diags...)
+	}
+	for _, d := range all {
+		file := d.Pos.Filename
+		if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+		fmt.Fprintf(stdout, "%s:%d: [%s] %s\n", file, d.Pos.Line, d.Rule, d.Message)
+	}
+	elapsed := time.Since(started) //lint:allow wallclock timing the lint pass itself for EXPERIMENTS.md, not simulation state
+	if *verbose {
+		fmt.Fprintf(stderr, "teledrive-lint: %d packages, %d diagnostics, %v\n", packages, len(all), elapsed.Round(time.Millisecond))
+	}
+	switch {
+	case failed:
+		return 2
+	case len(all) > 0:
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot walks up from dir to the nearest go.mod.
+func findModuleRoot(dir string) (string, error) {
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// expandPatterns resolves directory patterns into a sorted, de-duplicated
+// list of package directories containing non-test Go files. testdata
+// trees and hidden directories are skipped, mirroring the go tool.
+func expandPatterns(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		root, recurse := strings.CutSuffix(pat, "...")
+		if recurse {
+			root = strings.TrimSuffix(root, string(filepath.Separator))
+			root = strings.TrimSuffix(root, "/")
+			if root == "" {
+				root = "."
+			}
+			err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if name == "testdata" || (len(name) > 1 && (name[0] == '.' || name[0] == '_')) {
+					return filepath.SkipDir
+				}
+				if hasLintableFiles(path) {
+					add(path)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if !hasLintableFiles(pat) {
+			return nil, fmt.Errorf("no non-test Go files in %s", pat)
+		}
+		add(pat)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// hasLintableFiles reports whether dir directly contains a non-test Go
+// file.
+func hasLintableFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}

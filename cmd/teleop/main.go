@@ -129,6 +129,9 @@ type shim struct {
 	rng   *rand.Rand
 }
 
+// send drops or delays the message at the egress, then writes it.
+//
+//lint:allow wallclock live demo: injected delay rides real timers because the peer runs in real time
 func (s *shim) send(typ byte, payload []byte) {
 	s.mu.Lock()
 	roll := s.rng.Float64()
@@ -149,6 +152,8 @@ func (s *shim) send(typ byte, payload []byte) {
 }
 
 // serveVehicle steps the world in real time and streams camera frames.
+//
+//lint:allow wallclock real-time demo: wall-clock tickers ARE the physics/frame cadence here, unlike the deterministic bench
 func serveVehicle(ln net.Listener, duration, delay time.Duration, drop float64) error {
 	conn, err := ln.Accept()
 	if err != nil {
@@ -218,6 +223,8 @@ func stationOf(built *scenario.Built) float64 {
 }
 
 // runStation runs the driver model in real time against the TCP feed.
+//
+//lint:allow wallclock real-time demo: the station's simclock is slaved to the wall clock (clk.AdvanceTo(time.Since(start)))
 func runStation(addr string, prof driver.Profile, duration, delay time.Duration, drop float64) error {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {

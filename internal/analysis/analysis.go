@@ -1,0 +1,199 @@
+// Package analysis implements teledrive-lint: a repo-specific static
+// analyzer that encodes the simulation's determinism invariants as
+// machine-checked rules.
+//
+// The campaign methodology (paper §V-E2) compares golden (NFI) and
+// faulty (FI) runs pairwise, so every run must be a pure function of its
+// seed. PR 1 repaired two silent violations of that invariant by hand —
+// map-iteration float accumulation in the Table III/IV aggregation and
+// aliased *Scenario instances — and this package turns the bug classes
+// into compile-time checks so they cannot regress:
+//
+//	wallclock     no time.Now/Since/Tick/... in simulation code; only
+//	              internal/simclock may observe time.
+//	globalrand    no package-level math/rand functions (shared global
+//	              source); randomness is threaded as seeded *rand.Rand.
+//	maporderfloat no float accumulation inside `for range` over a map
+//	              (iteration order is randomized; float + is not
+//	              associative, so sums differ run to run).
+//	floateq       no ==/!= between floating-point operands.
+//
+// Legitimate sites (wall-clock measurement of the bench itself, live
+// demo loops) are annotated in place:
+//
+//	started := time.Now() //lint:allow wallclock measuring bench cost, not sim time
+//
+// The reason is mandatory; a bare //lint:allow is itself reported under
+// the pseudo-rule "lint". A suppression on (or in the doc comment of) a
+// function declaration covers the whole function. Test files are exempt
+// from all rules.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one finding, addressed by resolved source position.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+// String renders the canonical `file:line: [rule] message` form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Rule, d.Message)
+}
+
+// Analyzer is one named rule over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Analyzers returns the full rule set, in reporting-priority order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		WallclockAnalyzer,
+		GlobalRandAnalyzer,
+		MapOrderFloatAnalyzer,
+		FloatEqAnalyzer,
+	}
+}
+
+// RuleNames returns the set of rule names accepted by //lint:allow.
+func RuleNames() map[string]bool {
+	names := make(map[string]bool)
+	for _, a := range Analyzers() {
+		names[a.Name] = true
+	}
+	return names
+}
+
+// Pass is one package's worth of material handed to each analyzer: the
+// parsed files (test files already excluded) and whatever type
+// information the checker could compute. Info may be partially filled
+// when a package has type errors; analyzers must degrade gracefully.
+type Pass struct {
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Pkg     *types.Package
+	Info    *types.Info
+	PkgPath string
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, rule, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Rule:    rule,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// typeOf returns the static type of e, or nil when the checker could
+// not resolve it (e.g. an import that failed to load).
+func (p *Pass) typeOf(e ast.Expr) types.Type {
+	if p.Info == nil {
+		return nil
+	}
+	return p.Info.TypeOf(e)
+}
+
+// isPkgIdent reports whether id, appearing in file, refers to the
+// package imported under path. It prefers type-checker resolution (which
+// sees shadowing) and falls back to the file's import table when the
+// checker has no verdict for the identifier.
+func (p *Pass) isPkgIdent(file *ast.File, id *ast.Ident, path string) bool {
+	if p.Info != nil {
+		if obj, ok := p.Info.Uses[id]; ok {
+			pn, ok := obj.(*types.PkgName)
+			return ok && pn.Imported().Path() == path
+		}
+	}
+	name := localImportName(file, path)
+	return name != "" && id.Name == name
+}
+
+// localImportName returns the identifier path is bound to in file, or
+// "" when the file does not import it by a usable name.
+func localImportName(file *ast.File, path string) string {
+	quoted := `"` + path + `"`
+	for _, imp := range file.Imports {
+		if imp.Path.Value != quoted {
+			continue
+		}
+		if imp.Name == nil {
+			// Default name: the last path element.
+			base := path
+			for i := len(path) - 1; i >= 0; i-- {
+				if path[i] == '/' {
+					base = path[i+1:]
+					break
+				}
+			}
+			return base
+		}
+		if imp.Name.Name == "_" || imp.Name.Name == "." {
+			return ""
+		}
+		return imp.Name.Name
+	}
+	return ""
+}
+
+// isFloat reports whether t's core type is float32 or float64 (or an
+// untyped float constant).
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// run applies the analyzers to the pass, filters suppressed findings,
+// appends malformed-suppression findings, and returns the remainder in
+// deterministic position order.
+func run(pass *Pass, analyzers []*Analyzer) []Diagnostic {
+	for _, a := range analyzers {
+		a.Run(pass)
+	}
+	sup, supDiags := collectSuppressions(pass.Fset, pass.Files, RuleNames())
+	var kept []Diagnostic
+	seen := make(map[Diagnostic]bool)
+	for _, d := range pass.diags {
+		// Nested map ranges can report the same statement twice (once per
+		// enclosing range); dedupe on the full diagnostic.
+		if !seen[d] && !sup.covers(d) {
+			seen[d] = true
+			kept = append(kept, d)
+		}
+	}
+	kept = append(kept, supDiags...)
+	sortDiagnostics(kept)
+	return kept
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+}

@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Each fixture package under testdata/src encodes its expected
+// diagnostics as `// want <rule> "<substring>"` markers on the
+// violating line (`// want+1` points at the next line, for diagnostics
+// raised on comments). Packages without markers must be clean.
+var fixtureDirs = []string{
+	"wallclock",
+	"globalrand",
+	"maporderfloat",
+	"floateq",
+	"suppress",
+	"clean",
+	"internal/simclock",
+}
+
+func TestFixtures(t *testing.T) {
+	loader, err := NewLoader(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range fixtureDirs {
+		t.Run(strings.ReplaceAll(name, "/", "_"), func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", filepath.FromSlash(name))
+			diags, err := loader.LintDir(dir, Analyzers())
+			if err != nil {
+				t.Fatal(err)
+			}
+			wants := parseWants(t, dir)
+			matchDiagnostics(t, diags, wants)
+		})
+	}
+}
+
+// TestRepoIsClean lints the real module: the repository itself must
+// stay free of unsuppressed violations, or `make lint` (and with it
+// tier-1 verification) breaks.
+func TestRepoIsClean(t *testing.T) {
+	root := filepath.Join("..", "..")
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failures []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if name == "testdata" || (len(name) > 1 && (name[0] == '.' || name[0] == '_')) {
+			return filepath.SkipDir
+		}
+		diags, err := loader.LintDir(path, Analyzers())
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		for _, dg := range diags {
+			failures = append(failures, dg.String())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range failures {
+		t.Errorf("unsuppressed violation: %s", f)
+	}
+}
+
+type want struct {
+	file   string
+	line   int
+	rule   string
+	substr string
+}
+
+var wantRe = regexp.MustCompile(`// want(\+1)? ([a-z]+) "([^"]*)"`)
+
+// parseWants scans the fixture's non-test Go files for expectation
+// markers.
+func parseWants(t *testing.T, dir string) []want {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []want
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				w := want{file: path, line: i + 1, rule: m[2], substr: m[3]}
+				if m[1] == "+1" {
+					w.line++
+				}
+				wants = append(wants, w)
+			}
+		}
+	}
+	return wants
+}
+
+// matchDiagnostics checks the produced diagnostics against the want
+// markers: every want must be satisfied by exactly one diagnostic and
+// no diagnostic may go unclaimed.
+func matchDiagnostics(t *testing.T, diags []Diagnostic, wants []want) {
+	t.Helper()
+	claimed := make([]bool, len(diags))
+	for _, w := range wants {
+		found := false
+		for i, d := range diags {
+			if claimed[i] || d.Rule != w.rule || d.Pos.Line != w.line {
+				continue
+			}
+			if filepath.Clean(d.Pos.Filename) != filepath.Clean(w.file) {
+				continue
+			}
+			if !strings.Contains(d.Message, w.substr) {
+				continue
+			}
+			claimed[i] = true
+			found = true
+			break
+		}
+		if !found {
+			t.Errorf("missing diagnostic: %s:%d [%s] containing %s",
+				w.file, w.line, w.rule, strconv.Quote(w.substr))
+		}
+	}
+	for i, d := range diags {
+		if !claimed[i] {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FloatEqAnalyzer flags == and != between floating-point operands.
+// Exact float equality silently encodes an assumption about rounding:
+// two runs that should agree can differ in the last ulp (different
+// summation order, fused multiply-add, 387 vs SSE), flipping the
+// comparison and with it a collision count or an exclusion decision.
+// Sentinel checks that are genuinely exact (a value assigned from a
+// literal and never computed with) carry a //lint:allow floateq
+// annotation; the NaN idiom `x != x` is recognized and allowed.
+var FloatEqAnalyzer = &Analyzer{
+	Name: "floateq",
+	Doc:  "forbid ==/!= on floating-point operands; compare with an epsilon or restructure",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			xt, yt := pass.typeOf(bin.X), pass.typeOf(bin.Y)
+			if !isFloat(xt) && !isFloat(yt) {
+				return true
+			}
+			// Both sides constant: folded at compile time, deterministic.
+			if pass.Info != nil {
+				xv, yv := pass.Info.Types[bin.X], pass.Info.Types[bin.Y]
+				if xv.Value != nil && yv.Value != nil {
+					return true
+				}
+			}
+			// `x != x` is the standard NaN test; exact by design.
+			if bin.Op == token.NEQ && equalExpr(bin.X, bin.Y) {
+				return true
+			}
+			pass.Reportf(bin.Pos(), "floateq",
+				"floating-point %s comparison is rounding-sensitive; compare with an epsilon, use integer state, or annotate a genuinely exact sentinel with %s floateq <reason>",
+				bin.Op, allowPrefix)
+			return true
+		})
+	}
+}

@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseAllow asserts the suppression-comment parser never panics
+// and holds its invariants on arbitrary input. The parser runs over
+// every comment in the repository on every `make lint`, so a crash or a
+// misparse here would take down tier-1 verification.
+func FuzzParseAllow(f *testing.F) {
+	f.Add("//lint:allow wallclock measuring bench cost, not sim time")
+	f.Add("//lint:allow floateq")
+	f.Add("//lint:allow")
+	f.Add("//lint:allow unknown reason text")
+	f.Add("// lint:allow wallclock spaced")
+	f.Add("//lint:allowance prose")
+	f.Add("//lint:allow\twallclock\ttabbed reason")
+	f.Add("//lint:allow wallclock \x00 binary reason")
+	f.Add("")
+
+	known := RuleNames()
+	f.Fuzz(func(t *testing.T, text string) {
+		allow, matched, err := ParseAllow(text, known)
+		if !matched {
+			// Non-directives never carry an error or a payload.
+			if err != nil {
+				t.Fatalf("unmatched comment returned error: %v", err)
+			}
+			if allow != (Allow{}) {
+				t.Fatalf("unmatched comment returned payload: %+v", allow)
+			}
+			if strings.HasPrefix(text, allowPrefix+" ") {
+				t.Fatalf("directive-shaped comment %q not matched", text)
+			}
+			return
+		}
+		if !strings.HasPrefix(text, allowPrefix) {
+			t.Fatalf("matched %q without directive prefix", text)
+		}
+		if err != nil {
+			return
+		}
+		// A successful parse yields a known rule and a normalized,
+		// non-empty reason…
+		if !known[allow.Rule] {
+			t.Fatalf("parsed unknown rule %q from %q", allow.Rule, text)
+		}
+		if allow.Reason == "" || allow.Reason != strings.Join(strings.Fields(allow.Reason), " ") {
+			t.Fatalf("reason %q not normalized (from %q)", allow.Reason, text)
+		}
+		// …and reconstructing the directive round-trips exactly.
+		re, matched2, err2 := ParseAllow(allowPrefix+" "+allow.Rule+" "+allow.Reason, known)
+		if !matched2 || err2 != nil || re != allow {
+			t.Fatalf("round-trip of %+v gave %+v (matched=%v err=%v)", allow, re, matched2, err2)
+		}
+	})
+}

@@ -1,0 +1,59 @@
+package analysis
+
+import "go/ast"
+
+// globalRandBanned lists the package-level math/rand functions backed
+// by the process-global source. Constructors (rand.New, rand.NewSource,
+// rand.NewZipf) and methods on a *rand.Rand value are allowed — that is
+// exactly how seeded randomness is threaded from the plan phase.
+var globalRandBanned = map[string]bool{
+	"Int":         true,
+	"Intn":        true,
+	"Int31":       true,
+	"Int31n":      true,
+	"Int63":       true,
+	"Int63n":      true,
+	"Uint32":      true,
+	"Uint64":      true,
+	"Float32":     true,
+	"Float64":     true,
+	"NormFloat64": true,
+	"ExpFloat64":  true,
+	"Perm":        true,
+	"Shuffle":     true,
+	"Read":        true,
+	"Seed":        true,
+}
+
+// GlobalRandAnalyzer forbids the shared global math/rand source. The
+// global source is mutated by every caller in the process, so any draw
+// from it depends on unrelated goroutines' scheduling — the campaign's
+// plan/execute split only stays bit-deterministic because all
+// randomness flows through explicitly seeded *rand.Rand values.
+var GlobalRandAnalyzer = &Analyzer{
+	Name: "globalrand",
+	Doc:  "forbid package-level math/rand functions; thread seeded *rand.Rand values instead",
+	Run:  runGlobalRand,
+}
+
+func runGlobalRand(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !globalRandBanned[sel.Sel.Name] {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if !pass.isPkgIdent(file, id, "math/rand") && !pass.isPkgIdent(file, id, "math/rand/v2") {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "globalrand",
+				"rand.%s draws from the process-global source (schedule-dependent); use a seeded *rand.Rand threaded from the plan phase",
+				sel.Sel.Name)
+			return true
+		})
+	}
+}

@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrderFloatAnalyzer flags order-dependent floating-point
+// accumulation inside `for range` over a map. Go randomizes map
+// iteration order per run, and float addition/multiplication is not
+// associative, so `for _, v := range m { sum += v }` produces a
+// different low-order-bit sum on every execution — the exact bug class
+// PR 1 fixed by hand in the Table III/IV aggregation (BuildTableIII and
+// BuildTableIV now iterate sorted keys). Appending float values in map
+// order is flagged too: the slice order feeds whatever reduction runs
+// downstream.
+var MapOrderFloatAnalyzer = &Analyzer{
+	Name: "maporderfloat",
+	Doc:  "forbid float accumulation (+=, *=, x = x+v, append) in map-iteration order; iterate sorted keys",
+	Run:  runMapOrderFloat,
+}
+
+// accumOps are the compound assignment operators whose result depends
+// on evaluation order under floating point.
+var accumOps = map[token.Token]string{
+	token.ADD_ASSIGN: "+=",
+	token.SUB_ASSIGN: "-=",
+	token.MUL_ASSIGN: "*=",
+	token.QUO_ASSIGN: "/=",
+}
+
+// selfOps are the binary operators that make `x = x <op> v` an
+// accumulation.
+var selfOps = map[token.Token]bool{
+	token.ADD: true,
+	token.SUB: true,
+	token.MUL: true,
+	token.QUO: true,
+}
+
+func runMapOrderFloat(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.typeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, ok := t.Underlying().(*types.Map); !ok {
+				return true
+			}
+			checkMapRangeBody(pass, rs)
+			return true
+		})
+	}
+}
+
+// checkMapRangeBody walks every statement (including nested loops)
+// executed per map iteration. Accumulation into a cell indexed by the
+// range key itself (`sum[k] += v` inside `for k, v := range m`) is
+// exempt: each key is visited exactly once, so the per-cell result is
+// independent of iteration order — the grouped-aggregation idiom the
+// Table III/IV code uses.
+func checkMapRangeBody(pass *Pass, rs *ast.RangeStmt) {
+	keyObj, keyName := rangeKey(pass, rs)
+	perKeyCell := func(lhs ast.Expr) bool {
+		idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+		return ok && isRangeKey(pass, idx.Index, keyObj, keyName)
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if len(as.Lhs) == 1 && perKeyCell(as.Lhs[0]) {
+			return true
+		}
+		if op, ok := accumOps[as.Tok]; ok && len(as.Lhs) == 1 && isFloat(pass.typeOf(as.Lhs[0])) {
+			pass.Reportf(as.Pos(), "maporderfloat",
+				"float %s accumulation inside map iteration: map order is randomized and float %s is not associative; iterate sorted keys",
+				op, op[:1])
+			return true
+		}
+		if as.Tok == token.ASSIGN && len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+			if bin, ok := as.Rhs[0].(*ast.BinaryExpr); ok && selfOps[bin.Op] && isFloat(pass.typeOf(as.Lhs[0])) {
+				if equalExpr(as.Lhs[0], bin.X) || equalExpr(as.Lhs[0], bin.Y) {
+					pass.Reportf(as.Pos(), "maporderfloat",
+						"float accumulation (x = x %s v) inside map iteration: map order is randomized; iterate sorted keys", bin.Op)
+					return true
+				}
+			}
+			if isFloatAppend(pass, as.Rhs[0]) {
+				pass.Reportf(as.Pos(), "maporderfloat",
+					"appending floats in map-iteration order: the slice order is randomized per run; iterate sorted keys or sort before reducing")
+			}
+		}
+		return true
+	})
+}
+
+// rangeKey extracts the range statement's key variable, when it is a
+// named identifier.
+func rangeKey(pass *Pass, rs *ast.RangeStmt) (types.Object, string) {
+	id, ok := rs.Key.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil, ""
+	}
+	if pass.Info != nil {
+		if obj := pass.Info.Defs[id]; obj != nil {
+			return obj, id.Name
+		}
+		if obj := pass.Info.Uses[id]; obj != nil { // `for k = range m` form
+			return obj, id.Name
+		}
+	}
+	return nil, id.Name
+}
+
+// isRangeKey reports whether e is a use of the range key variable.
+func isRangeKey(pass *Pass, e ast.Expr, keyObj types.Object, keyName string) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || keyName == "" || id.Name != keyName {
+		return false
+	}
+	if keyObj != nil && pass.Info != nil {
+		if obj, ok := pass.Info.Uses[id]; ok {
+			return obj == keyObj
+		}
+	}
+	return true
+}
+
+// isFloatAppend reports whether e is append(s, v...) where the element
+// type is floating point.
+func isFloatAppend(pass *Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	if pass.Info != nil {
+		// Ensure this is the builtin, not a local function named append.
+		if obj, ok := pass.Info.Uses[fn]; ok {
+			if _, isBuiltin := obj.(*types.Builtin); !isBuiltin {
+				return false
+			}
+		}
+	}
+	s, ok := pass.typeOf(call.Args[0]).(*types.Slice)
+	return ok && isFloat(s.Elem())
+}
+
+// equalExpr reports whether two expressions are syntactically the same
+// simple lvalue: identifiers, selector chains, pointer derefs, and
+// index expressions with identifier or literal indices.
+func equalExpr(a, b ast.Expr) bool {
+	a, b = ast.Unparen(a), ast.Unparen(b)
+	switch x := a.(type) {
+	case *ast.Ident:
+		y, ok := b.(*ast.Ident)
+		return ok && x.Name == y.Name
+	case *ast.SelectorExpr:
+		y, ok := b.(*ast.SelectorExpr)
+		return ok && x.Sel.Name == y.Sel.Name && equalExpr(x.X, y.X)
+	case *ast.StarExpr:
+		y, ok := b.(*ast.StarExpr)
+		return ok && equalExpr(x.X, y.X)
+	case *ast.IndexExpr:
+		y, ok := b.(*ast.IndexExpr)
+		return ok && equalExpr(x.X, y.X) && equalExpr(x.Index, y.Index)
+	case *ast.BasicLit:
+		y, ok := b.(*ast.BasicLit)
+		return ok && x.Kind == y.Kind && x.Value == y.Value
+	}
+	return false
+}

@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowPrefix is the suppression marker. Like //go:build directives it
+// must start flush against the comment slashes: "// lint:allow" is prose,
+// not a directive.
+const allowPrefix = "//lint:allow"
+
+// Allow is one parsed suppression: which rule to silence and why. The
+// reason is mandatory — a suppression without a recorded justification
+// is exactly the tribal knowledge this linter exists to eliminate.
+type Allow struct {
+	Rule   string
+	Reason string
+}
+
+// ParseAllow parses a raw comment (including the leading "//"). The
+// second result reports whether the comment is a lint:allow directive at
+// all; when it is, a non-nil error means the directive is malformed
+// (missing rule, unknown rule, or missing reason) and must be reported.
+func ParseAllow(text string, known map[string]bool) (Allow, bool, error) {
+	rest, ok := strings.CutPrefix(text, allowPrefix)
+	if !ok {
+		return Allow{}, false, nil
+	}
+	// "//lint:allowance" is not a directive; "//lint:allow<space>..." is.
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return Allow{}, false, nil
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return Allow{}, true, fmt.Errorf("missing rule name (want %q)", allowPrefix+" <rule> <reason>")
+	}
+	rule := fields[0]
+	if !known[rule] {
+		return Allow{}, true, fmt.Errorf("unknown rule %q", rule)
+	}
+	reason := strings.Join(fields[1:], " ")
+	if reason == "" {
+		return Allow{}, true, fmt.Errorf("rule %s: missing reason — say why the violation is safe", rule)
+	}
+	return Allow{Rule: rule, Reason: reason}, true, nil
+}
+
+// suppression is an Allow resolved to a file-line range.
+type suppression struct {
+	rule      string
+	startLine int
+	endLine   int
+}
+
+// suppressionSet indexes suppressions by filename.
+type suppressionSet map[string][]suppression
+
+func (s suppressionSet) covers(d Diagnostic) bool {
+	for _, sup := range s[d.Pos.Filename] {
+		if sup.rule == d.Rule && d.Pos.Line >= sup.startLine && d.Pos.Line <= sup.endLine {
+			return true
+		}
+	}
+	return false
+}
+
+// collectSuppressions scans every comment in files. Well-formed allows
+// become range suppressions: a comment inside (or trailing) a statement
+// line covers that line and the next, and a comment in a function's doc
+// group covers the whole declaration. Malformed allows are returned as
+// "lint" diagnostics — an unreadable suppression must fail the build,
+// not silently suppress nothing.
+func collectSuppressions(fset *token.FileSet, files []*ast.File, known map[string]bool) (suppressionSet, []Diagnostic) {
+	set := make(suppressionSet)
+	var diags []Diagnostic
+	for _, file := range files {
+		docOwner := docComments(file)
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				allow, matched, err := ParseAllow(c.Text, known)
+				if !matched {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if err != nil {
+					diags = append(diags, Diagnostic{
+						Pos:     pos,
+						Rule:    "lint",
+						Message: "malformed " + allowPrefix + ": " + err.Error(),
+					})
+					continue
+				}
+				sup := suppression{rule: allow.Rule, startLine: pos.Line, endLine: pos.Line + 1}
+				if decl, ok := docOwner[c]; ok {
+					sup.endLine = fset.Position(decl.End()).Line
+				}
+				set[pos.Filename] = append(set[pos.Filename], sup)
+			}
+		}
+	}
+	return set, diags
+}
+
+// docComments maps each comment that is part of a function's doc group
+// to the owning declaration.
+func docComments(file *ast.File) map[*ast.Comment]*ast.FuncDecl {
+	owner := make(map[*ast.Comment]*ast.FuncDecl)
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Doc == nil {
+			continue
+		}
+		for _, c := range fd.Doc.List {
+			owner[c] = fd
+		}
+	}
+	return owner
+}

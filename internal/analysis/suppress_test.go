@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestParseAllow(t *testing.T) {
+	known := RuleNames()
+	cases := []struct {
+		name    string
+		text    string
+		matched bool
+		wantErr string // "" = no error
+		rule    string
+		reason  string
+	}{
+		{name: "valid", text: "//lint:allow wallclock measuring bench cost", matched: true, rule: "wallclock", reason: "measuring bench cost"},
+		{name: "valid tabs", text: "//lint:allow\tfloateq\texact sentinel", matched: true, rule: "floateq", reason: "exact sentinel"},
+		{name: "reason whitespace collapsed", text: "//lint:allow globalrand   a   b  ", matched: true, rule: "globalrand", reason: "a b"},
+		{name: "missing reason", text: "//lint:allow wallclock", matched: true, wantErr: "missing reason"},
+		{name: "missing rule", text: "//lint:allow", matched: true, wantErr: "missing rule name"},
+		{name: "missing rule trailing space", text: "//lint:allow   ", matched: true, wantErr: "missing rule name"},
+		{name: "unknown rule", text: "//lint:allow wallclok typo", matched: true, wantErr: "unknown rule"},
+		{name: "not a directive", text: "// lint:allow wallclock spaced out", matched: false},
+		{name: "prose prefix", text: "//lint:allowance is prose", matched: false},
+		{name: "unrelated comment", text: "// just a comment", matched: false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			allow, matched, err := ParseAllow(tc.text, known)
+			if matched != tc.matched {
+				t.Fatalf("matched = %v, want %v", matched, tc.matched)
+			}
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("err = %v, want containing %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if !tc.matched {
+				return
+			}
+			if allow.Rule != tc.rule || allow.Reason != tc.reason {
+				t.Fatalf("got %+v, want rule=%q reason=%q", allow, tc.rule, tc.reason)
+			}
+		})
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Pos:     token.Position{Filename: "internal/core/core.go", Line: 53, Column: 13},
+		Rule:    "wallclock",
+		Message: "time.Now reads the wall clock",
+	}
+	want := "internal/core/core.go:53: [wallclock] time.Now reads the wall clock"
+	if got := d.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

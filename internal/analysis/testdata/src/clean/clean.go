@@ -1,0 +1,34 @@
+// Package clean is the negative fixture: every violation below carries
+// a well-formed suppression, so the analyzers must report nothing.
+package clean
+
+import (
+	"math/rand"
+	"time"
+)
+
+// stamp demonstrates a line-level suppression on the violating line.
+func stamp() time.Time {
+	return time.Now() //lint:allow wallclock fixture: line-level suppression
+}
+
+// above demonstrates a suppression on the line preceding the violation.
+func above() time.Time {
+	//lint:allow wallclock fixture: suppression covers the next line
+	return time.Now()
+}
+
+// session demonstrates a function-level suppression: a directive in the
+// doc comment covers the whole body.
+//
+//lint:allow wallclock fixture: func-level suppression covers every site in the body
+func session() time.Duration {
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	return time.Since(start)
+}
+
+// draw demonstrates that other rules suppress the same way.
+func draw() int {
+	return rand.Intn(6) //lint:allow globalrand fixture: demo dice roll, determinism irrelevant
+}

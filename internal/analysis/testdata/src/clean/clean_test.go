@@ -1,0 +1,22 @@
+// Test files are exempt from every rule: this file is full of raw
+// violations and the clean package must still produce zero diagnostics.
+package clean
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestExempt(t *testing.T) {
+	start := time.Now()
+	_ = rand.Intn(10)
+	var sum float64
+	m := map[string]float64{"a": 1}
+	for _, v := range m {
+		sum += v
+	}
+	if sum == 1.0 {
+		t.Log(time.Since(start))
+	}
+}

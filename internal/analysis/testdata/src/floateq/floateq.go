@@ -1,0 +1,37 @@
+// Package floateq is a fixture for the floateq analyzer: ==/!= between
+// floating-point operands must be flagged; integer comparisons, the NaN
+// idiom, and constant folding must not.
+package floateq
+
+const eps = 1e-9
+
+func bad(a, b float64, c float32) bool {
+	if a == b { // want floateq "=="
+		return true
+	}
+	if c != 3.14 { // want floateq "!="
+		return true
+	}
+	return a == 0 // want floateq "=="
+}
+
+func good(a, b float64, n int) bool {
+	if n == 0 {
+		return false
+	}
+	if a != a { // the standard NaN test is exact by design
+		return true
+	}
+	const x = 1.5
+	if x == 1.5 { // both sides constant: folded at compile time
+		return absDiff(a, b) < eps
+	}
+	return false
+}
+
+func absDiff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

@@ -1,0 +1,25 @@
+// Package globalrand is a fixture for the globalrand analyzer: draws
+// from the process-global math/rand source must be flagged, seeded
+// *rand.Rand values must not.
+package globalrand
+
+import (
+	"math/rand"
+	mrand "math/rand"
+)
+
+func bad() {
+	_ = rand.Intn(10)                  // want globalrand "rand.Intn"
+	_ = rand.Float64()                 // want globalrand "rand.Float64"
+	rand.Seed(1)                       // want globalrand "rand.Seed"
+	_ = mrand.Perm(3)                  // want globalrand "rand.Perm"
+	rand.Shuffle(2, func(i, j int) {}) // want globalrand "rand.Shuffle"
+	_ = rand.NormFloat64()             // want globalrand "rand.NormFloat64"
+}
+
+// good: constructors are how seeded randomness is made, and methods on
+// a threaded *rand.Rand are the sanctioned draw.
+func good(rng *rand.Rand) float64 {
+	local := rand.New(rand.NewSource(7))
+	return local.Float64() + rng.Float64() + float64(rng.Intn(3))
+}

@@ -1,0 +1,12 @@
+// Package simclock is a fixture proving the wallclock rule exempts the
+// sanctioned clock package: a path ending in internal/simclock may read
+// the wall clock freely (the real one wraps it behind deterministic
+// simulated time).
+package simclock
+
+import "time"
+
+// Wall returns the wall clock; allowed only here.
+func Wall() time.Time {
+	return time.Now()
+}

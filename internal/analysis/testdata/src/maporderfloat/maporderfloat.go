@@ -1,0 +1,76 @@
+// Package maporderfloat is a fixture for the maporderfloat analyzer:
+// order-dependent float reductions in map-iteration order must be
+// flagged; per-key aggregation, integer accumulation, and sorted-key
+// iteration must not.
+package maporderfloat
+
+import "sort"
+
+func badSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want maporderfloat "+="
+	}
+	return sum
+}
+
+func badSelfAssign(m map[string]float64) float64 {
+	prod := 1.0
+	for _, v := range m {
+		prod = prod * v // want maporderfloat "x = x *"
+	}
+	return prod
+}
+
+func badNested(m map[string][]float64) float64 {
+	var sum float64
+	for _, vs := range m {
+		for _, v := range vs {
+			sum += v // want maporderfloat "+="
+		}
+	}
+	return sum
+}
+
+func badAppend(m map[string]float64) []float64 {
+	var vals []float64
+	for _, v := range m {
+		vals = append(vals, v) // want maporderfloat "appending floats"
+	}
+	return vals
+}
+
+// goodPerKey accumulates into a cell indexed by the range key: each key
+// is visited exactly once, so the result is order-independent.
+func goodPerKey(runs map[string]float64) map[string]float64 {
+	out := make(map[string]float64)
+	for k, v := range runs {
+		out[k] += v * 2
+	}
+	return out
+}
+
+// goodSorted is the canonical fix: collect keys, sort, reduce over the
+// slice.
+func goodSorted(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// goodInt: integer addition is associative; map order cannot change the
+// result.
+func goodInt(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

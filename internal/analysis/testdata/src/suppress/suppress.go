@@ -1,0 +1,29 @@
+// Package suppress is a fixture for the //lint:allow failure modes:
+// malformed directives are reported under the pseudo-rule "lint" and
+// must NOT suppress the violation they sit next to.
+package suppress
+
+import "time"
+
+// flagged shows that a suppression without a reason is malformed: the
+// directive itself is reported, and the wall-clock read below it is
+// still flagged.
+func flagged() time.Time {
+	// want+1 lint "missing reason"
+	//lint:allow wallclock
+	return time.Now() // want wallclock "time.Now"
+}
+
+// A typo in the rule name is reported, not silently ignored.
+// want+1 lint "unknown rule"
+//lint:allow wallclok oops, rule name has a typo
+
+// A bare directive with nothing after it is reported too.
+// want+1 lint "missing rule name"
+//lint:allow
+
+// allowed shows a well-formed suppression working next to the
+// malformed ones.
+func allowed() time.Time {
+	return time.Now() //lint:allow wallclock fixture: a valid suppression next to malformed ones
+}

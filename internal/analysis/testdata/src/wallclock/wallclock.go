@@ -1,0 +1,40 @@
+// Package wallclock is a fixture for the wallclock analyzer: wall-clock
+// reads must be flagged, pure time.Duration arithmetic must not.
+package wallclock
+
+import (
+	"time"
+	stdtime "time"
+)
+
+func bad() {
+	_ = time.Now()                   // want wallclock "time.Now"
+	_ = time.Since(time.Time{})      // want wallclock "time.Since"
+	_ = stdtime.Now()                // want wallclock "time.Now"
+	time.Sleep(time.Millisecond)     // want wallclock "time.Sleep"
+	_ = time.Tick(time.Second)       // want wallclock "time.Tick"
+	_ = time.After(time.Second)      // want wallclock "time.After"
+	t := time.NewTicker(time.Second) // want wallclock "time.NewTicker"
+	t.Stop()
+	f := time.Now // want wallclock "time.Now"
+	_ = f
+}
+
+// good: simulated time is a time.Duration; conversions, constants, and
+// arithmetic never touch the wall clock.
+func good(d time.Duration) time.Duration {
+	if d < 20*time.Millisecond {
+		return time.Second
+	}
+	return d + time.Millisecond
+}
+
+type fakeClock struct{}
+
+func (fakeClock) Now() int { return 0 }
+
+// shadowed: a local identifier named time is not the time package.
+func shadowed() int {
+	time := fakeClock{}
+	return time.Now()
+}

@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// wallclockBanned lists the package-level time functions that observe
+// or react to the host's wall clock. Pure conversions and constructors
+// (time.Duration arithmetic, time.ParseDuration, time.Unix) are fine —
+// simulated time is itself a time.Duration.
+var wallclockBanned = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Tick":      true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTicker": true,
+	"NewTimer":  true,
+	"Sleep":     true,
+}
+
+// WallclockAnalyzer enforces the DESIGN.md §6 invariant: wall-clock
+// time never enters the simulation. Every component is driven from
+// internal/simclock so a run is a pure function of its seed; one stray
+// time.Now() makes golden/faulty pairs incomparable. Measurement sites
+// that time the bench itself (not the simulation) carry a
+// //lint:allow wallclock annotation with the justification.
+var WallclockAnalyzer = &Analyzer{
+	Name: "wallclock",
+	Doc:  "forbid wall-clock time (time.Now, time.Since, tickers, sleeps) outside internal/simclock",
+	Run:  runWallclock,
+}
+
+func runWallclock(pass *Pass) {
+	// simclock is the sanctioned clock abstraction; its simulated time is
+	// a time.Duration and its tests legitimately mention the time package.
+	if strings.HasSuffix(pass.PkgPath, "internal/simclock") {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !wallclockBanned[sel.Sel.Name] {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || !pass.isPkgIdent(file, id, "time") {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "wallclock",
+				"time.%s reads the wall clock; simulation code must use internal/simclock (annotate bench-measurement sites with %s wallclock <reason>)",
+				sel.Sel.Name, allowPrefix)
+			return true
+		})
+	}
+}

@@ -52,7 +52,7 @@ func (r *Result) BuildSignificance() Significance {
 			gs += run.Golden.Analysis.SpeedStats.Mean
 			fs += run.Faulty.Analysis.SpeedStats.Mean
 		}
-		if gmin == 0 || fmin == 0 {
+		if gmin <= 0 || fmin <= 0 {
 			continue
 		}
 		g /= gmin

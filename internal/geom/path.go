@@ -188,7 +188,7 @@ func (b *PathBuilder) Straight(length float64) *PathBuilder {
 // Arc extends the path along a circular arc of the given radius, turning
 // by angle radians (positive = left). The arc is tessellated.
 func (b *PathBuilder) Arc(radius, angle float64) *PathBuilder {
-	if radius <= 0 || angle == 0 {
+	if radius <= 0 || angle == 0 { //lint:allow floateq exact-zero angle is the no-op sentinel; any nonzero angle, however small, is a real arc
 		return b
 	}
 	arcLen := math.Abs(angle) * radius

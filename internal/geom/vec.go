@@ -48,7 +48,7 @@ func (v Vec2) DistSq(o Vec2) float64 { return v.Sub(o).LenSq() }
 // unchanged.
 func (v Vec2) Norm() Vec2 {
 	l := v.Len()
-	if l == 0 {
+	if l == 0 { //lint:allow floateq only exactly-zero length is singular (0/0 -> NaN); tiny vectors still normalize
 		return Vec2{}
 	}
 	return v.Scale(1 / l)

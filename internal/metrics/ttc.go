@@ -63,7 +63,7 @@ func (c *TTCCollector) SetThreshold(seconds float64) { c.threshold = seconds }
 // lead (xLead = NaN) are skipped.
 func (c *TTCCollector) Record(now time.Duration, xEgo, vEgo, xLead, vLead float64) {
 	gate := c.GatingDistance
-	if gate == 0 {
+	if gate == 0 { //lint:allow floateq zero-value config sentinel meaning "use the default"; never a computed value
 		gate = DefaultTTCGatingDistance
 	}
 	if math.IsNaN(xLead) || math.IsNaN(vLead) {

@@ -62,7 +62,7 @@ func Pearson(xs, ys []float64) (float64, error) {
 		sxx += dx * dx
 		syy += dy * dy
 	}
-	if sxx == 0 || syy == 0 {
+	if sxx <= 0 || syy <= 0 {
 		return 0, fmt.Errorf("stats: zero variance in a sample")
 	}
 	return sxy / math.Sqrt(sxx*syy), nil
@@ -82,7 +82,7 @@ func ranks(xs []float64) []float64 {
 	out := make([]float64, len(xs))
 	for i := 0; i < len(sorted); {
 		j := i
-		for j < len(sorted) && sorted[j].v == sorted[i].v {
+		for j < len(sorted) && sorted[j].v == sorted[i].v { //lint:allow floateq rank ties are defined by exact equality (SAE mid-rank); an epsilon would merge distinct values
 			j++
 		}
 		// Mid-rank for the tie group [i, j).
@@ -124,7 +124,7 @@ func WelchTTest(a, b []float64) (TTestResult, error) {
 	va, vb := Variance(a), Variance(b)
 	na, nb := float64(len(a)), float64(len(b))
 	se2 := va/na + vb/nb
-	if se2 == 0 {
+	if se2 <= 0 {
 		return TTestResult{}, fmt.Errorf("stats: zero variance in both samples")
 	}
 	t := (ma - mb) / math.Sqrt(se2)
@@ -244,14 +244,23 @@ func MannWhitneyU(a, b []float64) (UTestResult, error) {
 	ub := na*nb - ua
 	u := math.Min(ua, ub)
 
-	// Tie correction for the variance.
+	// Tie correction for the variance. tieSum is a float reduction, so
+	// the tie groups must be visited in sorted order — summing in map
+	// order would leave the U-test p-value nondeterministic in its low
+	// bits (the bug class teledrive-lint's maporderfloat rule exists for).
 	n := na + nb
 	counts := map[float64]float64{}
 	for _, v := range all {
 		counts[v]++
 	}
+	vals := make([]float64, 0, len(counts))
+	for v := range counts {
+		vals = append(vals, v) //lint:allow maporderfloat keys are sorted immediately below, before any float reduction
+	}
+	sort.Float64s(vals)
 	var tieSum float64
-	for _, c := range counts {
+	for _, v := range vals {
+		c := counts[v]
 		tieSum += c*c*c - c
 	}
 	mu := na * nb / 2

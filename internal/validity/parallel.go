@@ -135,7 +135,7 @@ func GridSweepWorkers(env Env, delays []time.Duration, losses []float64, seed in
 	var refs []cellRef
 	for di, d := range delays {
 		for li, l := range losses {
-			if d == 0 && l == 0 {
+			if d == 0 && l == 0 { //lint:allow floateq the baseline cell is the literal zero from the sweep spec, not a computed value
 				refs = append(refs, cellRef{di, li, 0})
 				continue
 			}

@@ -232,7 +232,7 @@ func (v *Vehicle) Step(dt float64) {
 	}
 
 	resist := v.spec.DragCoeff*st.Speed*st.Speed + v.spec.RollingResist
-	if st.Speed == 0 {
+	if st.Speed == 0 { //lint:allow floateq the stop logic below clamps Speed to exactly 0; "at rest" is an exact state, not a computed value
 		resist = 0
 	}
 	// Resistance always opposes motion.
@@ -262,7 +262,7 @@ func (v *Vehicle) Step(dt float64) {
 	if st.Speed > 0 && newSpeed < 0 && !(c.Reverse && c.Throttle > 0) {
 		newSpeed = 0
 	}
-	if st.Speed < 0 && newSpeed > 0 && (c.Reverse || c.Throttle == 0) {
+	if st.Speed < 0 && newSpeed > 0 && (c.Reverse || c.Throttle == 0) { //lint:allow floateq a released pedal is the exact zero control input, not a computed value
 		newSpeed = 0
 	}
 	st.Accel = (newSpeed - st.Speed) / dt
