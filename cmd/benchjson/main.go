@@ -1,0 +1,158 @@
+// Command benchjson turns `go test -bench` text output into a stable,
+// machine-readable JSON summary. It reads benchmark result lines from
+// stdin, aggregates repeated runs of the same benchmark (`-count N`)
+// into per-metric medians, and writes one JSON object keyed by
+// benchmark name. The output is deterministic for a given input: keys
+// are sorted and no timestamps or host details are recorded, so two
+// runs with identical measurements produce byte-identical files.
+//
+// Usage:
+//
+//	go test -bench . -benchmem -count 5 | go run ./cmd/benchjson -o BENCH_PR3.json
+//
+// Lines that are not benchmark results (headers, PASS/ok trailers) are
+// ignored. Custom metrics attached via b.ReportMetric are kept under
+// their reported unit name alongside ns/op, B/op, and allocs/op.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark's aggregated metrics. Samples counts how many
+// result lines (typically the -count value) were folded into the medians.
+type result struct {
+	Samples int                `json:"samples"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default: stdout)")
+	flag.Parse()
+
+	samples, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(samples) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark result lines on stdin")
+		os.Exit(1)
+	}
+
+	summary := reduce(samples)
+	buf, err := json.MarshalIndent(summary, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(summary), *out)
+}
+
+// parse collects every metric sample per benchmark name. A result line
+// looks like:
+//
+//	BenchmarkWorldStep-8   92282   13894 ns/op   288 B/op   1 allocs/op
+//
+// i.e. name, iteration count, then (value, unit) pairs. The trailing
+// -N GOMAXPROCS suffix is stripped from the name so the JSON keys stay
+// stable across machines.
+func parse(r io.Reader) (map[string]map[string][]float64, error) {
+	samples := make(map[string]map[string][]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue // not an iteration count: not a result line
+		}
+		name := stripCPUSuffix(strings.TrimPrefix(fields[0], "Benchmark"))
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchmark %s: bad value %q", name, fields[i])
+			}
+			if samples[name] == nil {
+				samples[name] = make(map[string][]float64)
+			}
+			unit := fields[i+1]
+			samples[name][unit] = append(samples[name][unit], v)
+		}
+	}
+	return samples, sc.Err()
+}
+
+// stripCPUSuffix removes the trailing -<GOMAXPROCS> that `go test`
+// appends to benchmark names (WorldStep-8 -> WorldStep). Sub-benchmark
+// slashes and other dashes are preserved.
+func stripCPUSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// reduce folds the per-unit sample lists into medians. The median (not
+// the mean) is the conventional reduction for repeated benchmark runs:
+// it shrugs off the occasional scheduling hiccup that inflates a single
+// repetition.
+func reduce(samples map[string]map[string][]float64) map[string]result {
+	summary := make(map[string]result, len(samples))
+	names := make([]string, 0, len(samples))
+	for name := range samples {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		units := make([]string, 0, len(samples[name]))
+		for unit := range samples[name] {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		res := result{Metrics: make(map[string]float64, len(units))}
+		for _, unit := range units {
+			vals := samples[name][unit]
+			if len(vals) > res.Samples {
+				res.Samples = len(vals)
+			}
+			res.Metrics[unit] = median(vals)
+		}
+		summary[name] = res
+	}
+	return summary
+}
+
+func median(vals []float64) float64 {
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

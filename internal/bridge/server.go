@@ -51,6 +51,12 @@ type Server struct {
 	stopped       bool
 	stats         ServerStats
 	lastControl   vehicle.Control
+
+	// view and sendBuf are reused across camera ticks so the per-frame
+	// capture→marshal→send path does not allocate. Reuse is safe because
+	// transport.Endpoint.Send copies the payload into its fragments.
+	view    sensors.WorldView
+	sendBuf []byte
 }
 
 // NewServer builds the vehicle subsystem around an existing world and
@@ -147,9 +153,10 @@ func (s *Server) cameraTick(now time.Duration) {
 	if s.stopped {
 		return
 	}
-	view := s.cam.Capture()
-	payload := envelope(MsgFrame, sensors.MarshalWorldView(view))
-	if err := s.ep.Send(payload); err != nil {
+	s.cam.CaptureInto(&s.view)
+	s.sendBuf = append(s.sendBuf[:0], byte(MsgFrame))
+	s.sendBuf = sensors.MarshalWorldViewAppend(s.sendBuf, s.view)
+	if err := s.ep.Send(s.sendBuf); err != nil {
 		// Send window full: the sender-side socket buffer is congested;
 		// drop this frame like a saturated video encoder queue would.
 		s.stats.FramesDropped++

@@ -166,6 +166,14 @@ type Driver struct {
 
 	degradation float64
 	done        bool
+
+	// Route-query accelerators: the longitudinal and lateral controllers
+	// both project the same perceived ego position each tick, so one
+	// warm-start projector serves both; the cursor warm-starts the
+	// preview-point and curvature lookups. Results are bit-identical to
+	// the plain Path queries.
+	routeProj *geom.Projector
+	routeCur  geom.Cursor
 }
 
 type timedView struct {
@@ -187,6 +195,8 @@ func New(clock *simclock.Clock, see Perception, cfg Config) (*Driver, error) {
 		see:       see,
 		rng:       rand.New(rand.NewSource(cfg.Profile.Seed)),
 		firstTick: true,
+		routeProj: geom.NewProjector(cfg.Task.Route),
+		routeCur:  geom.NewCursor(cfg.Task.Route),
 	}, nil
 }
 
@@ -423,7 +433,7 @@ func (d *Driver) longitudinal(ego sensors.ActorView) (accel float64, emergency b
 	p.TimeHeadway = p.TimeHeadway / prof.Aggressiveness * (1 + prof.Caution*d.degradation)
 
 	// Instructed speed at the perceived station.
-	station, lateral := d.cfg.Task.Route.Project(ego.Pose.Pos)
+	station, lateral := d.routeProj.Project(ego.Pose.Pos)
 	// Recovery behaviour: having left the lane, slow right down until
 	// back on the route.
 	if math.Abs(lateral) > d.cfg.Task.LaneWidth {
@@ -440,7 +450,7 @@ func (d *Driver) longitudinal(ego sensors.ActorView) (accel float64, emergency b
 	}
 	// Curve comfort at the preview point.
 	lookS := station + geom.Clamp(prof.LookaheadTime*ego.Speed, d.cfg.LookaheadMin, d.cfg.LookaheadMax)
-	if v := CurveSpeedLimit(d.cfg.Task.Route.CurvatureAt(lookS), d.cfg.LateralComfort); v < p.DesiredSpeed {
+	if v := CurveSpeedLimit(d.routeCur.CurvatureAt(lookS), d.cfg.LateralComfort); v < p.DesiredSpeed {
 		p.DesiredSpeed = v
 	}
 	// Stop at the route end.
@@ -569,7 +579,7 @@ func (d *Driver) lateral(ego sensors.ActorView, dt float64) float64 {
 	route := d.cfg.Task.Route
 	prof := d.cfg.Profile
 
-	station, lateral := route.Project(ego.Pose.Pos)
+	station, lateral := d.routeProj.Project(ego.Pose.Pos)
 	// Phase lead: a driver who senses steady lag previews further ahead,
 	// trading tracking tightness for stability (round trip ≈ 2× the
 	// observable downlink age).
@@ -578,7 +588,7 @@ func (d *Driver) lateral(ego sensors.ActorView, dt float64) float64 {
 		lagLead = 0.4
 	}
 	ld := geom.Clamp((prof.LookaheadTime+lagLead)*math.Max(ego.Speed, 3), d.cfg.LookaheadMin, d.cfg.LookaheadMax)
-	target := route.PointAt(math.Min(station+ld, route.Length()))
+	target := d.routeCur.PointAt(math.Min(station+ld, route.Length()))
 
 	// Pure pursuit on the preview point.
 	rel := ego.Pose.InversePoint(target)

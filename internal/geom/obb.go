@@ -94,3 +94,8 @@ func (a AABB) Overlaps(o AABB) bool {
 func (a AABB) Expand(m float64) AABB {
 	return AABB{Min: V(a.Min.X-m, a.Min.Y-m), Max: V(a.Max.X+m, a.Max.Y+m)}
 }
+
+// Dist returns the Euclidean distance from q to the box; zero inside.
+func (a AABB) Dist(q Vec2) float64 {
+	return rectDist(q, a.Min.X, a.Min.Y, a.Max.X, a.Max.Y)
+}

@@ -17,6 +17,10 @@ type Path struct {
 	pts []Vec2
 	// cum[i] is the arc length from pts[0] to pts[i]; cum[0] == 0.
 	cum []float64
+	// grid accelerates Project; nil for small or non-finite paths
+	// (queries then use the linear scan). Immutable after construction,
+	// so concurrent queries are safe.
+	grid *segGrid
 }
 
 // NewPath constructs a path through the given points. Consecutive
@@ -37,7 +41,7 @@ func NewPath(points []Vec2) (*Path, error) {
 	for i := 1; i < len(pts); i++ {
 		cum[i] = cum[i-1] + pts[i].Dist(pts[i-1])
 	}
-	return &Path{pts: pts, cum: cum}, nil
+	return &Path{pts: pts, cum: cum, grid: buildSegGrid(pts, cum[len(cum)-1])}, nil
 }
 
 // MustPath is NewPath but panics on error. For use in map construction
@@ -52,6 +56,20 @@ func MustPath(points []Vec2) *Path {
 
 // Length returns the total arc length of the path in metres.
 func (p *Path) Length() float64 { return p.cum[len(p.cum)-1] }
+
+// Bounds returns the axis-aligned bounding box of the path. Segments
+// are straight, so the hull of the vertices contains the whole
+// polyline.
+func (p *Path) Bounds() AABB {
+	out := AABB{Min: p.pts[0], Max: p.pts[0]}
+	for _, v := range p.pts[1:] {
+		out.Min.X = math.Min(out.Min.X, v.X)
+		out.Min.Y = math.Min(out.Min.Y, v.Y)
+		out.Max.X = math.Max(out.Max.X, v.X)
+		out.Max.Y = math.Max(out.Max.Y, v.Y)
+	}
+	return out
+}
 
 // Points returns a copy of the path's vertices.
 func (p *Path) Points() []Vec2 {
@@ -82,18 +100,45 @@ func (p *Path) segmentAt(s float64) (int, float64) {
 	return i, s - p.cum[i]
 }
 
+// segmentAtHint is segmentAt seeded with a candidate segment index.
+// When the station falls inside the hinted segment (or the one after
+// it), the binary search is skipped entirely; the result is identical
+// either way, since for s in (0, Length) there is exactly one i with
+// cum[i] <= s < cum[i+1].
+func (p *Path) segmentAtHint(s float64, hint int) (int, float64) {
+	if s > 0 && s < p.Length() && hint >= 0 && hint <= len(p.pts)-2 && p.cum[hint] <= s {
+		if s < p.cum[hint+1] {
+			return hint, s - p.cum[hint]
+		}
+		if hint+1 <= len(p.pts)-2 && s < p.cum[hint+2] {
+			return hint + 1, s - p.cum[hint+1]
+		}
+	}
+	return p.segmentAt(s)
+}
+
+// pointAtSeg returns the world position at distance into segment i.
+func (p *Path) pointAtSeg(i int, into float64) Vec2 {
+	dir := p.pts[i+1].Sub(p.pts[i]).Norm()
+	return p.pts[i].Add(dir.Scale(into))
+}
+
+// headingAtSeg returns the tangent direction of segment i.
+func (p *Path) headingAtSeg(i int) float64 {
+	return p.pts[i+1].Sub(p.pts[i]).Angle()
+}
+
 // PointAt returns the world position at station s. s is clamped to the
 // path's extent.
 func (p *Path) PointAt(s float64) Vec2 {
 	i, into := p.segmentAt(s)
-	dir := p.pts[i+1].Sub(p.pts[i]).Norm()
-	return p.pts[i].Add(dir.Scale(into))
+	return p.pointAtSeg(i, into)
 }
 
 // HeadingAt returns the tangent direction (radians) at station s.
 func (p *Path) HeadingAt(s float64) float64 {
 	i, _ := p.segmentAt(s)
-	return p.pts[i+1].Sub(p.pts[i]).Angle()
+	return p.headingAtSeg(i)
 }
 
 // PoseAt returns the pose (position + tangent heading) at station s.
@@ -103,27 +148,139 @@ func (p *Path) PoseAt(s float64) Pose {
 
 // Project finds the station of the point on the path closest to q and the
 // signed lateral offset of q from the path (positive = left of travel
-// direction).
+// direction). Large paths answer through the spatial index; the result
+// is bit-identical to the linear scan (see projState).
 func (p *Path) Project(q Vec2) (station, lateral float64) {
-	bestDistSq := math.Inf(1)
+	_, station, lateral = p.projectIdx(q, -1)
+	return station, lateral
+}
+
+// projectSeg computes the squared distance from q to segment i along
+// with the projection's station and signed lateral offset. Both the
+// linear reference scan and the grid-indexed search funnel their
+// comparisons through this one helper, so the two code paths execute
+// the same float operations on the winning segment — the foundation of
+// the bit-identity the equivalence tests assert.
+func (p *Path) projectSeg(i int, q Vec2) (d, station, lateral float64) {
+	a, b := p.pts[i], p.pts[i+1]
+	ab := b.Sub(a)
+	t := Clamp(q.Sub(a).Dot(ab)/ab.LenSq(), 0, 1)
+	c := a.Add(ab.Scale(t))
+	d = q.DistSq(c)
+	station = p.cum[i] + ab.Len()*t
+	// Positive lateral when q is to the left of the segment direction.
+	lateral = math.Sqrt(d)
+	if ab.Cross(q.Sub(a)) < 0 {
+		lateral = -lateral
+	}
+	return d, station, lateral
+}
+
+// projState accumulates the running minimum of a projection query. The
+// winner is the lexicographic minimum of (distance, segment index),
+// which is exactly what the original linear scan's strict-less update
+// produced: the first segment to reach the minimal distance wins.
+type projState struct {
+	bestD   float64
+	bestIdx int
+	station float64
+	lateral float64
+}
+
+// considerSeg folds segment i into the running minimum.
+func (p *Path) considerSeg(st *projState, i int, q Vec2) {
+	d, s, lat := p.projectSeg(i, q)
+	if d < st.bestD || (d == st.bestD && i < st.bestIdx) { //lint:allow floateq exact tie-break on equal squared distance: the lower segment index must win, matching the linear scan's first-minimum rule bit for bit
+		st.bestD = d
+		st.bestIdx = i
+		st.station = s
+		st.lateral = lat
+	}
+}
+
+// projectLinear is the reference full scan. It is the semantic ground
+// truth the indexed query is tested against, and the fallback for small
+// or non-finite paths.
+func (p *Path) projectLinear(q Vec2) (idx int, station, lateral float64) {
+	st := projState{bestD: math.Inf(1), bestIdx: -1}
 	for i := 0; i < len(p.pts)-1; i++ {
-		a, b := p.pts[i], p.pts[i+1]
-		ab := b.Sub(a)
-		t := Clamp(q.Sub(a).Dot(ab)/ab.LenSq(), 0, 1)
-		c := a.Add(ab.Scale(t))
-		d := q.DistSq(c)
-		if d < bestDistSq {
-			bestDistSq = d
-			station = p.cum[i] + ab.Len()*t
-			// Positive lateral when q is to the left of the segment
-			// direction.
-			lateral = math.Sqrt(d)
-			if ab.Cross(q.Sub(a)) < 0 {
-				lateral = -lateral
+		p.considerSeg(&st, i, q)
+	}
+	return st.bestIdx, st.station, st.lateral
+}
+
+// projectIdx answers a projection query, optionally seeded with a hint
+// segment (a previous query's winner; actors move continuously, so the
+// previous projection localizes the next one and tightens the pruning
+// bound immediately). hint < 0 means no seed. The returned idx is the
+// winning segment, or -1 when no segment yields a finite comparison
+// (NaN inputs); station and lateral are then 0, as in the linear scan.
+func (p *Path) projectIdx(q Vec2, hint int) (idx int, station, lateral float64) {
+	if p.grid == nil {
+		return p.projectLinear(q)
+	}
+	g := p.grid
+	st := projState{bestD: math.Inf(1), bestIdx: -1}
+	if hint >= 0 && hint < len(p.pts)-1 {
+		p.considerSeg(&st, hint, q)
+	}
+	cx := g.cellX(q.X)
+	cy := g.cellY(q.Y)
+	maxR := max(max(cx, g.nx-1-cx), max(cy, g.ny-1-cy))
+	for r := 0; r <= maxR; r++ {
+		if st.bestIdx >= 0 {
+			lb := g.ringLowerBound(q, cx, cy, r)
+			// Cells at ring >= r are at least lb away; when even that
+			// lower bound is strictly beyond the best distance, no
+			// remaining segment can win or tie. <= keeps scanning on
+			// exact equality so a tying segment with a lower index is
+			// still found.
+			if lb*lb > st.bestD {
+				break
 			}
 		}
+		p.scanRing(&st, q, cx, cy, r)
 	}
-	return station, lateral
+	return st.bestIdx, st.station, st.lateral
+}
+
+// scanRing evaluates every segment registered in the cells of Chebyshev
+// ring r around (cx, cy), clipped to the grid.
+func (p *Path) scanRing(st *projState, q Vec2, cx, cy, r int) {
+	g := p.grid
+	if r == 0 {
+		p.scanCell(st, q, cx, cy)
+		return
+	}
+	x0, x1 := cx-r, cx+r
+	y0, y1 := cy-r, cy+r
+	for _, iy := range [2]int{y0, y1} {
+		if iy < 0 || iy >= g.ny {
+			continue
+		}
+		for ix := max(x0, 0); ix <= min(x1, g.nx-1); ix++ {
+			p.scanCell(st, q, ix, iy)
+		}
+	}
+	for _, ix := range [2]int{x0, x1} {
+		if ix < 0 || ix >= g.nx {
+			continue
+		}
+		for iy := max(y0+1, 0); iy <= min(y1-1, g.ny-1); iy++ {
+			p.scanCell(st, q, ix, iy)
+		}
+	}
+}
+
+// scanCell evaluates the segments registered in one cell. A segment
+// spanning several cells is re-evaluated harmlessly: projectSeg is pure
+// and the tie-break ignores an index it has already chosen.
+func (p *Path) scanCell(st *projState, q Vec2, ix, iy int) {
+	g := p.grid
+	c := iy*g.nx + ix
+	for _, si := range g.items[g.start[c]:g.start[c+1]] {
+		p.considerSeg(st, int(si), q)
+	}
 }
 
 // CurvatureAt estimates signed curvature (1/m) at station s using the

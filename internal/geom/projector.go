@@ -1,0 +1,88 @@
+package geom
+
+// Projector answers repeated nearest-point queries against one path
+// with a warm-start segment hint: the previous query's winning segment
+// seeds the next search's pruning bound. Actors move continuously, so
+// consecutive queries land on the same or a neighbouring segment and
+// the spatial index degenerates to a handful of cell visits.
+//
+// The hint is purely an accelerator — results are bit-identical to
+// Path.Project for any hint history (the seed only tightens the lower
+// bound; the tie-break still selects the lexicographic minimum of
+// (distance, segment index)). Projector is not safe for concurrent
+// use; give each consumer its own.
+type Projector struct {
+	p    *Path
+	hint int
+}
+
+// NewProjector creates a projector over the path.
+func NewProjector(p *Path) *Projector {
+	return &Projector{p: p, hint: -1}
+}
+
+// Path returns the projected-onto path.
+func (pr *Projector) Path() *Path { return pr.p }
+
+// Project is Path.Project with the warm-start hint.
+func (pr *Projector) Project(q Vec2) (station, lateral float64) {
+	idx, station, lateral := pr.p.projectIdx(q, pr.hint)
+	if idx >= 0 {
+		pr.hint = idx
+	}
+	return station, lateral
+}
+
+// Cursor answers repeated station-based lookups (PointAt, HeadingAt,
+// PoseAt, CurvatureAt) against one path with a warm-start segment hint,
+// skipping the binary search when consecutive stations fall in the same
+// or the following segment — the access pattern of a rail actor or a
+// driver's preview point. Results are bit-identical to the Path
+// methods; the hint only short-circuits the segment lookup, whose
+// result is unique for any station. Not safe for concurrent use.
+type Cursor struct {
+	p    *Path
+	hint int
+}
+
+// NewCursor creates a cursor over the path.
+func NewCursor(p *Path) Cursor { return Cursor{p: p, hint: -1} }
+
+// Path returns the underlying path.
+func (c *Cursor) Path() *Path { return c.p }
+
+func (c *Cursor) seg(s float64) (int, float64) {
+	i, into := c.p.segmentAtHint(s, c.hint)
+	c.hint = i
+	return i, into
+}
+
+// PointAt is Path.PointAt with the warm-start hint.
+func (c *Cursor) PointAt(s float64) Vec2 {
+	i, into := c.seg(s)
+	return c.p.pointAtSeg(i, into)
+}
+
+// HeadingAt is Path.HeadingAt with the warm-start hint.
+func (c *Cursor) HeadingAt(s float64) float64 {
+	i, _ := c.seg(s)
+	return c.p.headingAtSeg(i)
+}
+
+// PoseAt is Path.PoseAt with the warm-start hint and a single segment
+// lookup for both position and heading.
+func (c *Cursor) PoseAt(s float64) Pose {
+	i, into := c.seg(s)
+	return Pose{Pos: c.p.pointAtSeg(i, into), Yaw: c.p.headingAtSeg(i)}
+}
+
+// CurvatureAt is Path.CurvatureAt with the warm-start hint.
+func (c *Cursor) CurvatureAt(s float64) float64 {
+	const h = 0.5 // metres
+	s0 := Clamp(s-h, 0, c.p.Length())
+	s1 := Clamp(s+h, 0, c.p.Length())
+	if s1-s0 < 1e-9 {
+		return 0
+	}
+	return AngleDiff(c.HeadingAt(s1), c.HeadingAt(s0)) / (s1 - s0)
+}

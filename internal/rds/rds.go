@@ -12,6 +12,7 @@ import (
 	"teledrive/internal/bridge"
 	"teledrive/internal/driver"
 	"teledrive/internal/faultinject"
+	"teledrive/internal/geom"
 	"teledrive/internal/netem"
 	"teledrive/internal/scenario"
 	"teledrive/internal/simclock"
@@ -200,10 +201,11 @@ func Run(cfg BenchConfig) (*Outcome, error) {
 	activePOI := -1
 	fired := make([]bool, len(cfg.Scenario.POIs))
 	done := false
+	routeProj := geom.NewProjector(built.Route)
 	sess.Server.OnTick = func(now time.Duration) {
 		out.WallTicks++
 		rec.Sample(now)
-		st, _ := built.Route.Project(built.Ego.Pose().Pos)
+		st, _ := routeProj.Project(built.Ego.Pose().Pos)
 		out.FinalStation = st
 
 		// POI transitions.

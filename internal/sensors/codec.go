@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 	"time"
 
 	"teledrive/internal/geom"
@@ -33,11 +34,24 @@ var ErrBadWorldView = errors.New("sensors: malformed world view")
 // MarshalWorldView serializes a world view for transmission over the
 // bridge.
 func MarshalWorldView(v WorldView) []byte {
+	return MarshalWorldViewAppend(nil, v)
+}
+
+// MarshalWorldViewAppend appends the serialized view to dst (growing it
+// as needed) and returns the extended slice. The appended bytes are
+// exactly MarshalWorldView's output; reusing dst across frames makes
+// the steady-state send path allocation-free. The video-fill region is
+// zeroed explicitly — a reused buffer carries the previous frame's
+// bytes, and the wire contract is an all-zero synthetic payload.
+func MarshalWorldViewAppend(dst []byte, v WorldView) []byte {
 	fill := v.VideoFill
 	if fill < 0 {
 		fill = 0
 	}
-	buf := make([]byte, headerWireLen+actorWireLen*(1+len(v.Others))+fill)
+	n := headerWireLen + actorWireLen*(1+len(v.Others)) + fill
+	base := len(dst)
+	dst = slices.Grow(dst, n)[:base+n]
+	buf := dst[base:]
 	binary.BigEndian.PutUint64(buf[0:8], v.Frame)
 	binary.BigEndian.PutUint64(buf[8:16], uint64(v.SimTime))
 	binary.BigEndian.PutUint16(buf[16:18], uint16(len(v.Others)))
@@ -47,8 +61,8 @@ func MarshalWorldView(v WorldView) []byte {
 	for _, a := range v.Others {
 		off = putActor(buf, off, a)
 	}
-	// The remaining fill bytes stay zero: synthetic video payload.
-	return buf
+	clear(buf[off:]) // zero-filled synthetic video payload
+	return dst
 }
 
 // UnmarshalWorldView decodes a buffer produced by MarshalWorldView.

@@ -80,24 +80,53 @@ func NewCamera(w *world.World, ego *world.Actor) *Camera {
 
 // Capture snapshots the currently visible scene.
 func (c *Camera) Capture() WorldView {
+	var view WorldView
+	c.CaptureInto(&view)
+	return view
+}
+
+// CaptureInto snapshots the currently visible scene into view, reusing
+// view.Others' capacity so the steady-state capture path does not
+// allocate. The result is identical to Capture. A first pass counts the
+// visible actors so a fresh (or outgrown) Others slice is sized exactly
+// once.
+func (c *Camera) CaptureInto(view *WorldView) {
 	egoPose := c.ego.Pose()
-	view := WorldView{
-		Frame:     c.w.Frame(),
-		SimTime:   c.w.SimTime(),
-		Ego:       actorView(c.ego),
-		VideoFill: c.VideoFrameBytes,
+	view.Frame = c.w.Frame()
+	view.SimTime = c.w.SimTime()
+	view.Ego = actorView(c.ego)
+	view.VideoFill = c.VideoFrameBytes
+	rangeSq := c.Range * c.Range
+	visible := 0
+	for _, a := range c.w.Actors() {
+		if c.sees(egoPose, a, rangeSq) {
+			visible++
+		}
+	}
+	if cap(view.Others) < visible {
+		view.Others = make([]ActorView, 0, visible)
+	} else {
+		view.Others = view.Others[:0]
 	}
 	for _, a := range c.w.Actors() {
-		if a.ID == c.ego.ID {
-			continue
+		if c.sees(egoPose, a, rangeSq) {
+			view.Others = append(view.Others, actorView(a))
 		}
-		rel := egoPose.InversePoint(a.Pose().Pos)
-		if rel.Len() > c.Range || rel.X < -c.RearRange {
-			continue
-		}
-		view.Others = append(view.Others, actorView(a))
 	}
-	return view
+}
+
+// sees reports whether the camera includes the actor in a frame: not
+// the ego itself, within Range of it (compared in squared distance to
+// avoid the sqrt), and not farther behind than RearRange.
+func (c *Camera) sees(egoPose geom.Pose, a *world.Actor, rangeSq float64) bool {
+	if a.ID == c.ego.ID {
+		return false
+	}
+	rel := egoPose.InversePoint(a.Pose().Pos)
+	if rel.LenSq() > rangeSq || rel.X < -c.RearRange {
+		return false
+	}
+	return true
 }
 
 func actorView(a *world.Actor) ActorView {

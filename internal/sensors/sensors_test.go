@@ -156,6 +156,64 @@ func TestWorldViewCodecProperty(t *testing.T) {
 	}
 }
 
+func TestMarshalWorldViewAppendMatchesMarshal(t *testing.T) {
+	views := []WorldView{
+		{Frame: 1, Ego: ActorView{ID: 1, Kind: world.KindEgo}},
+		{
+			Frame: 9, SimTime: 333 * time.Millisecond, VideoFill: 96,
+			Ego: ActorView{ID: 1, Kind: world.KindEgo, Pose: geom.Pose{Pos: geom.V(3, -4), Yaw: 1.2}, Speed: 8},
+			Others: []ActorView{
+				{ID: 2, Kind: world.KindCar, Pose: geom.Pose{Pos: geom.V(60, 0)}, Speed: 10},
+				{ID: 3, Kind: world.KindCyclist, Extent: geom.V(1.8, 0.6)},
+			},
+		},
+		{Frame: 2, Ego: ActorView{ID: 1}, VideoFill: -5}, // negative fill clamps to 0
+	}
+	// A dirty reused buffer must not leak into the output: the video
+	// fill region has to be re-zeroed on every append.
+	dirty := make([]byte, 4096)
+	for i := range dirty {
+		dirty[i] = 0xCC
+	}
+	dirty[0], dirty[1] = 0xAA, 0xBB
+	dirty = dirty[:2]
+	for _, v := range views {
+		want := MarshalWorldView(v)
+		got := MarshalWorldViewAppend(dirty, v)
+		if !reflect.DeepEqual(got[:2], []byte{0xAA, 0xBB}) {
+			t.Fatalf("append clobbered existing prefix: % x", got[:2])
+		}
+		if !reflect.DeepEqual(got[2:], want) {
+			t.Fatalf("append bytes != marshal bytes for %+v", v)
+		}
+		rt, err := UnmarshalWorldView(got[2:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rt.Frame != v.Frame {
+			t.Fatalf("round trip frame = %d, want %d", rt.Frame, v.Frame)
+		}
+	}
+}
+
+func TestCaptureIntoMatchesCaptureAndReusesBuffers(t *testing.T) {
+	w, ego := testWorld(t)
+	spawnCarAt(t, w, 40)
+	spawnCarAt(t, w, 90)
+	spawnCarAt(t, w, 700) // beyond range
+	cam := NewCamera(w, ego)
+
+	var reused WorldView
+	ego.Plant.Apply(vehicle.Control{Throttle: 0.5})
+	for i := 0; i < 50; i++ {
+		w.Step(0.02)
+		cam.CaptureInto(&reused)
+		if fresh := cam.Capture(); !reflect.DeepEqual(reused, fresh) {
+			t.Fatalf("step %d: CaptureInto %+v != Capture %+v", i, reused, fresh)
+		}
+	}
+}
+
 func TestUnmarshalRejectsBadInput(t *testing.T) {
 	if _, err := UnmarshalWorldView(nil); err == nil {
 		t.Fatal("nil accepted")

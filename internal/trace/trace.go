@@ -144,6 +144,12 @@ type Recorder struct {
 	ego   *world.Actor
 	route *geom.Path
 
+	// Warm-start projectors onto the route, one per sampled actor —
+	// every actor is projected every tick, and each moves continuously
+	// along its own stretch of the route.
+	egoProj    *geom.Projector
+	otherProjs map[world.ActorID]*geom.Projector
+
 	activeLabel string
 	activeFrom  time.Duration
 }
@@ -152,6 +158,10 @@ type Recorder struct {
 // station coordinates; it may be nil (stations logged as 0).
 func NewRecorder(w *world.World, ego *world.Actor, route *geom.Path, log *RunLog) *Recorder {
 	r := &Recorder{Log: log, w: w, ego: ego, route: route}
+	if route != nil {
+		r.egoProj = geom.NewProjector(route)
+		r.otherProjs = make(map[world.ActorID]*geom.Projector)
+	}
 	prevCol := w.OnCollision
 	w.OnCollision = func(ev world.CollisionEvent) {
 		if prevCol != nil {
@@ -214,8 +224,8 @@ func (r *Recorder) Sample(now time.Duration) {
 	egoPose := r.ego.Pose()
 	egoVel := r.ego.Velocity()
 	station, lateral := 0.0, 0.0
-	if r.route != nil {
-		station, lateral = r.route.Project(egoPose.Pos)
+	if r.egoProj != nil {
+		station, lateral = r.egoProj.Project(egoPose.Pos)
 	}
 	var throttle, steer, brake float64
 	if r.ego.Plant != nil {
@@ -238,8 +248,13 @@ func (r *Recorder) Sample(now time.Duration) {
 		pose := a.Pose()
 		vel := a.Velocity()
 		st, lat := 0.0, 0.0
-		if r.route != nil {
-			st, lat = r.route.Project(pose.Pos)
+		if r.otherProjs != nil {
+			proj, ok := r.otherProjs[a.ID]
+			if !ok {
+				proj = geom.NewProjector(r.route)
+				r.otherProjs[a.ID] = proj
+			}
+			st, lat = proj.Project(pose.Pos)
 		}
 		r.Log.Others = append(r.Log.Others, OtherRecord{
 			Actor: a.ID, Time: now, Frame: r.w.Frame(),

@@ -1,0 +1,37 @@
+//go:build !race
+
+package world
+
+import (
+	"testing"
+
+	"teledrive/internal/geom"
+	"teledrive/internal/vehicle"
+)
+
+// TestWorldStepSteadyStateAllocs pins the tentpole property that the
+// per-tick hot path is allocation-free once warmed up: scratch buffers
+// are sized on the first steps and reused afterwards. Skipped under the
+// race detector, whose instrumentation perturbs allocation counts.
+func TestWorldStepSteadyStateAllocs(t *testing.T) {
+	w := New(Town5())
+	ego, err := w.SpawnEgo(vehicle.Sedan(), w.Map.Reference.PoseAt(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ego.Plant.Apply(vehicle.Control{Throttle: 0.4})
+	lane, _ := w.Map.LaneByID(LaneDrive2)
+	for i := 0; i < 6; i++ {
+		rail := mustRail(t, lane.Center, float64(30+40*i), []ProfilePoint{{Station: 0, Speed: 8}}, 3)
+		rail.SetLoop(true)
+		if _, err := w.SpawnScripted(KindCar, "traffic", geom.V(4.7, 1.9), rail); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ { // warm up scratch buffers and lane state
+		w.Step(0.02)
+	}
+	if allocs := testing.AllocsPerRun(200, func() { w.Step(0.02) }); allocs != 0 {
+		t.Fatalf("World.Step allocates %.1f objects/op in steady state, want 0", allocs)
+	}
+}

@@ -1,0 +1,104 @@
+package world
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"teledrive/internal/geom"
+)
+
+// referenceDetectCollisions is the original O(n²) pair scan, kept as
+// the semantic ground truth for the sweep-and-prune implementation. It
+// reads the actors' current poses and maintains its own colliding set.
+func referenceDetectCollisions(w *World, colliding map[[2]ActorID]bool) []CollisionEvent {
+	type cached struct {
+		obb  geom.OBB
+		aabb geom.AABB
+	}
+	var events []CollisionEvent
+	boxes := make([]cached, len(w.actors))
+	for i, a := range w.actors {
+		obb := a.BoundingBox()
+		boxes[i] = cached{obb: obb, aabb: geom.AABBOf(obb)}
+	}
+	for i := 0; i < len(w.actors); i++ {
+		for j := i + 1; j < len(w.actors); j++ {
+			a, b := w.actors[i], w.actors[j]
+			key := pairKey(a.ID, b.ID)
+			if !boxes[i].aabb.Overlaps(boxes[j].aabb) {
+				delete(colliding, key)
+				continue
+			}
+			hit := boxes[i].obb.Intersects(boxes[j].obb)
+			was := colliding[key]
+			switch {
+			case hit && !was:
+				colliding[key] = true
+				events = append(events, CollisionEvent{
+					Time:   w.simTime,
+					Frame:  w.frame,
+					Actor:  a.ID,
+					Other:  b.ID,
+					Pos:    a.Pose().Pos.Lerp(b.Pose().Pos, 0.5),
+					SpeedA: a.Speed(),
+					SpeedB: b.Speed(),
+				})
+			case !hit && was:
+				delete(colliding, key)
+			}
+		}
+	}
+	return events
+}
+
+// TestDetectCollisionsEquivalence drives dense random traffic (looping
+// rails sharing a handful of lines, so overlaps form and dissolve
+// constantly) and checks every step that the sweep-and-prune detector
+// emits exactly the events of the reference pair scan, in the same
+// order, and leaves the same colliding set behind.
+func TestDetectCollisionsEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		w := New(nil) // no map: lane detection off, collisions only
+		nLines := 2 + rng.Intn(3)
+		lines := make([]*geom.Path, nLines)
+		for i := range lines {
+			y := float64(i) * (1.5 + rng.Float64())
+			lines[i] = geom.MustPath([]geom.Vec2{geom.V(0, y), geom.V(120, y)})
+		}
+		nActors := 8 + rng.Intn(25)
+		for i := 0; i < nActors; i++ {
+			line := lines[rng.Intn(nLines)]
+			rail := mustRail(t, line, rng.Float64()*100,
+				[]ProfilePoint{{Station: 0, Speed: 2 + rng.Float64()*15}}, 5)
+			rail.SetLoop(true)
+			if _, err := w.SpawnScripted(KindCar, fmt.Sprintf("car%d", i),
+				geom.V(3+rng.Float64()*3, 1.5+rng.Float64()), rail); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		var got []CollisionEvent
+		w.OnCollision = func(ev CollisionEvent) { got = append(got, ev) }
+		refColliding := make(map[[2]ActorID]bool)
+		totalEvents := 0
+		for step := 0; step < 600; step++ {
+			got = got[:0]
+			w.Step(0.02)
+			want := referenceDetectCollisions(w, refColliding)
+			if len(got) != len(want) || (len(want) > 0 && !reflect.DeepEqual(got, want)) {
+				t.Fatalf("seed %d step %d: events diverged\n got: %+v\nwant: %+v", seed, step, got, want)
+			}
+			if !reflect.DeepEqual(w.colliding, refColliding) {
+				t.Fatalf("seed %d step %d: colliding set diverged\n got: %v\nwant: %v",
+					seed, step, w.colliding, refColliding)
+			}
+			totalEvents += len(want)
+		}
+		if totalEvents == 0 {
+			t.Fatalf("seed %d: traffic never collided; test exercised nothing", seed)
+		}
+	}
+}

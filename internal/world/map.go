@@ -56,6 +56,64 @@ func (m *RoadMap) NearestLane(p geom.Vec2) (lane *Lane, station, lateral float64
 	return lane, station, lateral
 }
 
+// LaneLocator answers repeated NearestLane queries with a warm-start
+// projector per lane, so consecutive queries from a moving actor cost a
+// handful of segment tests instead of a scan per lane. Results are
+// bit-identical to RoadMap.NearestLane (the projectors are, per
+// geom.Projector's contract, bit-identical to Path.Project, and the
+// lane comparison below is the same strict-less first-lane-wins rule).
+// Not safe for concurrent use.
+type LaneLocator struct {
+	m     *RoadMap
+	projs []*geom.Projector
+	boxes []geom.AABB // lane centerline bounds, for far-field rejection
+}
+
+// NewLaneLocator creates a locator over the map's lanes.
+func (m *RoadMap) NewLaneLocator() *LaneLocator {
+	ll := &LaneLocator{
+		m:     m,
+		projs: make([]*geom.Projector, len(m.Lanes)),
+		boxes: make([]geom.AABB, len(m.Lanes)),
+	}
+	for i, l := range m.Lanes {
+		ll.projs[i] = geom.NewProjector(l.Center)
+		ll.boxes[i] = l.Center.Bounds()
+	}
+	return ll
+}
+
+// FarFromAllLanes reports whether p is provably outside every lane:
+// farther from each lane centerline's bounding box than half that
+// lane's width, with a metre of slack so float rounding can never
+// disagree with the exact projection (|lateral| is the Euclidean
+// distance to the centerline, which the box distance lower-bounds).
+// When true, NearestLane(p) would classify p outside whichever lane
+// wins, so callers that only need the in/out classification may skip
+// the projections. A NaN position returns false and takes the exact
+// path, preserving NearestLane's NaN behaviour bit for bit.
+func (ll *LaneLocator) FarFromAllLanes(p geom.Vec2) bool {
+	for i, l := range ll.m.Lanes {
+		if !(ll.boxes[i].Dist(p) > l.Width/2+1) {
+			return false
+		}
+	}
+	return true
+}
+
+// NearestLane is RoadMap.NearestLane with warm-started projections.
+func (ll *LaneLocator) NearestLane(p geom.Vec2) (lane *Lane, station, lateral float64) {
+	best := math.Inf(1)
+	for i, l := range ll.m.Lanes {
+		s, lat := ll.projs[i].Project(p)
+		if a := math.Abs(lat); a < best {
+			best = a
+			lane, station, lateral = l, s, lat
+		}
+	}
+	return lane, station, lateral
+}
+
 // OffsetSegment describes the lateral offset of a route relative to the
 // reference line over a station interval. Between segments the offset
 // blends smoothly (smoothstep), producing realistic lane-change

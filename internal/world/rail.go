@@ -33,6 +33,14 @@ type Rail struct {
 	stopIdx  int
 	holding  bool
 	holdLeft float64
+
+	// cursor warm-starts the station → pose lookup (the station moves
+	// monotonically, so consecutive lookups hit the same or the next
+	// segment); pose caches the result between steps, since Pose is
+	// queried several times per tick (collision boxes, sensors, traces).
+	cursor    geom.Cursor
+	pose      geom.Pose
+	poseValid bool
 }
 
 // Stop makes a rail actor halt at a station for a dwell time before
@@ -64,7 +72,7 @@ func NewRail(path *geom.Path, startStation float64, profile []ProfilePoint, maxA
 	prof := make([]ProfilePoint, len(profile))
 	copy(prof, profile)
 	sort.Slice(prof, func(i, j int) bool { return prof[i].Station < prof[j].Station })
-	r := &Rail{path: path, station: startStation, profile: prof, maxAccel: maxAccel, maxDecel: maxAccel}
+	r := &Rail{path: path, station: startStation, profile: prof, maxAccel: maxAccel, maxDecel: maxAccel, cursor: geom.NewCursor(path)}
 	return r, nil
 }
 
@@ -105,7 +113,13 @@ func (r *Rail) Accel() float64 { return r.accel }
 func (r *Rail) Done() bool { return r.done }
 
 // Pose returns the path pose at the current station.
-func (r *Rail) Pose() geom.Pose { return r.path.PoseAt(r.station) }
+func (r *Rail) Pose() geom.Pose {
+	if !r.poseValid {
+		r.pose = r.cursor.PoseAt(r.station)
+		r.poseValid = true
+	}
+	return r.pose
+}
 
 // TargetSpeed returns the profile speed at the current station.
 func (r *Rail) TargetSpeed() float64 {
@@ -155,6 +169,7 @@ func (r *Rail) Step(dt float64) {
 	r.speed += delta
 	r.accel = (r.speed - prev) / dt
 	r.station += r.speed * dt
+	r.poseValid = false
 	if r.station >= r.path.Length() {
 		if r.loop {
 			for r.station >= r.path.Length() {

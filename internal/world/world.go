@@ -67,7 +67,10 @@ type World struct {
 	OnCollision    func(CollisionEvent)
 	OnLaneInvasion func(LaneInvasionEvent)
 
-	actors  []*Actor
+	actors []*Actor
+	byID   map[ActorID]*Actor
+	ego    *Actor
+
 	nextID  ActorID
 	frame   uint64
 	simTime time.Duration
@@ -75,16 +78,31 @@ type World struct {
 	colliding map[[2]ActorID]bool
 	laneState map[ActorID]string // current lane per lane-watched actor ("" = off-road)
 	laneWatch map[ActorID]bool
+	laneLoc   *LaneLocator // warm-start lane queries for detectLaneInvasions
+
+	// Collision-detection scratch, reused across steps so Step is
+	// allocation-free in steady state.
+	cboxes []actorBox
+	corder []int32             // actor indices sorted by AABB Min.X (near-sorted between steps)
+	cnew   [][2]int32          // pairs entering contact this step, as actor indices
+	cseen  map[[2]ActorID]bool // pairs in contact this step
+}
+
+type actorBox struct {
+	obb  geom.OBB
+	aabb geom.AABB
 }
 
 // New creates an empty world on the given map.
 func New(m *RoadMap) *World {
 	return &World{
 		Map:       m,
+		byID:      make(map[ActorID]*Actor),
 		nextID:    1,
 		colliding: make(map[[2]ActorID]bool),
 		laneState: make(map[ActorID]string),
 		laneWatch: make(map[ActorID]bool),
+		cseen:     make(map[[2]ActorID]bool),
 	}
 }
 
@@ -99,21 +117,15 @@ func (w *World) Actors() []*Actor { return w.actors }
 
 // Actor returns the actor with the given ID.
 func (w *World) Actor(id ActorID) (*Actor, bool) {
-	for _, a := range w.actors {
-		if a.ID == id {
-			return a, true
-		}
-	}
-	return nil, false
+	a, ok := w.byID[id]
+	return a, ok
 }
 
 // SpawnEgo creates the dynamic remotely-driven vehicle. There can be at
 // most one ego per world.
 func (w *World) SpawnEgo(spec vehicle.Spec, pose geom.Pose) (*Actor, error) {
-	for _, a := range w.actors {
-		if a.Kind == KindEgo {
-			return nil, fmt.Errorf("world: ego already spawned (actor %d)", a.ID)
-		}
+	if w.ego != nil {
+		return nil, fmt.Errorf("world: ego already spawned (actor %d)", w.ego.ID)
 	}
 	plant, err := vehicle.New(spec, pose)
 	if err != nil {
@@ -127,6 +139,8 @@ func (w *World) SpawnEgo(spec vehicle.Spec, pose geom.Pose) (*Actor, error) {
 		Plant:  plant,
 	}
 	w.actors = append(w.actors, a)
+	w.byID[a.ID] = a
+	w.ego = a
 	w.WatchLane(a.ID, true)
 	return a, nil
 }
@@ -147,18 +161,12 @@ func (w *World) SpawnScripted(kind ActorKind, name string, extent geom.Vec2, rai
 		rail:   rail,
 	}
 	w.actors = append(w.actors, a)
+	w.byID[a.ID] = a
 	return a, nil
 }
 
 // Ego returns the ego actor, or nil when none was spawned.
-func (w *World) Ego() *Actor {
-	for _, a := range w.actors {
-		if a.Kind == KindEgo {
-			return a
-		}
-	}
-	return nil
-}
+func (w *World) Ego() *Actor { return w.ego }
 
 // WatchLane enables or disables lane-invasion events for the actor.
 // The ego is watched by default.
@@ -191,45 +199,108 @@ func (w *World) Step(dt float64) {
 	w.detectLaneInvasions()
 }
 
-// detectCollisions runs pairwise OBB tests with an AABB broad phase and
-// emits one event per pair on the transition into contact.
+// detectCollisions finds every actor pair in OBB contact and emits one
+// event per pair on the transition into contact. The broad phase is a
+// sweep-and-prune over AABBs sorted by Min.X: the sort order is kept
+// across steps and actors barely move per tick, so the insertion sort
+// is near-linear and each actor is only paired with its X-interval
+// neighbours. All buffers are reused; steady-state cost is zero
+// allocations per step.
+//
+// The result is identical to the original O(n²) scan: the set of pairs
+// in contact afterwards is the same (sweep-and-prune only skips pairs
+// whose AABBs provably do not overlap, which could never pass the OBB
+// test), and new-contact events are sorted back into the double-loop's
+// (i, j) order before emission so event logs stay byte-identical.
 func (w *World) detectCollisions() {
-	type cached struct {
-		obb  geom.OBB
-		aabb geom.AABB
-	}
-	boxes := make([]cached, len(w.actors))
-	for i, a := range w.actors {
+	n := len(w.actors)
+	w.cboxes = w.cboxes[:0]
+	for _, a := range w.actors {
 		obb := a.BoundingBox()
-		boxes[i] = cached{obb: obb, aabb: geom.AABBOf(obb)}
+		w.cboxes = append(w.cboxes, actorBox{obb: obb, aabb: geom.AABBOf(obb)})
 	}
-	for i := 0; i < len(w.actors); i++ {
-		for j := i + 1; j < len(w.actors); j++ {
-			a, b := w.actors[i], w.actors[j]
-			key := pairKey(a.ID, b.ID)
-			if !boxes[i].aabb.Overlaps(boxes[j].aabb) {
-				delete(w.colliding, key)
+
+	if len(w.corder) != n {
+		w.corder = w.corder[:0]
+		for i := range w.actors {
+			w.corder = append(w.corder, int32(i))
+		}
+	}
+	// Insertion sort by AABB Min.X — near-sorted input from last step.
+	for k := 1; k < n; k++ {
+		idx := w.corder[k]
+		x := w.cboxes[idx].aabb.Min.X
+		l := k - 1
+		for l >= 0 && w.cboxes[w.corder[l]].aabb.Min.X > x {
+			w.corder[l+1] = w.corder[l]
+			l--
+		}
+		w.corder[l+1] = idx
+	}
+
+	// Sweep: a box only needs testing against later boxes whose X
+	// interval starts before this box ends.
+	w.cnew = w.cnew[:0]
+	clear(w.cseen)
+	for k := 0; k < n; k++ {
+		i := w.corder[k]
+		bi := &w.cboxes[i]
+		for l := k + 1; l < n; l++ {
+			j := w.corder[l]
+			bj := &w.cboxes[j]
+			if bj.aabb.Min.X > bi.aabb.Max.X {
+				break // sorted by Min.X: no later box overlaps i in X either
+			}
+			if bj.aabb.Min.Y > bi.aabb.Max.Y || bi.aabb.Min.Y > bj.aabb.Max.Y {
 				continue
 			}
-			hit := boxes[i].obb.Intersects(boxes[j].obb)
-			was := w.colliding[key]
-			switch {
-			case hit && !was:
-				w.colliding[key] = true
-				if w.OnCollision != nil {
-					w.OnCollision(CollisionEvent{
-						Time:   w.simTime,
-						Frame:  w.frame,
-						Actor:  a.ID,
-						Other:  b.ID,
-						Pos:    a.Pose().Pos.Lerp(b.Pose().Pos, 0.5),
-						SpeedA: a.Speed(),
-						SpeedB: b.Speed(),
-					})
-				}
-			case !hit && was:
-				delete(w.colliding, key)
+			if !bi.obb.Intersects(bj.obb) {
+				continue
 			}
+			a, b := i, j
+			if a > b {
+				a, b = b, a
+			}
+			key := pairKey(w.actors[a].ID, w.actors[b].ID)
+			w.cseen[key] = true
+			if !w.colliding[key] {
+				w.cnew = append(w.cnew, [2]int32{a, b})
+			}
+		}
+	}
+
+	// Emit new contacts in ascending (i, j) actor-index order, exactly
+	// as the nested pair loop visited them.
+	for k := 1; k < len(w.cnew); k++ {
+		p := w.cnew[k]
+		l := k - 1
+		for l >= 0 && (w.cnew[l][0] > p[0] || (w.cnew[l][0] == p[0] && w.cnew[l][1] > p[1])) {
+			w.cnew[l+1] = w.cnew[l]
+			l--
+		}
+		w.cnew[l+1] = p
+	}
+	for _, p := range w.cnew {
+		a, b := w.actors[p[0]], w.actors[p[1]]
+		w.colliding[pairKey(a.ID, b.ID)] = true
+		if w.OnCollision != nil {
+			w.OnCollision(CollisionEvent{
+				Time:   w.simTime,
+				Frame:  w.frame,
+				Actor:  a.ID,
+				Other:  b.ID,
+				Pos:    a.Pose().Pos.Lerp(b.Pose().Pos, 0.5),
+				SpeedA: a.Speed(),
+				SpeedB: b.Speed(),
+			})
+		}
+	}
+	// Pairs no longer in contact leave the colliding set, as the pair
+	// loop's per-pair deletes did. Map order does not matter: this is a
+	// pure set difference.
+	for key := range w.colliding {
+		if !w.cseen[key] {
+			delete(w.colliding, key)
 		}
 	}
 }
@@ -247,16 +318,28 @@ func (w *World) detectLaneInvasions() {
 	if w.Map == nil || len(w.Map.Lanes) == 0 {
 		return
 	}
+	if w.laneLoc == nil {
+		w.laneLoc = w.Map.NewLaneLocator()
+	}
 	for _, a := range w.actors {
 		if !w.laneWatch[a.ID] {
 			continue
 		}
-		lane, _, lat := w.Map.NearestLane(a.Pose().Pos)
+		pos := a.Pose().Pos
+		prev, seen := w.laneState[a.ID]
+		if seen && prev == "" && w.laneLoc.FarFromAllLanes(pos) {
+			// Already off-lane and provably outside every lane: cur
+			// would be "" again, so no transition can fire and no state
+			// changes. Skipping the per-lane projections here keeps an
+			// actor that has left the road O(lanes) instead of paying a
+			// grid search that widens with its distance.
+			continue
+		}
+		lane, _, lat := w.laneLoc.NearestLane(pos)
 		cur := ""
 		if lane != nil && math.Abs(lat) <= lane.Width/2 {
 			cur = lane.ID
 		}
-		prev, seen := w.laneState[a.ID]
 		if !seen {
 			// First observation sets the baseline without an event.
 			w.laneState[a.ID] = cur

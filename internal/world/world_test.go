@@ -2,6 +2,8 @@ package world
 
 import (
 	"math"
+	"math/rand"
+	"reflect"
 	"testing"
 
 	"teledrive/internal/geom"
@@ -208,6 +210,78 @@ func TestLaneInvasionEvents(t *testing.T) {
 	last := events[len(events)-1]
 	if last.Kind != LaneDeparted {
 		t.Fatalf("last event = %+v, want departure", last)
+	}
+}
+
+// TestLaneInvasionFarFieldEquivalence teleports an actor between the
+// lanes, the boundary band around them, and the far field, and checks
+// every step that the production detector (warm-start locator plus the
+// FarFromAllLanes skip for actors already off-lane) emits exactly the
+// events of the original exact-projection detector.
+func TestLaneInvasionFarFieldEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(300 + seed))
+		w := New(straightMap(t, 300))
+		var got []LaneInvasionEvent
+		w.OnLaneInvasion = func(ev LaneInvasionEvent) { got = append(got, ev) }
+		ego, err := w.SpawnEgo(vehicle.Sedan(), geom.Pose{Pos: geom.V(0, 0)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refState := make(map[ActorID]string)
+		departs, crossings := 0, 0
+		for step := 0; step < 500; step++ {
+			var pos geom.Vec2
+			switch rng.Intn(4) {
+			case 0: // on or near the lanes
+				pos = geom.V(rng.Float64()*320-10, rng.Float64()*12-4)
+			case 1: // the band straddling the far-field skip threshold
+				pos = geom.V(rng.Float64()*320-10, 5+rng.Float64()*5)
+			case 2: // far field: the skip must not change anything
+				pos = geom.V(rng.Float64()*4e3-2e3, rng.Float64()*4e3-2e3)
+			default: // hovering across the lane boundary
+				pos = geom.V(rng.Float64()*300, 4+rng.Float64()*3)
+			}
+			ego.Plant.SetState(vehicle.State{Pose: geom.Pose{Pos: pos}})
+			got = got[:0]
+			w.Step(tick)
+
+			// Reference detector: the pre-optimization semantics, one
+			// exact projection per step, no locator, no skip.
+			var want []LaneInvasionEvent
+			lane, _, lat := w.Map.NearestLane(ego.Pose().Pos)
+			cur := ""
+			if lane != nil && math.Abs(lat) <= lane.Width/2 {
+				cur = lane.ID
+			}
+			prev, seen := refState[ego.ID]
+			if !seen {
+				refState[ego.ID] = cur
+			} else if cur != prev {
+				refState[ego.ID] = cur
+				ev := LaneInvasionEvent{
+					Time: w.SimTime(), Frame: w.Frame(), Actor: ego.ID, Lateral: lat,
+				}
+				if cur == "" {
+					ev.Kind = LaneDeparted
+					ev.LaneID = prev
+					departs++
+				} else {
+					ev.Kind = LaneCrossed
+					ev.LaneID = cur
+					crossings++
+				}
+				want = append(want, ev)
+			}
+			if len(got) != len(want) || (len(want) > 0 && !reflect.DeepEqual(got, want)) {
+				t.Fatalf("seed %d step %d at %v: events diverged\n got: %+v\nwant: %+v",
+					seed, step, pos, got, want)
+			}
+		}
+		if departs == 0 || crossings == 0 {
+			t.Fatalf("seed %d: trajectory produced %d departures, %d crossings; test exercised nothing",
+				seed, departs, crossings)
+		}
 	}
 }
 

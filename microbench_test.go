@@ -80,16 +80,76 @@ func BenchmarkCameraCapture(b *testing.B) {
 		b.Fatal(err)
 	}
 	cam := sensors.NewCamera(built.World, built.Ego)
+	// The production per-frame path (bridge server cameraTick): capture
+	// into a reused view, marshal into a reused buffer.
+	var view sensors.WorldView
+	var buf []byte
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		view := cam.Capture()
-		buf := sensors.MarshalWorldView(view)
-		if _, err := sensors.UnmarshalWorldView(buf); err != nil {
+		cam.CaptureInto(&view)
+		buf = sensors.MarshalWorldViewAppend(buf[:0], view)
+	}
+	if _, err := sensors.UnmarshalWorldView(buf); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkMarshalWorldViewAppend(b *testing.B) {
+	built, err := scenario.FollowVehicle().Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	view := sensors.NewCamera(built.World, built.Ego).Capture()
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = sensors.MarshalWorldViewAppend(buf[:0], view)
+	}
+	if _, err := sensors.UnmarshalWorldView(buf); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkNearestLane(b *testing.B) {
+	m := world.Town5()
+	loc := m.NewLaneLocator()
+	// Query points walking along the road, as the lane-invasion sensor
+	// produces them.
+	pts := make([]geom.Vec2, 256)
+	for i := range pts {
+		pts[i] = m.Reference.PointAt(float64(i) * 2).Add(geom.V(0, 1.2))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		loc.NearestLane(pts[i%len(pts)])
+	}
+}
+
+func benchmarkDetectCollisions(b *testing.B, nActors int) {
+	m := world.Town5()
+	w := world.New(nil) // collisions only; lane detection exercised elsewhere
+	for i := 0; i < nActors; i++ {
+		rail, err := world.NewRail(m.Reference, float64(10+7*i), []world.ProfilePoint{{Station: 0, Speed: 6}}, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rail.SetLoop(true)
+		if _, err := w.SpawnScripted(world.KindCar, "car", geom.V(4.7, 1.9), rail); err != nil {
 			b.Fatal(err)
 		}
 	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Step(0.02)
+	}
 }
+
+func BenchmarkDetectCollisions8(b *testing.B)  { benchmarkDetectCollisions(b, 8) }
+func BenchmarkDetectCollisions32(b *testing.B) { benchmarkDetectCollisions(b, 32) }
 
 func BenchmarkSRRCompute(b *testing.B) {
 	cfg := metrics.DefaultSRRConfig()
