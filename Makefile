@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race fuzz check bench
+.PHONY: build test vet lint race fuzz check bench fingerprint fingerprint-update
 
 # Tier-1 verification: everything must build, vet clean, lint clean,
 # and pass.
@@ -50,6 +50,17 @@ check: build vet lint race fuzz
 # benches runs once per invocation (sync.Once), so -count=5 only
 # repeats the cheap measurement loops.
 BENCHCOUNT ?= 5
-BENCHOUT ?= BENCH_PR3.json
+BENCHOUT ?= BENCH_PR4.json
 bench:
 	$(GO) test -run='^$$' -bench . -benchmem -count $(BENCHCOUNT) . | tee /dev/stderr | $(GO) run ./cmd/benchjson -o $(BENCHOUT)
+
+# Refactor safety net: drive every canonical cell and diff its SHA-256
+# trace fingerprint against the golden set recorded before the
+# session-layer extraction (internal/session/testdata). `fingerprint`
+# fails on any divergence; `fingerprint-update` rewrites the goldens —
+# only after a change that is MEANT to alter trajectories.
+fingerprint:
+	$(GO) run ./cmd/fingerprint
+
+fingerprint-update:
+	$(GO) run ./cmd/fingerprint -update

@@ -80,6 +80,9 @@ func run(args []string) error {
 	fmt.Printf("subject %s, scenario %s, fault %s, seed %d\n", prof.Name, scn.Name, cond, *seed)
 	fmt.Printf("  completed: %v (final station %.0f m, %v simulated)\n", out.Completed, out.FinalStation, out.Log.Duration().Truncate(1e8))
 	fmt.Printf("  faults injected: %d\n", out.Injected)
+	if out.FailedInjections > 0 {
+		fmt.Printf("  WARNING: %d fault injection(s) failed — treat this cell as an invalid test execution\n", out.FailedInjections)
+	}
 	fmt.Printf("  collisions: %d, lane invasions: %d\n", out.EgoCollisions, a.LaneInvasions)
 	fmt.Printf("  SRR (whole run): %.1f rev/min\n", a.SRRWholeRun)
 	if a.TaskTimeOK {
@@ -104,6 +107,8 @@ func run(args []string) error {
 	}
 	fmt.Printf("  frames: sent %d, dropped %d; controls applied %d\n",
 		out.ServerStats.FramesSent, out.ServerStats.FramesDropped, out.ServerStats.ControlsApplied)
+	fmt.Printf("  uplink: controls sent %d, dropped %d\n",
+		out.ClientStats.ControlsSent, out.ControlsDropped)
 
 	if *jsonOut != "" {
 		if err := trace.SaveJSONFile(*jsonOut, out.Log); err != nil {

@@ -27,8 +27,10 @@ import (
 
 	"teledrive/internal/driver"
 	"teledrive/internal/geom"
+	"teledrive/internal/netem"
 	"teledrive/internal/scenario"
 	"teledrive/internal/sensors"
+	"teledrive/internal/session"
 	"teledrive/internal/simclock"
 	"teledrive/internal/vehicle"
 	"teledrive/internal/world"
@@ -120,7 +122,11 @@ const (
 	msgControl = 2
 )
 
-// shim injects delay/drop at the application egress.
+// shim injects delay/drop at the application egress. It is the
+// real-TCP implementation of session.Link: the kernel's TCP stack is
+// the network, so there is no emulated fault surface to inject into
+// (Faults returns nil) — impairments are applied at the egress
+// instead.
 type shim struct {
 	mu    sync.Mutex
 	conn  net.Conn
@@ -128,6 +134,15 @@ type shim struct {
 	drop  float64
 	rng   *rand.Rand
 }
+
+var _ session.Link = (*shim)(nil)
+
+// Name implements session.Link.
+func (s *shim) Name() string { return "tcp+egress-shim" }
+
+// Faults implements session.Link: a real TCP link exposes no NETEM
+// surface, so POI fault injection is unavailable on this link.
+func (s *shim) Faults() *netem.Duplex { return nil }
 
 // send drops or delays the message at the egress, then writes it.
 //
@@ -283,6 +298,10 @@ func runStation(addr string, prof driver.Profile, duration, delay time.Duration,
 	if err != nil {
 		return err
 	}
+	// The station polls the driver through the same Operator seam the
+	// deterministic bench uses — an interactive wheel/pedal reader would
+	// slot in here without touching the loop.
+	var op session.Operator = drv
 
 	tick := time.NewTicker(20 * time.Millisecond)
 	defer tick.Stop()
@@ -294,7 +313,7 @@ func runStation(addr string, prof driver.Profile, duration, delay time.Duration,
 		case <-tick.C:
 			now := time.Since(start)
 			clk.AdvanceTo(now)
-			c := drv.Tick(now)
+			c := op.Tick(now)
 			payload := make([]byte, 25)
 			payload[0] = byte(int8(c.Throttle * 100))
 			payload[1] = byte(int8(c.Steer * 100))

@@ -1,0 +1,61 @@
+// Package pair runs the golden-vs-faulty comparison every example is
+// built around: the same subject, scenario and seed driven twice
+// through the session stack — once fault-free, once with the given
+// condition injected at every point of interest.
+package pair
+
+import (
+	"fmt"
+
+	"teledrive/internal/core"
+	"teledrive/internal/driver"
+	"teledrive/internal/faultinject"
+	"teledrive/internal/scenario"
+)
+
+// Runs holds the two completed drives of one comparison.
+type Runs struct {
+	Subject driver.Profile
+	// Scenario is the faulty run's scenario instance (scenarios hold
+	// single-use worlds, so each drive builds its own).
+	Scenario *scenario.Scenario
+	Cond     faultinject.Condition
+	Golden   *core.Result
+	Faulty   *core.Result
+}
+
+// Run executes the comparison. newScenario builds a fresh scenario per
+// drive; cond is injected at every POI of the faulty run.
+func Run(newScenario func() *scenario.Scenario, subjectName string, seed int64, cond faultinject.Condition) (*Runs, error) {
+	subject, ok := driver.SubjectByName(subjectName)
+	if !ok {
+		return nil, fmt.Errorf("pair: unknown subject %q", subjectName)
+	}
+
+	golden, err := core.RunOne(core.RunSpec{
+		Scenario: newScenario(), Profile: subject, Seed: seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("pair: golden run: %w", err)
+	}
+
+	scn := newScenario()
+	faults := make([]faultinject.Condition, len(scn.POIs))
+	for i := range faults {
+		faults[i] = cond
+	}
+	faulty, err := core.RunOne(core.RunSpec{
+		Scenario: scn, Profile: subject, Seed: seed, Faults: faults,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("pair: faulty run: %w", err)
+	}
+
+	return &Runs{
+		Subject:  subject,
+		Scenario: scn,
+		Cond:     cond,
+		Golden:   golden,
+		Faulty:   faulty,
+	}, nil
+}

@@ -9,42 +9,20 @@ import (
 	"fmt"
 	"log"
 
-	"teledrive/internal/core"
-	"teledrive/internal/driver"
+	"teledrive/examples/internal/pair"
 	"teledrive/internal/faultinject"
 	"teledrive/internal/scenario"
 )
 
 func main() {
-	// Pick a test subject (one of the twelve simulated drivers) and a
-	// scenario (following a lead vehicle through Town 5).
-	subject, _ := driver.SubjectByName("T5")
-
-	// Golden run: no faults injected.
-	golden, err := core.RunOne(core.RunSpec{
-		Scenario: scenario.FollowVehicle(),
-		Profile:  subject,
-		Seed:     42,
-	})
+	// One subject (T5, one of the twelve simulated drivers) follows a
+	// lead vehicle through Town 5 twice: a golden run, then the same
+	// drive with 5 % packet loss at every point of interest.
+	runs, err := pair.Run(scenario.FollowVehicle, "T5", 42, faultinject.CondLoss5)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// Faulty run: 5 % packet loss at every point of interest.
-	scn := scenario.FollowVehicle()
-	faults := make([]faultinject.Condition, len(scn.POIs))
-	for i := range faults {
-		faults[i] = faultinject.CondLoss5
-	}
-	faulty, err := core.RunOne(core.RunSpec{
-		Scenario: scn,
-		Profile:  subject,
-		Seed:     42,
-		Faults:   faults,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
+	golden, faulty := runs.Golden, runs.Faulty
 
 	fmt.Println("metric                     golden     faulty(5% loss)")
 	fmt.Printf("completed                  %-10v %v\n",
@@ -58,7 +36,7 @@ func main() {
 	if g, ok := golden.Analysis.TTCByCondition["NFI"]; ok {
 		fmt.Printf("TTC min/avg (no fault)     %.1f / %.1f s\n", g.Min, g.Avg)
 	}
-	if f, ok := faulty.Analysis.TTCByCondition["5%"]; ok {
+	if f, ok := faulty.Analysis.TTCByCondition[runs.Cond.String()]; ok {
 		fmt.Printf("TTC min/avg (under 5%%)     %.1f / %.1f s\n", f.Min, f.Avg)
 	}
 }

@@ -11,35 +11,20 @@ import (
 	"log"
 	"math"
 
+	"teledrive/examples/internal/pair"
 	"teledrive/internal/core"
-	"teledrive/internal/driver"
 	"teledrive/internal/faultinject"
 	"teledrive/internal/scenario"
 )
 
 func main() {
-	prof, _ := driver.SubjectByName("T2")
-
-	golden, err := core.RunOne(core.RunSpec{
-		Scenario: scenario.LaneChangeSlalom(), Profile: prof, Seed: 7,
-	})
+	runs, err := pair.Run(scenario.LaneChangeSlalom, "T2", 7, faultinject.CondLoss5)
 	if err != nil {
 		log.Fatal(err)
 	}
+	golden, faulty := runs.Golden, runs.Faulty
 
-	scn := scenario.LaneChangeSlalom()
-	faults := make([]faultinject.Condition, len(scn.POIs))
-	for i := range faults {
-		faults[i] = faultinject.CondLoss5
-	}
-	faulty, err := core.RunOne(core.RunSpec{
-		Scenario: scn, Profile: prof, Seed: 7, Faults: faults,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	fmt.Printf("subject %s, scenario %s\n\n", prof.Name, scn.Name)
+	fmt.Printf("subject %s, scenario %s\n\n", runs.Subject.Name, runs.Scenario.Name)
 	if golden.Analysis.TaskTimeOK && faulty.Analysis.TaskTimeOK {
 		g := golden.Analysis.TaskTime.Seconds()
 		f := faulty.Analysis.TaskTime.Seconds()

@@ -111,6 +111,11 @@ func (s *Server) Weather() string { return s.weather }
 // FrameInterval returns the camera frame period.
 func (s *Server) FrameInterval() time.Duration { return s.frameInterval }
 
+// SetOnTick registers the callback run after every physics step (the
+// session layer's observer/supervision hook). It shadows any direct
+// OnTick assignment.
+func (s *Server) SetOnTick(fn func(now time.Duration)) { s.OnTick = fn }
+
 // SetFrameInterval changes the camera frame period (effective from the
 // next scheduled frame). Non-positive values are ignored.
 func (s *Server) SetFrameInterval(d time.Duration) {

@@ -20,6 +20,7 @@ import (
 	"teledrive/internal/faultinject"
 	"teledrive/internal/rds"
 	"teledrive/internal/scenario"
+	"teledrive/internal/session"
 	"teledrive/internal/transport"
 )
 
@@ -35,6 +36,12 @@ type RunSpec struct {
 	// Driver overrides the default driver configuration (model-vehicle
 	// experiments).
 	Driver *driver.Config
+	// Stack overrides the session stack builder (plant + link); nil
+	// uses the simulator plant over the netem duplex.
+	Stack session.StackBuilder
+	// Observers subscribe to the run's event spine (ticks, frames,
+	// faults, collisions, condition spans) alongside the trace recorder.
+	Observers []session.Observer
 }
 
 // Result couples the raw outcome with its analysis.
@@ -57,7 +64,9 @@ func RunOne(spec RunSpec) (*Result, error) {
 		Seed:             spec.Seed,
 		FaultAssignments: spec.Faults,
 		Transport:        spec.Transport,
+		NewStack:         spec.Stack,
 		DriverConfig:     spec.Driver,
+		Observers:        spec.Observers,
 	})
 	if err != nil {
 		return nil, err

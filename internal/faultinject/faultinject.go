@@ -37,6 +37,16 @@ func AllConditions() []Condition {
 	return append([]Condition{CondNFI}, FaultConditions()...)
 }
 
+// Valid reports whether c is one of the defined conditions.
+func (c Condition) Valid() bool {
+	for _, k := range AllConditions() {
+		if c == k {
+			return true
+		}
+	}
+	return false
+}
+
 // String returns the table label of the condition.
 func (c Condition) String() string {
 	switch c {
@@ -160,6 +170,11 @@ func (i *Injector) Inject(c Condition) error {
 	if c == CondNFI {
 		i.Clear()
 		return nil
+	}
+	// An unknown condition maps to the empty rule: injecting it would
+	// silently impair nothing while the run counts as faulted.
+	if !c.Valid() {
+		return fmt.Errorf("faultinject: inject unknown condition %d", int(c))
 	}
 	i.active = c
 	var err error

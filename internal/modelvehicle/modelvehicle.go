@@ -11,10 +11,14 @@ import (
 	"math"
 	"time"
 
+	"teledrive/internal/bridge"
 	"teledrive/internal/driver"
 	"teledrive/internal/geom"
 	"teledrive/internal/scenario"
 	"teledrive/internal/sensors"
+	"teledrive/internal/session"
+	"teledrive/internal/simclock"
+	"teledrive/internal/transport"
 	"teledrive/internal/vehicle"
 	"teledrive/internal/world"
 )
@@ -114,3 +118,31 @@ func DriverConfig() driver.Config {
 // builder spawns a sedan by default; model-vehicle runs replace the ego
 // via BuildWithPlant.
 func PlantSpec() vehicle.Spec { return vehicle.ScaledModelCar() }
+
+// Plant is the scale-model vehicle subsystem: the paper's RC car with
+// its smartphone-camera uplink. It speaks the same bridge protocol as
+// the simulator plant — the session layer cannot tell them apart — and
+// reports the model-scale frame geometry.
+type Plant struct {
+	*bridge.Server
+}
+
+// FrameGeometry describes the smartphone camera mounted on the car
+// (the §VIII setup): its usable range at model scale.
+func (p *Plant) FrameGeometry() (rangeM float64) { return p.Camera().Range }
+
+// NewStack is the session.StackBuilder for the model-vehicle
+// environment: the scale-model plant over the datagram
+// (smartphone-camera style) link. Pass it via rds.BenchConfig.NewStack
+// or validity.Env.NewStack.
+func NewStack(clock *simclock.Clock, w *world.World, ego *world.Actor, seed int64, topts transport.Options) (*session.Stack, error) {
+	sess, err := bridge.NewSessionWithTransport(clock, w, ego, seed, topts)
+	if err != nil {
+		return nil, err
+	}
+	return &session.Stack{
+		Plant:  &Plant{Server: sess.Server},
+		Client: sess.Client,
+		Link:   session.NetemLink{Conn: sess.Conn},
+	}, nil
+}

@@ -2,7 +2,8 @@
 // §III-A — vehicle subsystem (bridge server over the simulated world),
 // operator subsystem (bridge client + driver model at the driving
 // station), and communication network subsystem (netem duplex with the
-// fault injector) — and runs a scenario end-to-end.
+// fault injector) — and runs a scenario end-to-end through the
+// internal/session lifecycle.
 package rds
 
 import (
@@ -12,9 +13,10 @@ import (
 	"teledrive/internal/bridge"
 	"teledrive/internal/driver"
 	"teledrive/internal/faultinject"
-	"teledrive/internal/geom"
 	"teledrive/internal/netem"
 	"teledrive/internal/scenario"
+	"teledrive/internal/sensors"
+	"teledrive/internal/session"
 	"teledrive/internal/simclock"
 	"teledrive/internal/trace"
 	"teledrive/internal/transport"
@@ -73,6 +75,10 @@ type BenchConfig struct {
 	Station *StationSpec
 	// Transport defaults to the reliable (TCP-like) channel.
 	Transport *transport.Options
+	// NewStack, when non-nil, overrides the session stack builder
+	// (modelvehicle.NewStack substitutes the scale-model plant; the
+	// default is session.NewStack's simulator plant over netem).
+	NewStack session.StackBuilder
 	// DriverConfig, when non-nil, overrides the task-derived default
 	// (used by the model-vehicle validity experiments).
 	DriverConfig *driver.Config
@@ -88,6 +94,11 @@ type BenchConfig struct {
 	// FrameInterval overrides the camera frame period (ablation; the
 	// paper's feed ran at 25-30 fps).
 	FrameInterval time.Duration
+	// Observers are appended to the session's spine after the trace
+	// recorder: they see every tick, frame, fault, collision and
+	// condition span of the run. Tick/Frame handlers must not allocate
+	// (the per-tick hot path is pinned at zero allocations).
+	Observers []session.Observer
 }
 
 // Validate reports configuration errors.
@@ -128,10 +139,19 @@ type Outcome struct {
 	// Injected counts how many POIs actually saw a fault injected
 	// (a POI is skipped when its assignment is CondNFI).
 	Injected int
+	// FailedInjections counts POI injections the injector refused —
+	// each is also a Faults log record with action "error". Nonzero
+	// means the run did not experience its assigned conditions and the
+	// cell should be treated as an invalid test execution.
+	FailedInjections int
 	// EgoCollisions counts collision events involving the ego.
 	EgoCollisions int
 	ServerStats   bridge.ServerStats
 	ClientStats   bridge.ClientStats
+	// ControlsDropped counts operator commands lost to a full uplink
+	// send window, as observed by the station loop (it matches
+	// ClientStats.ControlsDropped for the standard stack).
+	ControlsDropped uint64
 	// FinalStation is the ego's route station at the end of the run.
 	FinalStation float64
 	// WallTicks counts physics ticks executed.
@@ -139,6 +159,14 @@ type Outcome struct {
 }
 
 // Run executes one complete scenario drive and returns the outcome.
+//
+// It assembles the paper's standard stack — simulator plant, netem
+// link, driver-model operator, POI supervisor, trace recorder on the
+// observer spine — and hands the lifecycle to internal/session. The
+// wiring order below is load-bearing: simclock fires same-instant
+// timers in scheduling order, and the golden fingerprints
+// (internal/session/testdata) pin the resulting trajectories bit for
+// bit.
 func Run(cfg BenchConfig) (*Outcome, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -151,13 +179,17 @@ func Run(cfg BenchConfig) (*Outcome, error) {
 	if cfg.Transport != nil {
 		topts = *cfg.Transport
 	}
+	build := cfg.NewStack
+	if build == nil {
+		build = session.NewStack
+	}
 
 	built, err := cfg.Scenario.Build()
 	if err != nil {
 		return nil, err
 	}
 	clock := simclock.New()
-	sess, err := bridge.NewSessionWithTransport(clock, built.World, built.Ego, cfg.Seed, topts)
+	stack, err := build(clock, built.World, built.Ego, cfg.Seed, topts)
 	if err != nil {
 		return nil, err
 	}
@@ -172,14 +204,30 @@ func Run(cfg BenchConfig) (*Outcome, error) {
 		RunType:  runType,
 		Seed:     cfg.Seed,
 	}
-	rec := trace.NewRecorder(built.World, built.Ego, built.Route, log)
+	rec := trace.NewPassiveRecorder(built.World, built.Ego, built.Route, log)
 
-	inj, err := faultinject.NewInjector(sess.Conn.Links, clock.Now)
-	if err != nil {
-		return nil, err
+	// The spine: recorder first, so later observers see a world the log
+	// already describes.
+	spine := make(session.Observers, 0, 1+len(cfg.Observers))
+	spine = append(spine, session.Record(rec))
+	spine = append(spine, cfg.Observers...)
+
+	// Operator-display frames feed the spine (the recorder ignores
+	// them; latency observers ride along for free).
+	stack.Client.OnFrame = func(view sensors.WorldView, latency time.Duration) {
+		spine.Frame(clock.Now(), view.Frame, latency)
 	}
-	inj.OnChange = rec.RecordFault
-	inj.Direction = cfg.InjectDirection
+
+	var inj *faultinject.Injector
+	faults := stack.Link.Faults()
+	if faults != nil {
+		inj, err = faultinject.NewInjector(faults, clock.Now)
+		if err != nil {
+			return nil, err
+		}
+		inj.OnChange = spine.Fault
+		inj.Direction = cfg.InjectDirection
+	}
 
 	dcfg := driver.DefaultConfig(cfg.Profile, built.Task)
 	if cfg.DriverConfig != nil {
@@ -187,107 +235,66 @@ func Run(cfg BenchConfig) (*Outcome, error) {
 		dcfg.Profile = cfg.Profile
 		dcfg.Task = built.Task
 	}
-	drv, err := driver.New(clock, sess.Client, dcfg)
+	drv, err := driver.New(clock, stack.Client, dcfg)
 	if err != nil {
 		return nil, err
 	}
 
-	out := &Outcome{Log: log}
+	sup := session.NewPOISupervisor(cfg.Scenario, built.Ego, built.Route, inj, cfg.FaultAssignments, spine)
 
-	// Scenario supervision runs on the physics tick: telemetry
-	// sampling, POI-driven fault injection, end detection. Each POI
-	// fires at most once (the paper injects one fault per situation of
-	// interest).
-	activePOI := -1
-	fired := make([]bool, len(cfg.Scenario.POIs))
-	done := false
-	routeProj := geom.NewProjector(built.Route)
-	sess.Server.OnTick = func(now time.Duration) {
-		out.WallTicks++
-		rec.Sample(now)
-		st, _ := routeProj.Project(built.Ego.Pose().Pos)
-		out.FinalStation = st
-
-		// POI transitions.
-		cur := -1
-		for i, poi := range cfg.Scenario.POIs {
-			if st >= poi.From && st < poi.To {
-				cur = i
-				break
+	sess := &session.Session{
+		Clock:         clock,
+		Plant:         stack.Plant,
+		Link:          stack.Link,
+		Operator:      drv,
+		Sink:          stack.Client,
+		Supervisor:    sup,
+		Observers:     spine,
+		ControlPeriod: station.ControlPeriod,
+		Timeout:       cfg.Scenario.Timeout,
+		Wire: func(spine session.Observers) error {
+			if cfg.FrameInterval > 0 {
+				stack.Plant.SetFrameInterval(cfg.FrameInterval)
 			}
-		}
-		if cur != activePOI {
-			if activePOI >= 0 && inj.Active() != faultinject.CondNFI {
-				inj.Clear()
-				rec.SetCondition(now, "")
+			if cfg.PersistentRule != nil {
+				if faults == nil {
+					return fmt.Errorf("rds: persistent rule needs a link with a fault surface (%s has none)", stack.Link.Name())
+				}
+				if err := faults.ApplyBoth(*cfg.PersistentRule); err != nil {
+					return fmt.Errorf("rds: persistent rule: %w", err)
+				}
+				label := cfg.PersistentLabel
+				if label == "" {
+					label = cfg.PersistentRule.String()
+				}
+				spine.Condition(0, label)
 			}
-			activePOI = cur
-			if cur >= 0 && !fired[cur] && cfg.FaultAssignments != nil {
-				fired[cur] = true
-				if cond := cfg.FaultAssignments[cur]; cond != faultinject.CondNFI {
-					if err := inj.Inject(cond); err == nil {
-						rec.SetCondition(now, cond.String())
-						out.Injected++
-					}
+			if cfg.Scenario.Weather != "" {
+				if _, err := stack.Client.SendMeta("set_weather", map[string]string{"weather": cfg.Scenario.Weather}); err != nil {
+					return err
 				}
 			}
-		}
-
-		if st >= cfg.Scenario.EndStation {
-			done = true
-		}
+			return nil
+		},
 	}
 
-	// Operator station loop: poll the driver model at the control
-	// period and send its command to the vehicle.
-	var stationTick func(now time.Duration)
-	stationTick = func(now time.Duration) {
-		ctrl := drv.Tick(now)
-		// A full send window behaves like a congested socket: this
-		// command is lost; the next tick retries.
-		_ = sess.Client.SendControl(ctrl)
-		clock.Schedule(station.ControlPeriod, stationTick)
-	}
-	clock.Schedule(station.ControlPeriod, stationTick)
-
-	if cfg.FrameInterval > 0 {
-		sess.Server.SetFrameInterval(cfg.FrameInterval)
+	res, err := sess.Run()
+	if err != nil {
+		return nil, err
 	}
 
-	if cfg.PersistentRule != nil {
-		if err := sess.Conn.Links.ApplyBoth(*cfg.PersistentRule); err != nil {
-			return nil, fmt.Errorf("rds: persistent rule: %w", err)
-		}
-		label := cfg.PersistentLabel
-		if label == "" {
-			label = cfg.PersistentRule.String()
-		}
-		rec.SetCondition(0, label)
+	out := &Outcome{
+		Log:              log,
+		Completed:        res.Completed,
+		TimedOut:         res.TimedOut,
+		Injected:         sup.Injected(),
+		FailedInjections: sup.FailedInjections(),
+		ServerStats:      stack.Plant.Stats(),
+		ClientStats:      stack.Client.Stats(),
+		ControlsDropped:  res.ControlsDropped,
+		FinalStation:     sup.FinalStation(),
+		WallTicks:        res.WallTicks,
 	}
-
-	if cfg.Scenario.Weather != "" {
-		if _, err := sess.Client.SendMeta("set_weather", map[string]string{"weather": cfg.Scenario.Weather}); err != nil {
-			return nil, err
-		}
-	}
-
-	sess.Server.Start()
-	const chunk = 100 * time.Millisecond
-	for !done && clock.Now() < cfg.Scenario.Timeout {
-		clock.Advance(chunk)
-	}
-	sess.Server.Stop()
-	if inj.Active() != faultinject.CondNFI {
-		inj.Clear()
-		rec.SetCondition(clock.Now(), "")
-	}
-	// Close any still-open condition span.
-	rec.SetCondition(clock.Now(), "")
-
-	out.Completed = done
-	out.TimedOut = !done
-	out.ServerStats = sess.Server.Stats()
-	out.ClientStats = sess.Client.Stats()
 	for _, c := range log.Collisions {
 		if c.Actor == built.Ego.ID || c.Other == built.Ego.ID {
 			out.EgoCollisions++

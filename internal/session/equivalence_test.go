@@ -1,0 +1,118 @@
+package session_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"teledrive/internal/rds"
+	"teledrive/internal/session"
+)
+
+// TestRefactorEquivalence pins the session-layer extraction (and any
+// future change to the run machinery) to bit-identical results: every
+// canonical cell is driven end-to-end and its trace fingerprint —
+// SHA-256 over every telemetry float and event record, plus the
+// outcome scalars — must match the golden digests recorded before the
+// refactor. Regenerate deliberately with `make fingerprint-update`
+// after a change that is MEANT to alter trajectories.
+func TestRefactorEquivalence(t *testing.T) {
+	buf, err := os.ReadFile("testdata/fingerprints.json")
+	if err != nil {
+		t.Fatalf("golden fingerprints: %v (regenerate with `make fingerprint-update`)", err)
+	}
+	var want map[string]string
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	cells := rds.FingerprintCells()
+	seen := make(map[string]bool, len(cells))
+	for _, cell := range cells {
+		seen[cell.Name] = true
+		if _, ok := want[cell.Name]; !ok {
+			t.Errorf("cell %s has no golden digest (run `make fingerprint-update`)", cell.Name)
+		}
+	}
+	for name := range want {
+		if !seen[name] {
+			t.Errorf("golden digest %s no longer has a cell", name)
+		}
+	}
+
+	for _, cell := range cells {
+		cell := cell
+		t.Run(cell.Name, func(t *testing.T) {
+			t.Parallel()
+			got, err := rds.RunFingerprint(cell)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if w := want[cell.Name]; w != "" && got != w {
+				t.Errorf("trajectory diverged from pre-refactor golden\n golden %s\n got    %s", w, got)
+			}
+		})
+	}
+}
+
+// spyObserver counts spine events delivered through a full rds run.
+type spyObserver struct {
+	session.NopObserver
+	ticks, frames, faults, conds int
+}
+
+func (s *spyObserver) Tick(time.Duration) { s.ticks++ }
+func (s *spyObserver) Frame(time.Duration, uint64, time.Duration) {
+	s.frames++
+}
+func (s *spyObserver) Fault(time.Duration, string, string, string, string) { s.faults++ }
+func (s *spyObserver) Condition(time.Duration, string)                     { s.conds++ }
+
+// TestRunObserversRideAlong checks that a config-supplied observer sees
+// the whole event stream of a faulted drive — and that attaching it
+// does not change the trajectory (the fingerprint must still match the
+// golden digest).
+func TestRunObserversRideAlong(t *testing.T) {
+	cells := rds.FingerprintCells()
+	var cell rds.FingerprintCell
+	for _, c := range cells {
+		if c.Name == "follow/T5/25ms+2%" {
+			cell = c
+		}
+	}
+	if cell.Build == nil {
+		t.Fatal("canonical cell follow/T5/25ms+2% missing")
+	}
+
+	spy := &spyObserver{}
+	cfg := cell.Build()
+	cfg.Observers = []session.Observer{spy}
+	out, err := rds.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spy.ticks == 0 || spy.frames == 0 || spy.faults == 0 || spy.conds == 0 {
+		t.Fatalf("observer missed events: ticks=%d frames=%d faults=%d conds=%d",
+			spy.ticks, spy.frames, spy.faults, spy.conds)
+	}
+	if uint64(spy.ticks) != out.WallTicks {
+		t.Fatalf("observer ticks %d != WallTicks %d", spy.ticks, out.WallTicks)
+	}
+
+	buf, err := os.ReadFile("testdata/fingerprints.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want map[string]string
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := rds.RunFingerprint(cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want[cell.Name] {
+		t.Fatalf("attaching an observer changed the trajectory\n golden %s\n got    %s", want[cell.Name], got)
+	}
+}

@@ -1,0 +1,36 @@
+package session
+
+import (
+	"time"
+
+	"teledrive/internal/trace"
+	"teledrive/internal/world"
+)
+
+// recordObserver forwards spine events to a trace.Recorder.
+type recordObserver struct {
+	NopObserver
+	rec *trace.Recorder
+}
+
+// Record subscribes a trace recorder to the spine: ticks become
+// telemetry samples, fault/collision/lane/condition events become log
+// records. Use with a passive recorder (trace.NewPassiveRecorder) —
+// the session owns the world hooks and delivers their events here.
+func Record(rec *trace.Recorder) Observer {
+	return &recordObserver{rec: rec}
+}
+
+func (r *recordObserver) Tick(now time.Duration) { r.rec.Sample(now) }
+
+func (r *recordObserver) Fault(now time.Duration, link, action, desc, label string) {
+	r.rec.RecordFault(now, link, action, desc, label)
+}
+
+func (r *recordObserver) Collision(ev world.CollisionEvent) { r.rec.RecordCollision(ev) }
+
+func (r *recordObserver) LaneInvasion(ev world.LaneInvasionEvent) { r.rec.RecordLaneInvasion(ev) }
+
+func (r *recordObserver) Condition(now time.Duration, label string) {
+	r.rec.SetCondition(now, label)
+}

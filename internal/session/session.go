@@ -1,0 +1,238 @@
+// Package session owns the run lifecycle of one remote-driving test —
+// build → wire → run → teardown — around the four subsystems of the
+// paper's §III-A as explicit interfaces: the Plant (vehicle subsystem
+// over the simulated world), the Link (communication network), the
+// Operator (the driver at the station), and the Supervisor (scenario
+// supervision: POI-driven fault scheduling and end detection). A
+// structured Observer spine threads through all four layers, so data
+// logging (trace.Recorder via Record) is one subscriber among many
+// rather than the hard-wired owner of the run's hooks.
+//
+// rds.Run assembles the standard configuration (bridge plant, netem
+// link, driver-model operator, POI supervisor); campaign, validity and
+// the model-vehicle experiments all execute through it. New plants,
+// links, operators or supervisors plug in without another copy of the
+// run loop.
+package session
+
+import (
+	"fmt"
+	"time"
+
+	"teledrive/internal/bridge"
+	"teledrive/internal/netem"
+	"teledrive/internal/simclock"
+	"teledrive/internal/vehicle"
+	"teledrive/internal/world"
+)
+
+// Plant is the vehicle subsystem: it owns the simulated world, steps
+// physics on the session clock, streams sensor data downlink and
+// applies uplink controls to the remotely driven actor.
+// *bridge.Server is the standard implementation; modelvehicle.Plant is
+// the scale-model variant.
+type Plant interface {
+	// Start schedules the physics and sensor loops; Stop halts them.
+	Start()
+	Stop()
+	// World is the simulated ground truth; Ego the remotely driven
+	// actor.
+	World() *world.World
+	Ego() *world.Actor
+	// SetOnTick registers the callback run after every physics step —
+	// the session drives its observer spine and supervisor from it.
+	SetOnTick(fn func(now time.Duration))
+	// SetFrameInterval changes the camera frame period.
+	SetFrameInterval(d time.Duration)
+	// Stats snapshots the plant-side counters.
+	Stats() bridge.ServerStats
+}
+
+// Link is the communication network subsystem between plant and
+// operator station.
+type Link interface {
+	// Name labels the link implementation in logs.
+	Name() string
+	// Faults exposes the NETEM-emulated fault surface, or nil when the
+	// link has none (a real TCP link, say) — fault injection is then
+	// unavailable and the supervisor drives POIs without injecting.
+	Faults() *netem.Duplex
+}
+
+// Operator is the operator-station subsystem: each control period it
+// observes its display and decides the next driving command.
+// *driver.Driver — the modelled human — is the standard
+// implementation; an interactive station implements the same
+// interface.
+type Operator interface {
+	Tick(now time.Duration) vehicle.Control
+}
+
+// ControlSink consumes operator commands (the uplink ingress).
+// *bridge.Client is the standard implementation.
+type ControlSink interface {
+	SendControl(ctrl vehicle.Control) error
+}
+
+// Supervisor watches the drive on the physics tick: it schedules
+// faults, detects the scenario end, and tears its effects down when
+// the run stops. POISupervisor is the paper's implementation.
+type Supervisor interface {
+	// OnTick runs after every physics step (after the spine's Tick
+	// broadcast, so observers sample the pre-supervision state).
+	OnTick(now time.Duration)
+	// Done reports whether the scenario has ended.
+	Done() bool
+	// Finish tears down supervisor effects still active at run end
+	// (clears injected faults, closes condition spans).
+	Finish(now time.Duration)
+}
+
+// Session wires the four subsystems and the observer spine into one
+// runnable drive. All fields except Chunk are required.
+type Session struct {
+	Clock      *simclock.Clock
+	Plant      Plant
+	Link       Link
+	Operator   Operator
+	Sink       ControlSink
+	Supervisor Supervisor
+	// Observers is the event spine; order matters (the trace recorder
+	// conventionally first).
+	Observers Observers
+
+	// ControlPeriod is the operator station's command period.
+	ControlPeriod time.Duration
+	// Timeout aborts a run whose supervisor never reports done.
+	Timeout time.Duration
+	// Chunk is the clock-advance granularity of the run loop (default
+	// 100 ms simulated).
+	Chunk time.Duration
+
+	// Wire, when non-nil, runs during the wire phase — after the
+	// operator loop is scheduled, before the plant starts. Stack-
+	// specific setup (frame interval, persistent link rules, weather)
+	// goes here so its clock-scheduling order is preserved exactly.
+	Wire func(spine Observers) error
+}
+
+// Result is what the lifecycle itself observed; subsystem-specific
+// outcomes (telemetry, stats, injection counts) live with their
+// subsystems.
+type Result struct {
+	// Completed is true when the supervisor reported the scenario done.
+	Completed bool
+	// TimedOut is true when Timeout expired first.
+	TimedOut bool
+	// WallTicks counts physics ticks executed.
+	WallTicks uint64
+	// ControlsDropped counts operator commands lost to a full send
+	// window — a congested uplink made observable instead of silently
+	// discarded.
+	ControlsDropped uint64
+}
+
+func (s *Session) validate() error {
+	switch {
+	case s.Clock == nil:
+		return fmt.Errorf("session: nil clock")
+	case s.Plant == nil:
+		return fmt.Errorf("session: nil plant")
+	case s.Link == nil:
+		return fmt.Errorf("session: nil link")
+	case s.Operator == nil:
+		return fmt.Errorf("session: nil operator")
+	case s.Sink == nil:
+		return fmt.Errorf("session: nil control sink")
+	case s.Supervisor == nil:
+		return fmt.Errorf("session: nil supervisor")
+	case s.ControlPeriod <= 0:
+		return fmt.Errorf("session: control period %v must be positive", s.ControlPeriod)
+	case s.Timeout <= 0:
+		return fmt.Errorf("session: timeout %v must be positive", s.Timeout)
+	}
+	return nil
+}
+
+// Run executes the wired session to scenario end or timeout.
+//
+// The wire phase preserves a strict scheduling order — operator loop,
+// then Wire hook, then plant loops — because simclock fires
+// same-instant timers in scheduling order and the campaign's
+// bit-identity guarantee (the fingerprint suite) depends on that
+// interleaving.
+func (s *Session) Run() (Result, error) {
+	var res Result
+	if err := s.validate(); err != nil {
+		return res, err
+	}
+	chunk := s.Chunk
+	if chunk <= 0 {
+		chunk = 100 * time.Millisecond
+	}
+
+	// Wire phase: world events fan out to the spine, the plant tick
+	// drives observers then supervision, the operator loop rides the
+	// control period.
+	s.Observers.RunPhase(PhaseWire, s.Clock.Now())
+	w := s.Plant.World()
+	prevCol := w.OnCollision
+	w.OnCollision = func(ev world.CollisionEvent) {
+		if prevCol != nil {
+			prevCol(ev)
+		}
+		s.Observers.Collision(ev)
+	}
+	prevLane := w.OnLaneInvasion
+	w.OnLaneInvasion = func(ev world.LaneInvasionEvent) {
+		if prevLane != nil {
+			prevLane(ev)
+		}
+		s.Observers.LaneInvasion(ev)
+	}
+	s.Plant.SetOnTick(func(now time.Duration) {
+		res.WallTicks++
+		s.Observers.Tick(now)
+		s.Supervisor.OnTick(now)
+	})
+
+	// Operator station loop: poll the operator at the control period
+	// and send its command to the plant.
+	var stationTick func(now time.Duration)
+	stationTick = func(now time.Duration) {
+		ctrl := s.Operator.Tick(now)
+		// A full send window behaves like a congested socket: this
+		// command is lost (and counted); the next tick retries.
+		if err := s.Sink.SendControl(ctrl); err != nil {
+			res.ControlsDropped++
+		}
+		s.Clock.Schedule(s.ControlPeriod, stationTick)
+	}
+	s.Clock.Schedule(s.ControlPeriod, stationTick)
+
+	if s.Wire != nil {
+		if err := s.Wire(s.Observers); err != nil {
+			return res, err
+		}
+	}
+
+	// Run phase: advance simulated time in chunks until the supervisor
+	// ends the scenario or the timeout expires.
+	s.Plant.Start()
+	s.Observers.RunPhase(PhaseRun, s.Clock.Now())
+	for !s.Supervisor.Done() && s.Clock.Now() < s.Timeout {
+		s.Clock.Advance(chunk)
+	}
+
+	// Teardown phase: stop the loops, clear supervisor effects, close
+	// any still-open condition span.
+	s.Plant.Stop()
+	end := s.Clock.Now()
+	s.Supervisor.Finish(end)
+	s.Observers.Condition(end, "")
+	s.Observers.RunPhase(PhaseTeardown, end)
+
+	res.Completed = s.Supervisor.Done()
+	res.TimedOut = !res.Completed
+	return res, nil
+}

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+	"time"
+)
+
+// Fingerprint returns the SHA-256 hex digest of a canonical binary
+// encoding of every field of the run log — header strings, every
+// telemetry float, every event record, every condition span. Two logs
+// fingerprint equal iff they are bit-identical, which is what makes
+// the digest a refactor safety net: a golden set of fingerprints
+// recorded before a change to the run machinery pins the exact
+// simulated trajectories after it (see internal/session's equivalence
+// test and `make fingerprint`).
+func Fingerprint(l *RunLog) string {
+	h := sha256.New()
+	hashString(h, l.Subject)
+	hashString(h, l.Scenario)
+	hashString(h, l.RunType)
+	hashU64(h, uint64(l.Seed))
+
+	hashU64(h, uint64(len(l.Ego)))
+	for _, e := range l.Ego {
+		hashDur(h, e.Time)
+		hashU64(h, e.Frame)
+		hashF64(h, e.X, e.Y, e.Z, e.Vx, e.Vy, e.Vz, e.Ax, e.Ay, e.Az)
+		hashF64(h, e.Station, e.Lateral, e.Speed, e.Throttle, e.Steer, e.Brake)
+	}
+	hashU64(h, uint64(len(l.Others)))
+	for _, o := range l.Others {
+		hashU64(h, uint64(o.Actor))
+		hashDur(h, o.Time)
+		hashU64(h, o.Frame)
+		hashF64(h, o.Distance, o.X, o.Y, o.Z, o.Vx, o.Vy, o.Vz, o.Station, o.Lateral, o.Speed)
+	}
+	hashU64(h, uint64(len(l.Collisions)))
+	for _, c := range l.Collisions {
+		hashDur(h, c.Time)
+		hashU64(h, c.Frame)
+		hashU64(h, uint64(c.Actor))
+		hashU64(h, uint64(c.Other))
+		hashF64(h, c.SpeedA, c.SpeedB)
+		hashString(h, c.Label)
+	}
+	hashU64(h, uint64(len(l.LaneInvasions)))
+	for _, li := range l.LaneInvasions {
+		hashDur(h, li.Time)
+		hashU64(h, li.Frame)
+		hashU64(h, uint64(li.Actor))
+		hashString(h, li.Kind)
+		hashString(h, li.LaneID)
+		hashF64(h, li.Lateral)
+		hashString(h, li.Label)
+	}
+	hashU64(h, uint64(len(l.Faults)))
+	for _, f := range l.Faults {
+		hashDur(h, f.Time)
+		hashString(h, f.Link)
+		hashString(h, f.Action)
+		hashString(h, f.Desc)
+		hashString(h, f.Label)
+	}
+	hashU64(h, uint64(len(l.ConditionSpans)))
+	for _, s := range l.ConditionSpans {
+		hashString(h, s.Label)
+		hashDur(h, s.From)
+		hashDur(h, s.To)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func hashString(h hash.Hash, s string) {
+	hashU64(h, uint64(len(s)))
+	h.Write([]byte(s))
+}
+
+func hashU64(h hash.Hash, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	h.Write(buf[:])
+}
+
+func hashDur(h hash.Hash, d time.Duration) { hashU64(h, uint64(d)) }
+
+// hashF64 hashes the exact IEEE-754 bit patterns, so fingerprints
+// distinguish values that print identically (and even -0 from +0).
+func hashF64(h hash.Hash, vs ...float64) {
+	for _, v := range vs {
+		hashU64(h, math.Float64bits(v))
+	}
+}

@@ -154,36 +154,62 @@ type Recorder struct {
 	activeFrom  time.Duration
 }
 
-// NewRecorder creates a recorder for a run. route provides ego/other
-// station coordinates; it may be nil (stations logged as 0).
+// NewRecorder creates a recorder for a run and hooks the world's
+// collision and lane-invasion callbacks (chaining any already
+// installed). route provides ego/other station coordinates; it may be
+// nil (stations logged as 0).
+//
+// When something else owns the world hooks — the session layer fans
+// them out through its observer spine — use NewPassiveRecorder and
+// forward events via RecordCollision/RecordLaneInvasion instead.
 func NewRecorder(w *world.World, ego *world.Actor, route *geom.Path, log *RunLog) *Recorder {
-	r := &Recorder{Log: log, w: w, ego: ego, route: route}
-	if route != nil {
-		r.egoProj = geom.NewProjector(route)
-		r.otherProjs = make(map[world.ActorID]*geom.Projector)
-	}
+	r := NewPassiveRecorder(w, ego, route, log)
 	prevCol := w.OnCollision
 	w.OnCollision = func(ev world.CollisionEvent) {
 		if prevCol != nil {
 			prevCol(ev)
 		}
-		log.Collisions = append(log.Collisions, CollisionRecord{
-			Time: ev.Time, Frame: ev.Frame, Actor: ev.Actor, Other: ev.Other,
-			SpeedA: ev.SpeedA, SpeedB: ev.SpeedB, Label: r.currentLabel(),
-		})
+		r.RecordCollision(ev)
 	}
 	prevLane := w.OnLaneInvasion
 	w.OnLaneInvasion = func(ev world.LaneInvasionEvent) {
 		if prevLane != nil {
 			prevLane(ev)
 		}
-		log.LaneInvasions = append(log.LaneInvasions, LaneRecord{
-			Time: ev.Time, Frame: ev.Frame, Actor: ev.Actor,
-			Kind: ev.Kind.String(), LaneID: ev.LaneID, Lateral: ev.Lateral,
-			Label: r.currentLabel(),
-		})
+		r.RecordLaneInvasion(ev)
 	}
 	return r
+}
+
+// NewPassiveRecorder creates a recorder that installs no world hooks:
+// the caller delivers collision and lane-invasion events explicitly
+// through RecordCollision/RecordLaneInvasion.
+func NewPassiveRecorder(w *world.World, ego *world.Actor, route *geom.Path, log *RunLog) *Recorder {
+	r := &Recorder{Log: log, w: w, ego: ego, route: route}
+	if route != nil {
+		r.egoProj = geom.NewProjector(route)
+		r.otherProjs = make(map[world.ActorID]*geom.Projector)
+	}
+	return r
+}
+
+// RecordCollision appends a collision record labelled with the active
+// fault condition.
+func (r *Recorder) RecordCollision(ev world.CollisionEvent) {
+	r.Log.Collisions = append(r.Log.Collisions, CollisionRecord{
+		Time: ev.Time, Frame: ev.Frame, Actor: ev.Actor, Other: ev.Other,
+		SpeedA: ev.SpeedA, SpeedB: ev.SpeedB, Label: r.currentLabel(),
+	})
+}
+
+// RecordLaneInvasion appends a lane-invasion record labelled with the
+// active fault condition.
+func (r *Recorder) RecordLaneInvasion(ev world.LaneInvasionEvent) {
+	r.Log.LaneInvasions = append(r.Log.LaneInvasions, LaneRecord{
+		Time: ev.Time, Frame: ev.Frame, Actor: ev.Actor,
+		Kind: ev.Kind.String(), LaneID: ev.LaneID, Lateral: ev.Lateral,
+		Label: r.currentLabel(),
+	})
 }
 
 func (r *Recorder) currentLabel() string {
