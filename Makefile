@@ -29,14 +29,17 @@ race:
 
 # Short fuzz passes over the hostile-input surfaces: the lint
 # suppression parser (runs over every comment in the repo on each
-# `make lint`), the world-view decoder, the transport framing, and the
+# `make lint`), the world-view decoder, the transport framing, the
 # spatial-index equivalence property (grid-indexed projection must stay
-# bit-identical to the linear reference scan).
+# bit-identical to the linear reference scan), and the Prometheus
+# exposition writer (arbitrary metric/label names must sanitize into
+# grammar-valid output).
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParseAllow -fuzztime=5s ./internal/analysis
 	$(GO) test -run='^$$' -fuzz=FuzzUnmarshalWorldView -fuzztime=5s ./internal/sensors
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeFrame -fuzztime=5s ./internal/transport
 	$(GO) test -run='^$$' -fuzz=FuzzProjectEquivalence -fuzztime=5s ./internal/geom
+	$(GO) test -run='^$$' -fuzz=FuzzExposition -fuzztime=5s ./internal/telemetry
 
 # Everything a PR must survive: compile, static checks, determinism
 # lint, race-clean tests, and the short fuzz budget.
@@ -50,7 +53,7 @@ check: build vet lint race fuzz
 # benches runs once per invocation (sync.Once), so -count=5 only
 # repeats the cheap measurement loops.
 BENCHCOUNT ?= 5
-BENCHOUT ?= BENCH_PR4.json
+BENCHOUT ?= BENCH_PR5.json
 bench:
 	$(GO) test -run='^$$' -bench . -benchmem -count $(BENCHCOUNT) . | tee /dev/stderr | $(GO) run ./cmd/benchjson -o $(BENCHOUT)
 

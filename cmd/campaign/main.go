@@ -8,6 +8,7 @@
 //
 //	campaign [-seed N] [-plan paper|random] [-training] [-spec]
 //	         [-fig4-subject T6] [-fig4-scenario 1] [-logs DIR] [-csv DIR]
+//	         [-telemetry-addr localhost:9090] [-progress=false]
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"teledrive/internal/questionnaire"
 	"teledrive/internal/rds"
 	"teledrive/internal/report"
+	"teledrive/internal/telemetry"
 	"teledrive/internal/trace"
 )
 
@@ -44,6 +46,8 @@ func run(args []string) error {
 		csvDir    = fs.String("csv", "", "export per-run CSV logs to this directory")
 		noExclude = fs.Bool("no-exclusions", false, "keep T7 and skip the paper's missing-data masks")
 		workers   = fs.Int("workers", 0, "parallel simulation workers (0 = all CPUs, 1 = sequential); results are identical for any value")
+		telemAddr = fs.String("telemetry-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. localhost:9090); empty = off")
+		progress  = fs.Bool("progress", true, "repaint a live progress line (cells done/total, elapsed, ETA) on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,14 +67,33 @@ func run(args []string) error {
 		return fmt.Errorf("unknown plan %q", *plan)
 	}
 
+	// One registry serves the whole campaign: cells aggregate into it,
+	// the ops server exposes it, and the progress line reads it.
+	reg := telemetry.NewRegistry()
+	ops, err := telemetry.Serve(*telemAddr, reg)
+	if err != nil {
+		return err
+	}
+	if ops != nil {
+		defer ops.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: serving /metrics on http://%s/metrics\n", ops.Addr())
+	}
+
 	fmt.Printf("running campaign: seed=%d plan=%s training=%v workers=%d ...\n", *seed, *plan, *training, *workers)
+	ins := campaign.NewInstruments(reg)
+	stopProgress := func() {}
+	if *progress {
+		stopProgress = telemetry.StartProgress(os.Stderr, "cells", ins.CellsPlanned.Value, ins.Done)
+	}
 	res, err := campaign.Run(campaign.Config{
 		Seed:                 *seed,
 		Plan:                 mode,
 		IncludeTraining:      *training,
 		ApplyPaperExclusions: !*noExclude,
 		Workers:              *workers,
+		Metrics:              reg,
 	})
+	stopProgress()
 	if err != nil {
 		return err
 	}

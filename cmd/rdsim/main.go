@@ -6,6 +6,7 @@
 //
 //	rdsim [-subject T5] [-scenario follow|slalom|overtake|training]
 //	      [-fault NFI|5ms|25ms|50ms|2%|5%] [-seed N] [-json FILE]
+//	      [-telemetry-addr localhost:9090] [-telemetry-events FILE]
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"teledrive/internal/driver"
 	"teledrive/internal/faultinject"
 	"teledrive/internal/scenario"
+	"teledrive/internal/telemetry"
 	"teledrive/internal/trace"
 )
 
@@ -31,11 +33,13 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("rdsim", flag.ContinueOnError)
 	var (
-		subject  = fs.String("subject", "T5", "subject profile (T1..T12)")
-		scenName = fs.String("scenario", "follow", "scenario: follow, slalom, overtake, training")
-		fault    = fs.String("fault", "NFI", "fault condition at every POI: NFI, 5ms, 25ms, 50ms, 2%, 5%")
-		seed     = fs.Int64("seed", 1, "run seed")
-		jsonOut  = fs.String("json", "", "write the run log as JSON to this file")
+		subject   = fs.String("subject", "T5", "subject profile (T1..T12)")
+		scenName  = fs.String("scenario", "follow", "scenario: follow, slalom, overtake, training")
+		fault     = fs.String("fault", "NFI", "fault condition at every POI: NFI, 5ms, 25ms, 50ms, 2%, 5%")
+		seed      = fs.Int64("seed", 1, "run seed")
+		jsonOut   = fs.String("json", "", "write the run log as JSON to this file")
+		telemAddr = fs.String("telemetry-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. localhost:9090); empty = off")
+		eventsOut = fs.String("telemetry-events", "", "append the run's sparse structured events (phases, faults, collisions) as JSONL to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,9 +74,36 @@ func run(args []string) error {
 		}
 	}
 
-	res, err := core.RunOne(core.RunSpec{Scenario: scn, Profile: prof, Seed: *seed, Faults: faults})
+	spec := core.RunSpec{Scenario: scn, Profile: prof, Seed: *seed, Faults: faults}
+	if *telemAddr != "" || *eventsOut != "" {
+		spec.Metrics = telemetry.NewRegistry()
+	}
+	ops, err := telemetry.Serve(*telemAddr, spec.Metrics)
 	if err != nil {
 		return err
+	}
+	if ops != nil {
+		defer ops.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: serving /metrics on http://%s/metrics\n", ops.Addr())
+	}
+	if *eventsOut != "" {
+		f, err := os.OpenFile(*eventsOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		spec.Events = telemetry.NewEventSink(f)
+	}
+
+	res, err := core.RunOne(spec)
+	if err != nil {
+		return err
+	}
+	if spec.Events != nil {
+		if err := spec.Events.Err(); err != nil {
+			return fmt.Errorf("telemetry events: %w", err)
+		}
+		fmt.Printf("wrote %d telemetry events to %s\n", spec.Events.Count(), *eventsOut)
 	}
 
 	out := res.Outcome

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"teledrive/internal/driver"
+	"teledrive/internal/telemetry"
 	"teledrive/internal/validity"
 )
 
@@ -30,11 +31,13 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	var (
-		envName = fs.String("env", "both", "environment: simulator, model, both")
-		subject = fs.String("subject", "T5", "operator profile for the simulator")
-		seed    = fs.Int64("seed", 2024, "sweep seed")
-		grid    = fs.Bool("grid", false, "run the combined delay x loss grid (future-work extension)")
-		workers = fs.Int("workers", 0, "parallel sweep-point workers (0 = all CPUs, 1 = sequential); results are identical for any value")
+		envName   = fs.String("env", "both", "environment: simulator, model, both")
+		subject   = fs.String("subject", "T5", "operator profile for the simulator")
+		seed      = fs.Int64("seed", 2024, "sweep seed")
+		grid      = fs.Bool("grid", false, "run the combined delay x loss grid (future-work extension)")
+		workers   = fs.Int("workers", 0, "parallel sweep-point workers (0 = all CPUs, 1 = sequential); results are identical for any value")
+		telemAddr = fs.String("telemetry-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. localhost:9090); empty = off")
+		progress  = fs.Bool("progress", true, "repaint a live progress line (points done/total, elapsed, ETA) on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,6 +58,39 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown environment %q", *envName)
 	}
+
+	// One registry spans every environment in the sweep; per-env progress
+	// counters are summed for the overall line.
+	reg := telemetry.NewRegistry()
+	ops, err := telemetry.Serve(*telemAddr, reg)
+	if err != nil {
+		return err
+	}
+	if ops != nil {
+		defer ops.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: serving /metrics on http://%s/metrics\n", ops.Addr())
+	}
+	var planned, done []*telemetry.Counter
+	for i := range envs {
+		envs[i].Metrics = reg
+		p, d := validity.PointCounters(reg, envs[i].Name)
+		planned = append(planned, p)
+		done = append(done, d)
+	}
+	sum := func(cs []*telemetry.Counter) func() uint64 {
+		return func() uint64 {
+			var t uint64
+			for _, c := range cs {
+				t += c.Value()
+			}
+			return t
+		}
+	}
+	stopProgress := func() {}
+	if *progress {
+		stopProgress = telemetry.StartProgress(os.Stderr, "points", sum(planned), sum(done))
+	}
+	defer stopProgress()
 
 	for _, env := range envs {
 		if *grid {

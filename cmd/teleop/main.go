@@ -12,6 +12,7 @@
 // Usage:
 //
 //	teleop [-duration 30s] [-subject T5] [-delay 50ms] [-drop 0.05] [-addr 127.0.0.1:0]
+//	       [-telemetry-addr localhost:9090]
 package main
 
 import (
@@ -32,6 +33,7 @@ import (
 	"teledrive/internal/sensors"
 	"teledrive/internal/session"
 	"teledrive/internal/simclock"
+	"teledrive/internal/telemetry"
 	"teledrive/internal/vehicle"
 	"teledrive/internal/world"
 )
@@ -46,11 +48,12 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("teleop", flag.ContinueOnError)
 	var (
-		duration = fs.Duration("duration", 30*time.Second, "how long to drive")
-		subject  = fs.String("subject", "T5", "driver profile at the station")
-		delay    = fs.Duration("delay", 0, "one-way injected message delay")
-		drop     = fs.Float64("drop", 0, "message drop probability [0,1)")
-		addr     = fs.String("addr", "127.0.0.1:0", "TCP listen address")
+		duration  = fs.Duration("duration", 30*time.Second, "how long to drive")
+		subject   = fs.String("subject", "T5", "driver profile at the station")
+		delay     = fs.Duration("delay", 0, "one-way injected message delay")
+		drop      = fs.Float64("drop", 0, "message drop probability [0,1)")
+		addr      = fs.String("addr", "127.0.0.1:0", "TCP listen address")
+		telemAddr = fs.String("telemetry-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. localhost:9090); empty = off")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,6 +61,22 @@ func run(args []string) error {
 	prof, ok := driver.SubjectByName(*subject)
 	if !ok {
 		return fmt.Errorf("unknown subject %q", *subject)
+	}
+
+	// Live-demo telemetry: the egress shims count messages per role.
+	var vehEgress, staEgress shimInstruments
+	if *telemAddr != "" {
+		reg := telemetry.NewRegistry()
+		ops, err := telemetry.Serve(*telemAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer ops.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: serving /metrics on http://%s/metrics\n", ops.Addr())
+		msgs := reg.CounterVec("teledrive_teleop_messages_total",
+			"Messages at the TCP egress shim, by role and outcome.", "role", "event")
+		vehEgress = shimInstruments{sent: msgs.With("vehicle", "sent"), dropped: msgs.With("vehicle", "dropped")}
+		staEgress = shimInstruments{sent: msgs.With("station", "sent"), dropped: msgs.With("station", "dropped")}
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -72,11 +91,11 @@ func run(args []string) error {
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		errCh <- serveVehicle(ln, *duration, *delay, *drop)
+		errCh <- serveVehicle(ln, *duration, *delay, *drop, vehEgress)
 	}()
 	go func() {
 		defer wg.Done()
-		errCh <- runStation(ln.Addr().String(), prof, *duration, *delay, *drop)
+		errCh <- runStation(ln.Addr().String(), prof, *duration, *delay, *drop, staEgress)
 	}()
 	wg.Wait()
 	close(errCh)
@@ -133,6 +152,14 @@ type shim struct {
 	delay time.Duration
 	drop  float64
 	rng   *rand.Rand
+	ins   shimInstruments
+}
+
+// shimInstruments are the demo's nil-safe egress counters; the zero
+// value (no -telemetry-addr) counts nothing.
+type shimInstruments struct {
+	sent    *telemetry.Counter
+	dropped *telemetry.Counter
 }
 
 var _ session.Link = (*shim)(nil)
@@ -152,7 +179,13 @@ func (s *shim) send(typ byte, payload []byte) {
 	roll := s.rng.Float64()
 	s.mu.Unlock()
 	if roll < s.drop {
+		if s.ins.dropped != nil {
+			s.ins.dropped.Inc()
+		}
 		return
+	}
+	if s.ins.sent != nil {
+		s.ins.sent.Inc()
 	}
 	deliver := func() {
 		s.mu.Lock()
@@ -169,7 +202,7 @@ func (s *shim) send(typ byte, payload []byte) {
 // serveVehicle steps the world in real time and streams camera frames.
 //
 //lint:allow wallclock real-time demo: wall-clock tickers ARE the physics/frame cadence here, unlike the deterministic bench
-func serveVehicle(ln net.Listener, duration, delay time.Duration, drop float64) error {
+func serveVehicle(ln net.Listener, duration, delay time.Duration, drop float64, egress shimInstruments) error {
 	conn, err := ln.Accept()
 	if err != nil {
 		return err
@@ -184,7 +217,7 @@ func serveVehicle(ln net.Listener, duration, delay time.Duration, drop float64) 
 	built.World.OnCollision = func(world.CollisionEvent) { collisions++ }
 	cam := sensors.NewCamera(built.World, built.Ego)
 	cam.VideoFrameBytes = 0 // keep the live demo light
-	out := &shim{conn: conn, delay: delay, drop: drop, rng: rand.New(rand.NewSource(1))}
+	out := &shim{conn: conn, delay: delay, drop: drop, rng: rand.New(rand.NewSource(1)), ins: egress}
 
 	// Incoming controls.
 	var ctrlMu sync.Mutex
@@ -240,7 +273,7 @@ func stationOf(built *scenario.Built) float64 {
 // runStation runs the driver model in real time against the TCP feed.
 //
 //lint:allow wallclock real-time demo: the station's simclock is slaved to the wall clock (clk.AdvanceTo(time.Since(start)))
-func runStation(addr string, prof driver.Profile, duration, delay time.Duration, drop float64) error {
+func runStation(addr string, prof driver.Profile, duration, delay time.Duration, drop float64, egress shimInstruments) error {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return err
@@ -251,7 +284,7 @@ func runStation(addr string, prof driver.Profile, duration, delay time.Duration,
 	if err != nil {
 		return err
 	}
-	out := &shim{conn: conn, delay: delay, drop: drop, rng: rand.New(rand.NewSource(2))}
+	out := &shim{conn: conn, delay: delay, drop: drop, rng: rand.New(rand.NewSource(2)), ins: egress}
 
 	// Live perception: latest frame + its arrival wall-time.
 	type display struct {

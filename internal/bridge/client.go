@@ -46,6 +46,7 @@ type Client struct {
 	receivedAt  time.Duration // when the displayed frame arrived
 	metaSeq     uint64
 	stats       ClientStats
+	ins         *ClientInstruments // optional telemetry handles; nil = uninstrumented
 }
 
 // NewClient builds the operator station side. ep is the client transport
@@ -94,9 +95,15 @@ func (c *Client) SendControl(ctrl vehicle.Control) error {
 	payload := envelope(MsgControl, MarshalControl(ctrl))
 	if err := c.ep.Send(payload); err != nil {
 		c.stats.ControlsDropped++
+		if c.ins != nil {
+			c.ins.ControlsDropped.Inc()
+		}
 		return fmt.Errorf("bridge: send control: %w", err)
 	}
 	c.stats.ControlsSent++
+	if c.ins != nil {
+		c.ins.ControlsSent.Inc()
+	}
 	return nil
 }
 
@@ -127,10 +134,16 @@ func (c *Client) handleMessage(payload []byte, latency time.Duration) {
 			return
 		}
 		c.stats.FramesReceived++
+		if c.ins != nil {
+			c.ins.FramesReceived.Inc()
+		}
 		// Display only monotonically newer frames; an older frame that
 		// arrives late (reordering, duplication) is discarded.
 		if c.latestValid && view.Frame <= c.latest.Frame {
 			c.stats.FramesStale++
+			if c.ins != nil {
+				c.ins.FramesStale.Inc()
+			}
 			return
 		}
 		c.latest = view

@@ -1,0 +1,63 @@
+package bridge
+
+import (
+	"teledrive/internal/telemetry"
+)
+
+// ServerInstruments is the vehicle subsystem's native telemetry: the
+// frame/control counters the camera and control paths increment
+// alongside ServerStats. Handles are pre-bound; the per-frame path adds
+// only nil-checked atomic operations.
+type ServerInstruments struct {
+	FramesSent      *telemetry.Counter
+	FramesDropped   *telemetry.Counter
+	PayloadBytes    *telemetry.Counter
+	ControlsApplied *telemetry.Counter
+	EventsSent      *telemetry.Counter
+}
+
+// NewServerInstruments binds the server instrument set in reg.
+func NewServerInstruments(reg *telemetry.Registry) *ServerInstruments {
+	frames := reg.CounterVec("teledrive_bridge_frames_total",
+		"Camera frames at the vehicle-side sender, by outcome (sent/dropped).", "outcome")
+	return &ServerInstruments{
+		FramesSent:    frames.With("sent"),
+		FramesDropped: frames.With("dropped"),
+		PayloadBytes: reg.Counter("teledrive_bridge_frame_payload_bytes_total",
+			"Serialized frame payload bytes handed to the transport."),
+		ControlsApplied: reg.Counter("teledrive_bridge_controls_applied_total",
+			"Driving commands applied to the ego plant."),
+		EventsSent: reg.Counter("teledrive_bridge_events_sent_total",
+			"Collision/lane-invasion sensor events streamed to the station."),
+	}
+}
+
+// SetInstruments attaches (or detaches, with nil) the server's
+// telemetry handles. Call at wiring time.
+func (s *Server) SetInstruments(ins *ServerInstruments) { s.ins = ins }
+
+// ClientInstruments is the operator station's native telemetry.
+type ClientInstruments struct {
+	FramesReceived  *telemetry.Counter
+	FramesStale     *telemetry.Counter
+	ControlsSent    *telemetry.Counter
+	ControlsDropped *telemetry.Counter
+}
+
+// NewClientInstruments binds the client instrument set in reg.
+func NewClientInstruments(reg *telemetry.Registry) *ClientInstruments {
+	controls := reg.CounterVec("teledrive_bridge_controls_total",
+		"Driving commands at the station-side sender, by outcome (sent/dropped).", "outcome")
+	return &ClientInstruments{
+		FramesReceived: reg.Counter("teledrive_bridge_frames_received_total",
+			"Frames received at the operator station."),
+		FramesStale: reg.Counter("teledrive_bridge_frames_stale_total",
+			"Frames discarded at the station for arriving older than the displayed one."),
+		ControlsSent:    controls.With("sent"),
+		ControlsDropped: controls.With("dropped"),
+	}
+}
+
+// SetInstruments attaches (or detaches, with nil) the client's
+// telemetry handles. Call at wiring time.
+func (c *Client) SetInstruments(ins *ClientInstruments) { c.ins = ins }

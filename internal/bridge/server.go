@@ -50,6 +50,7 @@ type Server struct {
 	running       bool
 	stopped       bool
 	stats         ServerStats
+	ins           *ServerInstruments // optional telemetry handles; nil = uninstrumented
 	lastControl   vehicle.Control
 
 	// view and sendBuf are reused across camera ticks so the per-frame
@@ -165,8 +166,15 @@ func (s *Server) cameraTick(now time.Duration) {
 		// Send window full: the sender-side socket buffer is congested;
 		// drop this frame like a saturated video encoder queue would.
 		s.stats.FramesDropped++
+		if s.ins != nil {
+			s.ins.FramesDropped.Inc()
+		}
 	} else {
 		s.stats.FramesSent++
+		if s.ins != nil {
+			s.ins.FramesSent.Inc()
+			s.ins.PayloadBytes.Add(uint64(len(s.sendBuf)))
+		}
 	}
 	s.clock.Schedule(s.frameInterval, s.cameraTick)
 }
@@ -177,6 +185,9 @@ func (s *Server) flushEvents() {
 		if buf, err := marshalJSONMsg(MsgCollision, collisionToWire(ev)); err == nil {
 			if s.ep.Send(buf) == nil {
 				s.stats.EventsSent++
+				if s.ins != nil {
+					s.ins.EventsSent.Inc()
+				}
 			}
 		}
 	}
@@ -184,6 +195,9 @@ func (s *Server) flushEvents() {
 		if buf, err := marshalJSONMsg(MsgLaneInvasion, laneInvasionToWire(ev)); err == nil {
 			if s.ep.Send(buf) == nil {
 				s.stats.EventsSent++
+				if s.ins != nil {
+					s.ins.EventsSent.Inc()
+				}
 			}
 		}
 	}
@@ -203,6 +217,9 @@ func (s *Server) handleMessage(payload []byte) {
 		s.lastControl = c
 		s.ego.Plant.Apply(c)
 		s.stats.ControlsApplied++
+		if s.ins != nil {
+			s.ins.ControlsApplied.Inc()
+		}
 	case MsgMeta:
 		var cmd MetaCommand
 		if err := json.Unmarshal(body, &cmd); err != nil {

@@ -7,6 +7,7 @@ import (
 	"teledrive/internal/driver"
 	"teledrive/internal/faultinject"
 	"teledrive/internal/scenario"
+	"teledrive/internal/telemetry"
 	"teledrive/internal/transport"
 )
 
@@ -44,6 +45,13 @@ type Config struct {
 	// for every value — all randomness is consumed by the sequential
 	// plan phase and every cell carries an explicit seed.
 	Workers int
+	// Metrics, when non-nil, instruments the campaign: every cell runs
+	// with this shared registry (netem/bridge/session instruments
+	// aggregate across cells) and the execute phase exports cell
+	// progress, worker utilization, failed injections and dropped
+	// controls. Telemetry is inert — campaign results are bit-identical
+	// with or without it.
+	Metrics *telemetry.Registry
 }
 
 func (c *Config) fillDefaults() {

@@ -22,6 +22,7 @@ import (
 	"teledrive/internal/core"
 	"teledrive/internal/driver"
 	"teledrive/internal/scenario"
+	"teledrive/internal/telemetry"
 )
 
 // CellKind distinguishes the three drive types of a campaign cell.
@@ -136,6 +137,7 @@ func BuildPlan(cfg Config) (*Plan, error) {
 					Profile:   prof,
 					Seed:      cfg.Seed ^ prof.Seed ^ 0x7e57,
 					Transport: cfg.Transport,
+					Metrics:   cfg.Metrics,
 				},
 			})
 		}
@@ -158,6 +160,7 @@ func BuildPlan(cfg Config) (*Plan, error) {
 					Seed:      seed,
 					Faults:    core.GoldenPlan(golden[i]),
 					Transport: cfg.Transport,
+					Metrics:   cfg.Metrics,
 				},
 			})
 			p.Cells = append(p.Cells, RunCell{
@@ -168,6 +171,7 @@ func BuildPlan(cfg Config) (*Plan, error) {
 					Seed:      seed ^ 0xFA11,
 					Faults:    assignment.PerScenario[i],
 					Transport: cfg.Transport,
+					Metrics:   cfg.Metrics,
 				},
 			})
 		}
@@ -227,10 +231,28 @@ func (p *Plan) Execute() (*Result, error) {
 	if workers > len(p.Cells) {
 		workers = len(p.Cells)
 	}
+
+	// Campaign instruments bind here, once per execute; the cell loop
+	// below touches only pre-bound atomic handles.
+	var ins *Instruments
+	if p.Config.Metrics != nil {
+		ins = NewInstruments(p.Config.Metrics)
+		ins.CellsPlanned.Add(uint64(len(p.Cells)))
+		ins.Workers.Set(int64(workers))
+	}
+
 	if workers <= 1 {
 		// Legacy path: strictly sequential, first error aborts.
+		var w0 *telemetry.Counter
+		if ins != nil {
+			w0 = ins.WorkerCells(0)
+		}
 		for ci, cell := range p.Cells {
+			if ins != nil {
+				ins.CellsInFlight.Inc()
+			}
 			r, err := core.RunOne(cell.Spec)
+			ins.cellDone(r, w0, err)
 			if err != nil {
 				return nil, p.cellError(cell, err)
 			}
@@ -246,6 +268,12 @@ func (p *Plan) Execute() (*Result, error) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		// Per-worker handles bind on the spawning goroutine; the worker
+		// body only increments.
+		var wc *telemetry.Counter
+		if ins != nil {
+			wc = ins.WorkerCells(w)
+		}
 		go func() {
 			defer wg.Done()
 			for ci := range jobs {
@@ -254,7 +282,11 @@ func (p *Plan) Execute() (*Result, error) {
 				if ctx.Err() != nil {
 					continue
 				}
+				if ins != nil {
+					ins.CellsInFlight.Inc()
+				}
 				r, err := core.RunOne(p.Cells[ci].Spec)
+				ins.cellDone(r, wc, err)
 				if err != nil {
 					errs[ci] = err
 					cancel()

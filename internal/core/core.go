@@ -21,6 +21,7 @@ import (
 	"teledrive/internal/rds"
 	"teledrive/internal/scenario"
 	"teledrive/internal/session"
+	"teledrive/internal/telemetry"
 	"teledrive/internal/transport"
 )
 
@@ -42,6 +43,13 @@ type RunSpec struct {
 	// Observers subscribe to the run's event spine (ticks, frames,
 	// faults, collisions, condition spans) alongside the trace recorder.
 	Observers []session.Observer
+	// Metrics, when non-nil, instruments the run (see
+	// rds.BenchConfig.Metrics). Telemetry is inert: results and traces
+	// are bit-identical with or without it.
+	Metrics *telemetry.Registry
+	// Events receives the run's sparse structured events as JSONL.
+	// Ignored unless Metrics is set.
+	Events *telemetry.EventSink
 }
 
 // Result couples the raw outcome with its analysis.
@@ -67,6 +75,8 @@ func RunOne(spec RunSpec) (*Result, error) {
 		NewStack:         spec.Stack,
 		DriverConfig:     spec.Driver,
 		Observers:        spec.Observers,
+		Metrics:          spec.Metrics,
+		Events:           spec.Events,
 	})
 	if err != nil {
 		return nil, err

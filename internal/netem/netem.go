@@ -233,6 +233,7 @@ type Link struct {
 	hasRule bool
 
 	stats    Stats
+	ins      *Instruments // optional telemetry handles; nil = uninstrumented
 	nextSeq  uint64
 	inFlight int
 
@@ -281,6 +282,9 @@ func (l *Link) AddRule(r Rule) error {
 	}
 	l.rule = r
 	l.hasRule = true
+	if l.ins != nil {
+		l.ins.RuleAdds.Inc()
+	}
 	if l.RuleChanged != nil {
 		l.RuleChanged(l.clock.Now(), "add", r.String())
 	}
@@ -295,6 +299,9 @@ func (l *Link) DeleteRule() {
 	wasActive := l.hasRule
 	l.rule = Rule{}
 	l.hasRule = false
+	if wasActive && l.ins != nil {
+		l.ins.RuleDeletes.Inc()
+	}
 	if wasActive && l.RuleChanged != nil {
 		l.RuleChanged(l.clock.Now(), "delete", "none")
 	}
@@ -309,6 +316,10 @@ func (l *Link) Send(payload []byte) bool {
 	l.nextSeq = seq
 	l.stats.Sent++
 	l.stats.BytesSent += uint64(len(payload))
+	if l.ins != nil {
+		l.ins.Sent.Inc()
+		l.ins.BytesSent.Add(uint64(len(payload)))
+	}
 
 	if !l.hasRule {
 		l.deliverAt(now, Packet{Seq: seq, Payload: clone(payload), SentAt: now})
@@ -323,12 +334,18 @@ func (l *Link) Send(payload []byte) bool {
 	}
 	if l.inFlight >= limit {
 		l.stats.TailDropped++
+		if l.ins != nil {
+			l.ins.TailDropped.Inc()
+		}
 		return false
 	}
 
 	// 2. Loss process.
 	if l.dropByLoss(r) {
 		l.stats.Lost++
+		if l.ins != nil {
+			l.ins.Lost.Inc()
+		}
 		return false
 	}
 
@@ -340,6 +357,9 @@ func (l *Link) Send(payload []byte) bool {
 		pkt.Payload[bit/8] ^= 1 << (bit % 8)
 		pkt.Corrupted = true
 		l.stats.CorruptedN++
+		if l.ins != nil {
+			l.ins.Corrupted.Inc()
+		}
 	}
 
 	// 4. Departure time: serialization (rate) then delay/jitter, with
@@ -352,6 +372,9 @@ func (l *Link) Send(payload []byte) bool {
 		}
 		depart += txTime
 		l.lastDepart = depart
+		if l.ins != nil {
+			l.ins.Throttled.Inc()
+		}
 	}
 
 	reordered := false
@@ -369,6 +392,9 @@ func (l *Link) Send(payload []byte) bool {
 		depart += r.Delay + l.jitterSample(r)
 	} else {
 		l.stats.Reordered++
+		if l.ins != nil {
+			l.ins.Reordered.Inc()
+		}
 	}
 
 	// 5. Duplication: the copy takes an independent delay draw.
@@ -378,6 +404,9 @@ func (l *Link) Send(payload []byte) bool {
 		dup.Duplicate = true
 		dupDepart := now + r.Delay + l.jitterSample(r)
 		l.stats.Duplicated++
+		if l.ins != nil {
+			l.ins.Duplicated.Inc()
+		}
 		l.deliverAt(dupDepart, dup)
 	}
 
@@ -390,10 +419,17 @@ func (l *Link) InFlight() int { return l.inFlight }
 
 func (l *Link) deliverAt(at time.Duration, pkt Packet) {
 	l.inFlight++
+	if l.ins != nil {
+		l.ins.QueueDepth.Set(int64(l.inFlight))
+	}
 	l.clock.ScheduleAt(at, func(now time.Duration) {
 		l.inFlight--
 		pkt.DeliveredAt = now
 		l.stats.Delivered++
+		if l.ins != nil {
+			l.ins.Delivered.Inc()
+			l.ins.QueueDepth.Set(int64(l.inFlight))
+		}
 		l.recv(pkt)
 	})
 }

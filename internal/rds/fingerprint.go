@@ -2,6 +2,7 @@ package rds
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"teledrive/internal/driver"
@@ -9,6 +10,7 @@ import (
 	"teledrive/internal/modelvehicle"
 	"teledrive/internal/netem"
 	"teledrive/internal/scenario"
+	"teledrive/internal/telemetry"
 	"teledrive/internal/trace"
 	"teledrive/internal/transport"
 )
@@ -88,8 +90,18 @@ func FingerprintCells() []FingerprintCell {
 // RunFingerprint executes one cell and returns its digest: the trace
 // fingerprint of the run log combined with the outcome scalars the
 // refactor must also preserve.
+//
+// Every cell runs with the telemetry subsystem fully enabled — a fresh
+// registry plus a discarded event sink — while the goldens under
+// internal/session/testdata were recorded without telemetry. The suite
+// therefore proves, on every `make fingerprint` and every equivalence
+// test run, that instrumentation is inert: it consumes no RNG,
+// schedules no clock events, and perturbs no trajectory bit.
 func RunFingerprint(c FingerprintCell) (string, error) {
-	out, err := Run(c.Build())
+	cfg := c.Build()
+	cfg.Metrics = telemetry.NewRegistry()
+	cfg.Events = telemetry.NewEventSink(io.Discard)
+	out, err := Run(cfg)
 	if err != nil {
 		return "", fmt.Errorf("fingerprint cell %s: %w", c.Name, err)
 	}

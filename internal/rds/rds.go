@@ -18,6 +18,8 @@ import (
 	"teledrive/internal/sensors"
 	"teledrive/internal/session"
 	"teledrive/internal/simclock"
+	"teledrive/internal/telemetry"
+	"teledrive/internal/telemetry/obs"
 	"teledrive/internal/trace"
 	"teledrive/internal/transport"
 )
@@ -99,6 +101,18 @@ type BenchConfig struct {
 	// condition span of the run. Tick/Frame handlers must not allocate
 	// (the per-tick hot path is pinned at zero allocations).
 	Observers []session.Observer
+	// Metrics, when non-nil, activates the telemetry subsystem for this
+	// run: a telemetry.SessionObserver joins the spine and native
+	// instruments attach to the netem links and the bridge endpoints.
+	// Concurrent runs may share one registry — instruments aggregate.
+	// Telemetry is inert: an instrumented run is bit-identical to a bare
+	// one (the fingerprint suite drives every canonical cell with a
+	// registry attached against goldens recorded without one).
+	Metrics *telemetry.Registry
+	// Events, when non-nil, receives the run's sparse structured events
+	// (phases, faults, condition spans, collisions) as JSONL. Ignored
+	// unless Metrics is set.
+	Events *telemetry.EventSink
 }
 
 // Validate reports configuration errors.
@@ -207,10 +221,15 @@ func Run(cfg BenchConfig) (*Outcome, error) {
 	rec := trace.NewPassiveRecorder(built.World, built.Ego, built.Route, log)
 
 	// The spine: recorder first, so later observers see a world the log
-	// already describes.
-	spine := make(session.Observers, 0, 1+len(cfg.Observers))
+	// already describes. The telemetry observer rides last — it is pure
+	// instrumentation and must see exactly what every other subscriber
+	// saw.
+	spine := make(session.Observers, 0, 2+len(cfg.Observers))
 	spine = append(spine, session.Record(rec))
 	spine = append(spine, cfg.Observers...)
+	if cfg.Metrics != nil {
+		spine = append(spine, obs.NewSessionObserver(cfg.Metrics, cfg.Events))
+	}
 
 	// Operator-display frames feed the spine (the recorder ignores
 	// them; latency observers ride along for free).
@@ -227,6 +246,21 @@ func Run(cfg BenchConfig) (*Outcome, error) {
 		}
 		inj.OnChange = spine.Fault
 		inj.Direction = cfg.InjectDirection
+	}
+
+	// Native subsystem instruments: netem links, bridge endpoints. All
+	// handles bind here, at wiring time; the per-tick/per-packet paths
+	// see only nil-checked atomics.
+	if cfg.Metrics != nil {
+		if faults != nil {
+			faults.Instrument(cfg.Metrics)
+		}
+		if plant, ok := stack.Plant.(interface {
+			SetInstruments(*bridge.ServerInstruments)
+		}); ok {
+			plant.SetInstruments(bridge.NewServerInstruments(cfg.Metrics))
+		}
+		stack.Client.SetInstruments(bridge.NewClientInstruments(cfg.Metrics))
 	}
 
 	dcfg := driver.DefaultConfig(cfg.Profile, built.Task)

@@ -1,0 +1,34 @@
+//go:build !race
+
+package telemetry
+
+import "testing"
+
+// TestHotPathAllocs pins the per-tick cost contract: once a handle is
+// bound, every write is allocation-free. The race detector instruments
+// allocations, so this file is excluded from -race runs (the race proof
+// lives in race_test.go).
+func TestHotPathAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("alloc_counter_total", "")
+	g := r.Gauge("alloc_gauge", "")
+	h := r.Histogram("alloc_hist", "", DefLatencyBuckets())
+	vc := r.CounterVec("alloc_vec_total", "", "link").With("down")
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Counter.Inc", func() { c.Inc() }},
+		{"Counter.Add", func() { c.Add(3) }},
+		{"Gauge.Set", func() { g.Set(7) }},
+		{"Gauge.Add", func() { g.Add(-1) }},
+		{"Histogram.Observe", func() { h.Observe(0.017) }},
+		{"bound vec Counter.Inc", func() { vc.Inc() }},
+	}
+	for _, tc := range cases {
+		if allocs := testing.AllocsPerRun(1000, tc.fn); allocs != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", tc.name, allocs)
+		}
+	}
+}

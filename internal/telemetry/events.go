@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one structured record in the JSONL event stream. T is
+// simulated time — the run's only time axis; wall-clock never appears
+// inside a run's telemetry. Optional fields are omitted when empty, so
+// every event kind shares one schema and one encoder.
+type Event struct {
+	// TNs is the simulated time of the event in nanoseconds.
+	TNs int64 `json:"t_ns"`
+	// Kind discriminates the record: "phase", "fault", "condition",
+	// "collision", "lane_invasion", ...
+	Kind string `json:"kind"`
+
+	Phase  string `json:"phase,omitempty"`
+	Link   string `json:"link,omitempty"`
+	Action string `json:"action,omitempty"`
+	Desc   string `json:"desc,omitempty"`
+	Label  string `json:"label,omitempty"`
+	Actor  int    `json:"actor,omitempty"`
+	Other  int    `json:"other,omitempty"`
+}
+
+// EventSink serializes events as JSON Lines to a writer. It is safe
+// for concurrent use (campaign workers share one sink); records are
+// written atomically per event. Emission allocates — sinks are for the
+// sparse event stream (faults, phases, condition spans, collisions),
+// never for the per-tick path.
+type EventSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	n   uint64
+	err error
+}
+
+// NewEventSink writes JSONL events to w. A nil w yields a nil sink,
+// which every method accepts as "disabled".
+func NewEventSink(w io.Writer) *EventSink {
+	if w == nil {
+		return nil
+	}
+	return &EventSink{enc: json.NewEncoder(w)}
+}
+
+// Emit writes one event. Write errors are sticky: the first one stops
+// further output and is reported by Err.
+func (s *EventSink) Emit(ev Event) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	if err := s.enc.Encode(ev); err != nil {
+		s.err = err
+		return
+	}
+	s.n++
+}
+
+// EmitAt is Emit with the simulated timestamp taken from a
+// time.Duration, the clock type the simulation uses everywhere.
+func (s *EventSink) EmitAt(now time.Duration, ev Event) {
+	if s == nil {
+		return
+	}
+	ev.TNs = int64(now)
+	s.Emit(ev)
+}
+
+// Count returns how many events were written.
+func (s *EventSink) Count() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Err returns the sticky write error, if any.
+func (s *EventSink) Err() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}

@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestEventSinkJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewEventSink(&buf)
+	s.EmitAt(1500*time.Millisecond, Event{Kind: "phase", Phase: "drive"})
+	s.EmitAt(2*time.Second, Event{Kind: "fault", Link: "downlink", Action: "add", Desc: "delay 50ms", Label: "50ms"})
+	s.EmitAt(3*time.Second, Event{Kind: "collision", Actor: 1, Other: 2})
+	if s.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", s.Count())
+	}
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	sc := bufio.NewScanner(&buf)
+	var events []Event
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	if len(events) != 3 {
+		t.Fatalf("got %d JSONL lines, want 3", len(events))
+	}
+	if events[0].TNs != 1500*time.Millisecond.Nanoseconds() || events[0].Kind != "phase" {
+		t.Fatalf("event 0 = %+v", events[0])
+	}
+	if events[1].Link != "downlink" || events[1].Label != "50ms" {
+		t.Fatalf("event 1 = %+v", events[1])
+	}
+	if events[2].Actor != 1 || events[2].Other != 2 {
+		t.Fatalf("event 2 = %+v", events[2])
+	}
+}
+
+// TestEventSinkOmitEmpty: sparse fields stay out of the line — the
+// JSONL stays greppable and small.
+func TestEventSinkOmitEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewEventSink(&buf)
+	s.EmitAt(time.Second, Event{Kind: "tickless"})
+	line := buf.String()
+	for _, key := range []string{"phase", "link", "action", "desc", "label", "actor", "other"} {
+		if bytes.Contains([]byte(line), []byte(`"`+key+`"`)) {
+			t.Fatalf("empty field %q serialized in %q", key, line)
+		}
+	}
+}
+
+func TestEventSinkNilSafe(t *testing.T) {
+	var s *EventSink
+	s.EmitAt(time.Second, Event{Kind: "x"}) // must not panic
+	if s.Count() != 0 {
+		t.Fatal("nil sink counted an event")
+	}
+	if s.Err() != nil {
+		t.Fatal("nil sink reported an error")
+	}
+	if NewEventSink(nil) != nil {
+		t.Fatal("NewEventSink(nil) must return a nil sink")
+	}
+}
+
+type failWriter struct{ err error }
+
+func (w failWriter) Write([]byte) (int, error) { return 0, w.err }
+
+// TestEventSinkStickyError: the first write error is kept and reported;
+// later emits don't clobber it and don't panic.
+func TestEventSinkStickyError(t *testing.T) {
+	boom := errors.New("disk full")
+	s := NewEventSink(failWriter{err: boom})
+	s.EmitAt(time.Second, Event{Kind: "a"})
+	s.EmitAt(2*time.Second, Event{Kind: "b"})
+	if !errors.Is(s.Err(), boom) {
+		t.Fatalf("Err = %v, want %v", s.Err(), boom)
+	}
+}

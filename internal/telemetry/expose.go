@@ -1,0 +1,198 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// SanitizeMetricName coerces an arbitrary string into a valid
+// Prometheus metric name ([a-zA-Z_:][a-zA-Z0-9_:]*): every invalid
+// byte becomes '_', and a leading digit (or empty input) gains a '_'
+// prefix. Sanitization happens once at registration so the exposition
+// writer never emits an unparseable name.
+func SanitizeMetricName(name string) string {
+	return sanitizeName(name, true)
+}
+
+// SanitizeLabelName coerces an arbitrary string into a valid label
+// name ([a-zA-Z_][a-zA-Z0-9_]*). Colons, legal in metric names, are
+// not legal in label names.
+func SanitizeLabelName(name string) string {
+	return sanitizeName(name, false)
+}
+
+func sanitizeName(name string, allowColon bool) string {
+	valid := func(i int, c byte) bool {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			return true
+		case c == ':':
+			return allowColon
+		case c >= '0' && c <= '9':
+			return i > 0
+		default:
+			return false
+		}
+	}
+	clean := true
+	for i := 0; i < len(name); i++ {
+		if !valid(i, name[i]) {
+			clean = false
+			break
+		}
+	}
+	if clean && name != "" {
+		return name
+	}
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	if name == "" || (name[0] >= '0' && name[0] <= '9') {
+		// The '_' prefix shifts a leading digit to a legal position, so
+		// the digit itself is kept below.
+		b.WriteByte('_')
+	}
+	for i := 0; i < len(name); i++ {
+		if valid(i, name[i]) || (name[i] >= '0' && name[i] <= '9') {
+			b.WriteByte(name[i])
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the text format: backslash,
+// double-quote and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 4)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline only (quotes
+// are legal there).
+func escapeHelp(h string) string {
+	if !strings.ContainsAny(h, "\\\n") {
+		return h
+	}
+	var b strings.Builder
+	b.Grow(len(h) + 4)
+	for i := 0; i < len(h); i++ {
+		switch h[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(h[i])
+		}
+	}
+	return b.String()
+}
+
+// formatFloat renders a sample value the way Prometheus clients do:
+// shortest round-trip representation.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteProm writes every registered instrument in the Prometheus text
+// exposition format (version 0.0.4). Families are sorted by name and
+// series by label tuple, so two expositions of identical instrument
+// state are byte-identical. Values are read through the same atomics
+// the hot paths write; a concurrent exposition sees a torn-across-
+// instruments but per-instrument-consistent snapshot, which is all the
+// format promises.
+func (r *Registry) WriteProm(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.snapshot() {
+		if f.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(f.help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+		for _, s := range f.sortedSeries() {
+			switch f.kind {
+			case kindCounter:
+				writeSample(bw, f.name, "", f.labels, s.labelValues, "", "", strconv.FormatUint(s.c.Value(), 10))
+			case kindGauge:
+				writeSample(bw, f.name, "", f.labels, s.labelValues, "", "", strconv.FormatInt(s.g.Value(), 10))
+			case kindHistogram:
+				writeHistogram(bw, f, s.h, s.labelValues)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSample emits one line: name[suffix]{labels...,extraK="extraV"} value.
+func writeSample(bw *bufio.Writer, name, suffix string, labels, values []string, extraK, extraV, val string) {
+	bw.WriteString(name)
+	bw.WriteString(suffix)
+	if len(labels) > 0 || extraK != "" {
+		bw.WriteByte('{')
+		first := true
+		for i, l := range labels {
+			if !first {
+				bw.WriteByte(',')
+			}
+			first = false
+			bw.WriteString(l)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabelValue(values[i]))
+			bw.WriteByte('"')
+		}
+		if extraK != "" {
+			if !first {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(extraK)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabelValue(extraV))
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(val)
+	bw.WriteByte('\n')
+}
+
+// writeHistogram emits the cumulative _bucket series plus _sum and
+// _count. Bucket counts are loaded once and cumulated locally, so the
+// emitted buckets are monotone even while writers race.
+func writeHistogram(bw *bufio.Writer, f *family, h *Histogram, values []string) {
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.BucketCount(i)
+		writeSample(bw, f.name, "_bucket", f.labels, values, "le", formatFloat(bound), strconv.FormatUint(cum, 10))
+	}
+	cum += h.BucketCount(len(h.bounds))
+	writeSample(bw, f.name, "_bucket", f.labels, values, "le", "+Inf", strconv.FormatUint(cum, 10))
+	writeSample(bw, f.name, "_sum", f.labels, values, "", "", formatFloat(h.Sum()))
+	writeSample(bw, f.name, "_count", f.labels, values, "", "", strconv.FormatUint(h.Count(), 10))
+}

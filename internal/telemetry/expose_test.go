@@ -1,0 +1,127 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the exposition golden file")
+
+// goldenRegistry builds a registry exercising every exposition shape:
+// unlabeled and labeled counters, a negative gauge, a histogram with an
+// on-boundary observation and a +Inf overflow, help-less families, and
+// label values / help strings that need escaping.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("demo_requests_total", "Total requests.").Add(42)
+	v := r.CounterVec("demo_packets_total", "Packets by link and event.", "link", "event")
+	v.With("down", "sent").Add(7)
+	v.With("down", "lost").Inc()
+	v.With("up", "sent").Add(3)
+	r.Gauge("demo_queue_depth", "").Set(-2)
+	h := r.Histogram("demo_latency_seconds", "Frame latency.", []float64{0.005, 0.01, 0.025})
+	h.Observe(0.004)
+	h.Observe(0.005) // exactly on a bound: counts toward le="0.005"
+	h.Observe(0.02)
+	h.Observe(1) // beyond the last bound: +Inf only
+	r.CounterVec("demo_weird_total", "help with \\ backslash\nand newline", "path").
+		With("quote \" slash \\ nl \n end").Inc()
+	return r
+}
+
+func TestWritePromGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden.prom")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to record)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from golden file\n-- got --\n%s\n-- want --\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestWritePromDeterministic: two expositions of the same state are
+// byte-identical (families and series are sorted, not map-ordered).
+func TestWritePromDeterministic(t *testing.T) {
+	r := goldenRegistry()
+	var a, b bytes.Buffer
+	if err := r.WriteProm(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two expositions of identical state differ")
+	}
+}
+
+// TestWritePromHistogramInvariants cross-checks the emitted histogram:
+// cumulative buckets are monotone and +Inf equals _count.
+func TestWritePromHistogramInvariants(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var prev uint64
+	var inf, count string
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "demo_latency_seconds_bucket") {
+			v, err := strconv.ParseUint(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+			if err != nil {
+				t.Fatalf("bad bucket line %q: %v", line, err)
+			}
+			if v < prev {
+				t.Fatalf("bucket counts not monotone at %q", line)
+			}
+			prev = v
+			if strings.Contains(line, `le="+Inf"`) {
+				inf = line[strings.LastIndexByte(line, ' ')+1:]
+			}
+		}
+		if strings.HasPrefix(line, "demo_latency_seconds_count") {
+			count = line[strings.LastIndexByte(line, ' ')+1:]
+		}
+	}
+	if inf == "" || count == "" || inf != count {
+		t.Fatalf("le=\"+Inf\" bucket (%q) must equal _count (%q)", inf, count)
+	}
+}
+
+func TestSanitizeNames(t *testing.T) {
+	cases := []struct {
+		in, metric, label string
+	}{
+		{"teledrive_total", "teledrive_total", "teledrive_total"},
+		{"ns:sub_total", "ns:sub_total", "ns_sub_total"},
+		{"9lives", "_9lives", "_9lives"},
+		{"", "_", "_"},
+		{"a b-c", "a_b_c", "a_b_c"},
+		{"é", "__", "__"}, // multi-byte rune: each byte sanitized
+	}
+	for _, tc := range cases {
+		if got := SanitizeMetricName(tc.in); got != tc.metric {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", tc.in, got, tc.metric)
+		}
+		if got := SanitizeLabelName(tc.in); got != tc.label {
+			t.Errorf("SanitizeLabelName(%q) = %q, want %q", tc.in, got, tc.label)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package telemetry
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// expositionLine is the text-format grammar for a single sample or
+// comment line: a metric name, an optional label set with escaped
+// values, and a value.
+var expositionLine = regexp.MustCompile(
+	`^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .*` +
+		`|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\\n])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\\n])*")*\})? -?[0-9+.eEIinf]+)$`)
+
+// FuzzExposition drives arbitrary metric names, label names, label
+// values and help strings through the registry and the text writer:
+// registration must not panic, and every emitted line must match the
+// exposition grammar regardless of input bytes.
+func FuzzExposition(f *testing.F) {
+	f.Add("teledrive_total", "link", "down", "Frames by link.")
+	f.Add("9starts-with digit", "le", "0.5", "")
+	f.Add("", "", "", "")
+	f.Add("a:b", "x", "quote \" back \\ nl \n", "help \\ nl \n done")
+	f.Add("héllo", "läbel", "wörld", "ünïcode")
+	f.Fuzz(func(t *testing.T, name, label, value, help string) {
+		r := NewRegistry()
+		r.Counter(SanitizeMetricName(name)+"_c", help).Inc()
+		r.CounterVec(name, help, label).With(value).Add(2)
+		r.GaugeVec(SanitizeMetricName(name)+"_g", help, label).With(value).Set(-1)
+		r.HistogramVec(SanitizeMetricName(name)+"_h", help, []float64{0.5, 1}, label).With(value).Observe(0.75)
+
+		var buf bytes.Buffer
+		if err := r.WriteProm(&buf); err != nil {
+			t.Fatalf("WriteProm: %v", err)
+		}
+		out := buf.String()
+		if !strings.HasSuffix(out, "\n") {
+			t.Fatalf("exposition does not end in a newline: %q", out)
+		}
+		for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+			if !expositionLine.MatchString(line) {
+				t.Fatalf("line violates exposition grammar: %q\ninputs: name=%q label=%q value=%q help=%q",
+					line, name, label, value, help)
+			}
+		}
+	})
+}

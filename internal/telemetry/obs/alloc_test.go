@@ -1,0 +1,28 @@
+//go:build !race
+
+package obs
+
+import (
+	"testing"
+	"time"
+
+	"teledrive/internal/telemetry"
+)
+
+// TestObserverHotPathAllocs pins the observer's per-tick contract: Tick
+// and Frame — the two methods called every simulation step — allocate
+// nothing. Excluded under -race (the detector instruments allocations);
+// the race proof is the core package's TestConcurrentWriters.
+func TestObserverHotPathAllocs(t *testing.T) {
+	o := NewSessionObserver(telemetry.NewRegistry(), nil)
+	if allocs := testing.AllocsPerRun(1000, func() { o.Tick(20 * time.Millisecond) }); allocs != 0 {
+		t.Errorf("Tick: %v allocs/op, want 0", allocs)
+	}
+	frame := uint64(0)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		frame++
+		o.Frame(time.Second, frame, 42*time.Millisecond)
+	}); allocs != 0 {
+		t.Errorf("Frame: %v allocs/op, want 0", allocs)
+	}
+}

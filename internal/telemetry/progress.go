@@ -1,0 +1,63 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// StartProgress starts a goroutine that repaints a single \r-terminated
+// progress line on w (normally a terminal's stderr) from two registry
+// reads: total and done. It shows done/total, percentage, elapsed
+// wall-clock, and a linear ETA. The returned stop function halts the
+// goroutine, paints a final line, and terminates it with a newline; it
+// is safe to call exactly once.
+//
+// The progress reader lives entirely on the exposition side of the
+// telemetry boundary: it only loads atomics that simulation code
+// publishes, so the wall-clock ticker below cannot perturb a run.
+//
+//lint:allow wallclock progress display is operator-facing wall-clock at the exposition boundary; it reads instruments, never the simulation
+func StartProgress(w io.Writer, noun string, total, done func() uint64) (stop func()) {
+	start := time.Now()
+	quit := make(chan struct{})
+	finished := make(chan struct{})
+
+	paint := func(last bool) {
+		t, d := total(), done()
+		elapsed := time.Since(start).Truncate(time.Second)
+		line := fmt.Sprintf("%s %d/%d", noun, d, t)
+		if t > 0 {
+			line += fmt.Sprintf(" (%.0f%%)", float64(d)/float64(t)*100)
+		}
+		line += fmt.Sprintf(" elapsed %v", elapsed)
+		if d > 0 && d < t {
+			eta := time.Duration(float64(elapsed) / float64(d) * float64(t-d)).Truncate(time.Second)
+			line += fmt.Sprintf(" eta %v", eta)
+		}
+		// Trailing spaces wipe leftovers from a previously longer line.
+		fmt.Fprintf(w, "\r%-60s", line)
+		if last {
+			fmt.Fprintln(w)
+		}
+	}
+
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(500 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-quit:
+				return
+			case <-tick.C:
+				paint(false)
+			}
+		}
+	}()
+	return func() {
+		close(quit)
+		<-finished
+		paint(true)
+	}
+}

@@ -1,0 +1,229 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// metricKind discriminates the three instrument families.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// family is one named metric with a fixed kind and label schema; its
+// series map holds one instrument per distinct label-value tuple (a
+// single ""-keyed series for unlabeled metrics).
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	labels []string
+	bounds []float64 // histogram bucket bounds
+
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+// series is one bound instrument: exactly one of c/g/h is non-nil,
+// matching the family kind.
+type series struct {
+	labelValues []string
+	c           *Counter
+	g           *Gauge
+	h           *Histogram
+}
+
+// Registry owns a namespace of instruments. Binding (get-or-create) is
+// safe for concurrent use — campaign workers bind per-run handles while
+// other runs are mid-flight — and idempotent: binding the same name and
+// label values twice returns the same handle, so concurrent runs
+// aggregate into shared instruments. Binding takes locks and allocates;
+// it belongs in setup code, never on the per-tick path. The bound
+// handles themselves are lock-free.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// lookup get-or-creates the family, enforcing schema consistency: a
+// name rebound with a different kind, label schema, or bucket layout is
+// a wiring bug and panics.
+func (r *Registry) lookup(name, help string, kind metricKind, labels []string, bounds []float64) *family {
+	name = SanitizeMetricName(name)
+	clean := make([]string, len(labels))
+	for i, l := range labels {
+		clean[i] = SanitizeLabelName(l)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{
+			name:   name,
+			help:   help,
+			kind:   kind,
+			labels: clean,
+			series: make(map[string]*series),
+		}
+		if kind == kindHistogram {
+			b := make([]float64, len(bounds))
+			copy(b, bounds)
+			sort.Float64s(b)
+			f.bounds = b
+		}
+		r.families[name] = f
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %q rebound as %s (registered as %s)", name, kind, f.kind))
+	}
+	if len(f.labels) != len(clean) {
+		panic(fmt.Sprintf("telemetry: metric %q rebound with %d labels (registered with %d)", name, len(clean), len(f.labels)))
+	}
+	for i := range clean {
+		if f.labels[i] != clean[i] {
+			panic(fmt.Sprintf("telemetry: metric %q rebound with label %q (registered with %q)", name, clean[i], f.labels[i]))
+		}
+	}
+	return f
+}
+
+// seriesKey joins label values with a separator that cannot appear in
+// them after escaping... values are used raw here, so use \xff which is
+// invalid UTF-8 and vanishingly unlikely in a label value; collisions
+// would only merge two series, never corrupt memory.
+func seriesKey(values []string) string {
+	return strings.Join(values, "\xff")
+}
+
+// bind get-or-creates the series for the given label values.
+func (f *family) bind(values []string) *series {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("telemetry: metric %q bound with %d label values (schema has %d)", f.name, len(values), len(f.labels)))
+	}
+	key := seriesKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if ok {
+		return s
+	}
+	vals := make([]string, len(values))
+	copy(vals, values)
+	s = &series{labelValues: vals}
+	switch f.kind {
+	case kindCounter:
+		s.c = &Counter{}
+	case kindGauge:
+		s.g = &Gauge{}
+	case kindHistogram:
+		s.h = newHistogram(f.bounds)
+	}
+	f.series[key] = s
+	return s
+}
+
+// Counter binds the unlabeled counter with the given name.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.lookup(name, help, kindCounter, nil, nil).bind(nil).c
+}
+
+// Gauge binds the unlabeled gauge with the given name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.lookup(name, help, kindGauge, nil, nil).bind(nil).g
+}
+
+// Histogram binds the unlabeled histogram with the given name. The
+// bucket layout is fixed by the first binding.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return r.lookup(name, help, kindHistogram, nil, buckets).bind(nil).h
+}
+
+// CounterVec declares a labeled counter family; bind concrete series
+// with With at setup time.
+type CounterVec struct{ f *family }
+
+// CounterVec declares (or re-opens) the labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) CounterVec {
+	return CounterVec{f: r.lookup(name, help, kindCounter, labels, nil)}
+}
+
+// With binds the series for the given label values (get-or-create; the
+// same values always return the same handle).
+func (v CounterVec) With(values ...string) *Counter { return v.f.bind(values).c }
+
+// GaugeVec declares a labeled gauge family.
+type GaugeVec struct{ f *family }
+
+// GaugeVec declares (or re-opens) the labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) GaugeVec {
+	return GaugeVec{f: r.lookup(name, help, kindGauge, labels, nil)}
+}
+
+// With binds the series for the given label values.
+func (v GaugeVec) With(values ...string) *Gauge { return v.f.bind(values).g }
+
+// HistogramVec declares a labeled histogram family.
+type HistogramVec struct{ f *family }
+
+// HistogramVec declares (or re-opens) the labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) HistogramVec {
+	return HistogramVec{f: r.lookup(name, help, kindHistogram, labels, buckets)}
+}
+
+// With binds the series for the given label values.
+func (v HistogramVec) With(values ...string) *Histogram { return v.f.bind(values).h }
+
+// snapshot returns the families sorted by name and, per family, the
+// series sorted by label tuple — the deterministic iteration order the
+// exposition writer and progress readers rely on.
+func (r *Registry) snapshot() []*family {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// sortedSeries returns the family's series in label-tuple order.
+func (f *family) sortedSeries() []*series {
+	f.mu.Lock()
+	out := make([]*series, 0, len(f.series))
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out = append(out, f.series[k])
+	}
+	f.mu.Unlock()
+	return out
+}

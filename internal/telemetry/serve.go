@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// OpsServer is the embeddable operations endpoint: /metrics (Prometheus
+// text exposition), /healthz (liveness JSON), and /debug/pprof/* (the
+// standard Go profiler surface). It runs entirely outside the
+// simulation: wall-clock time exists only here, at the exposition
+// boundary, and nothing the server does feeds back into a run.
+type OpsServer struct {
+	ln      net.Listener
+	srv     *http.Server
+	reg     *Registry
+	started time.Time
+	done    chan struct{}
+}
+
+// Serve starts the ops server on addr (e.g. "127.0.0.1:9100"; ":0"
+// picks a free port — read it back with Addr). The empty addr returns
+// (nil, nil): a disabled server, matching the off-by-default
+// -telemetry-addr flags. The returned server is already accepting; stop
+// it with Close.
+//
+//lint:allow wallclock ops server uptime is wall-clock by definition; this is the exposition boundary, outside the simulation
+func Serve(addr string, reg *Registry) (*OpsServer, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	if reg == nil {
+		return nil, fmt.Errorf("telemetry: Serve requires a registry")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s := &OpsServer{
+		ln:      ln,
+		reg:     reg,
+		started: time.Now(),
+		done:    make(chan struct{}),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux}
+	go func() {
+		defer close(s.done)
+		// ErrServerClosed is the normal Close path; anything else is
+		// invisible here by design — the ops plane must never kill a run.
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (resolves ":0").
+func (s *OpsServer) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the server immediately. Safe on a nil server, so callers
+// can `defer srv.Close()` straight after a disabled Serve("").
+func (s *OpsServer) Close() error {
+	if s == nil {
+		return nil
+	}
+	err := s.srv.Close()
+	<-s.done
+	return err
+}
+
+func (s *OpsServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WriteProm(w)
+}
+
+//lint:allow wallclock healthz uptime is wall-clock by definition; exposition boundary only
+func (s *OpsServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.started).Seconds(),
+	})
+}

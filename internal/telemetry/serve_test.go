@@ -1,0 +1,88 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServeDisabled(t *testing.T) {
+	ops, err := Serve("", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ops != nil {
+		t.Fatal("Serve(\"\") must return a nil server: telemetry is off by default")
+	}
+	ops.Close() // nil receiver must be safe — every command defers this
+}
+
+func TestServeNilRegistry(t *testing.T) {
+	if _, err := Serve("127.0.0.1:0", nil); err == nil {
+		t.Fatal("Serve with a nil registry must error, not panic later")
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("teledrive_test_total", "A test counter.").Add(5)
+	ops, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ops.Close()
+	base := fmt.Sprintf("http://%s", ops.Addr())
+
+	get := func(path string) (int, string, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return resp.StatusCode, resp.Header.Get("Content-Type"), string(body)
+	}
+
+	code, ctype, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	if want := "text/plain; version=0.0.4; charset=utf-8"; ctype != want {
+		t.Fatalf("/metrics Content-Type = %q, want %q", ctype, want)
+	}
+	if !strings.Contains(body, "teledrive_test_total 5") {
+		t.Fatalf("/metrics body missing sample:\n%s", body)
+	}
+
+	code, ctype, body = get("/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz: status %d", code)
+	}
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("/healthz Content-Type = %q", ctype)
+	}
+	var health struct {
+		Status string  `json:"status"`
+		Uptime float64 `json:"uptime_seconds"`
+	}
+	if err := json.Unmarshal([]byte(body), &health); err != nil {
+		t.Fatalf("/healthz body %q: %v", body, err)
+	}
+	if health.Status != "ok" || health.Uptime < 0 {
+		t.Fatalf("/healthz = %+v", health)
+	}
+
+	if code, _, _ = get("/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/: status %d", code)
+	}
+	if code, _, _ = get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline: status %d", code)
+	}
+}

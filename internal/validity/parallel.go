@@ -14,7 +14,17 @@ import (
 	"time"
 
 	"teledrive/internal/netem"
+	"teledrive/internal/telemetry"
 )
+
+// PointCounters binds (or re-opens — binding is idempotent) the sweep
+// progress counters for one environment: points planned and points
+// done. A progress display binds the same handles the pool increments.
+func PointCounters(reg *telemetry.Registry, envName string) (planned, done *telemetry.Counter) {
+	points := reg.CounterVec("teledrive_sweep_points_total",
+		"Validity-sweep measurement points by lifecycle event (planned/done).", "env", "event")
+	return points.With(envName, "planned"), points.With(envName, "done")
+}
 
 // pointJob is one planned sweep measurement.
 type pointJob struct {
@@ -37,6 +47,16 @@ func runPoints(env Env, jobs []pointJob, workers int) ([]Point, error) {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+
+	// Sweep progress instruments (pre-bound; nil handles when the env is
+	// uninstrumented). The environment label keeps concurrent simulator
+	// and model-vehicle sweeps distinguishable on one registry.
+	var planned, done *telemetry.Counter
+	if env.Metrics != nil {
+		planned, done = PointCounters(env.Metrics, env.Name)
+		planned.Add(uint64(len(jobs)))
+	}
+
 	if workers <= 1 {
 		for i, j := range jobs {
 			p, err := RunPoint(env, j.rule, j.label, j.seed)
@@ -44,6 +64,9 @@ func runPoints(env Env, jobs []pointJob, workers int) ([]Point, error) {
 				return nil, fmt.Errorf("validity: %s %s: %w", env.Name, j.desc, err)
 			}
 			pts[i] = p
+			if done != nil {
+				done.Inc()
+			}
 		}
 		return pts, nil
 	}
@@ -68,6 +91,9 @@ func runPoints(env Env, jobs []pointJob, workers int) ([]Point, error) {
 					continue
 				}
 				pts[i] = p
+				if done != nil {
+					done.Inc()
+				}
 			}
 		}()
 	}

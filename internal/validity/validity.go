@@ -22,6 +22,7 @@ import (
 	"teledrive/internal/rds"
 	"teledrive/internal/scenario"
 	"teledrive/internal/session"
+	"teledrive/internal/telemetry"
 	"teledrive/internal/transport"
 )
 
@@ -74,6 +75,10 @@ type Env struct {
 	// degrades driving while the simulator shrugs off 50 ms.
 	BaseDelay time.Duration
 	BaseLoss  float64
+	// Metrics, when non-nil, instruments every sweep run and the sweep
+	// progress counters (see rds.BenchConfig.Metrics). Inert: sweep
+	// results are bit-identical with or without it.
+	Metrics *telemetry.Registry
 }
 
 // Simulator returns the CARLA-analogue environment driven by the given
@@ -150,6 +155,7 @@ func RunPoint(env Env, rule netem.Rule, label string, seed int64) (Point, error)
 		DriverConfig:    env.DriverConfig,
 		PersistentRule:  ruleP,
 		PersistentLabel: label,
+		Metrics:         env.Metrics,
 	})
 	if err != nil {
 		return Point{}, err

@@ -4,6 +4,7 @@
 package teledrive_test
 
 import (
+	"io"
 	"testing"
 	"time"
 
@@ -15,6 +16,8 @@ import (
 	"teledrive/internal/scenario"
 	"teledrive/internal/sensors"
 	"teledrive/internal/simclock"
+	"teledrive/internal/telemetry"
+	"teledrive/internal/telemetry/obs"
 	"teledrive/internal/transport"
 	"teledrive/internal/vehicle"
 	"teledrive/internal/world"
@@ -198,6 +201,46 @@ func BenchmarkFullScenarioRun(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		out, err := rds.Run(rds.BenchConfig{
 			Scenario: scenario.LaneChangeSlalom(), Profile: prof, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !out.Completed {
+			b.Fatal("run did not complete")
+		}
+	}
+}
+
+// BenchmarkTelemetryObserver pins the telemetry hot path: one Tick and
+// one Frame observation per iteration, the exact per-step cost a
+// telemetry-enabled run adds to the session spine. The contract is
+// 0 allocs/op and low double-digit ns/op.
+func BenchmarkTelemetryObserver(b *testing.B) {
+	o := obs.NewSessionObserver(telemetry.NewRegistry(), nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now := time.Duration(i) * 20 * time.Millisecond
+		o.Tick(now)
+		o.Frame(now, uint64(i), 36*time.Millisecond)
+	}
+}
+
+// BenchmarkFullScenarioRunTelemetry is BenchmarkFullScenarioRun with
+// the full telemetry stack attached (registry, session observer, netem
+// and bridge instruments, JSONL event sink) — the before/after pair
+// that pins telemetry's whole-run overhead. BENCH_PR5.json records
+// both; the acceptance bound is within 3 % of the uninstrumented run.
+func BenchmarkFullScenarioRunTelemetry(b *testing.B) {
+	prof, _ := driver.SubjectByName("T5")
+	reg := telemetry.NewRegistry()
+	sink := telemetry.NewEventSink(io.Discard)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := rds.Run(rds.BenchConfig{
+			Scenario: scenario.LaneChangeSlalom(), Profile: prof, Seed: int64(i),
+			Metrics: reg, Events: sink,
 		})
 		if err != nil {
 			b.Fatal(err)
