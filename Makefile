@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race fuzz check bench fingerprint fingerprint-update
+.PHONY: build test vet lint race race-dist fuzz check bench fingerprint fingerprint-update
 
 # Tier-1 verification: everything must build, vet clean, lint clean,
 # and pass.
@@ -27,6 +27,14 @@ test: vet lint
 race:
 	$(GO) test -race ./...
 
+# Distributed-campaign battery under the race detector: the campaignd
+# coordinator/worker protocol, the chaos suite (worker kill, coordinator
+# kill + journal resume, dropped/duplicated result frames), and the
+# distributed-equivalence golden. Split out because it runs real
+# campaigns over localhost TCP and dominates a full `make race`.
+race-dist:
+	$(GO) test -race ./internal/campaignd
+
 # Short fuzz passes over the hostile-input surfaces: the lint
 # suppression parser (runs over every comment in the repo on each
 # `make lint`), the world-view decoder, the transport framing, the
@@ -40,6 +48,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeFrame -fuzztime=5s ./internal/transport
 	$(GO) test -run='^$$' -fuzz=FuzzProjectEquivalence -fuzztime=5s ./internal/geom
 	$(GO) test -run='^$$' -fuzz=FuzzExposition -fuzztime=5s ./internal/telemetry
+	$(GO) test -run='^$$' -fuzz=FuzzWireProtocol -fuzztime=5s ./internal/campaignd
 
 # Everything a PR must survive: compile, static checks, determinism
 # lint, race-clean tests, and the short fuzz budget.

@@ -4,21 +4,31 @@
 // (Tables II–IV), the collision analysis, the questionnaire summary, and
 // the Fig-4 steering-profile comparison.
 //
+// With -connect it instead becomes a campaignd *worker*: it dials the
+// coordinator, rebuilds the plan locally from the received spec, runs
+// leased cells, and streams outcomes back. The coordinator prints the
+// tables in that mode.
+//
 // Usage:
 //
-//	campaign [-seed N] [-plan paper|random] [-training] [-spec]
+//	campaign [-seed N] [-plan paper|random] [-training] [-spec] [-strict]
 //	         [-fig4-subject T6] [-fig4-scenario 1] [-logs DIR] [-csv DIR]
 //	         [-telemetry-addr localhost:9090] [-progress=false]
+//	campaign -connect HOST:PORT [-worker-id NAME] [-workers N]
+//	         [-telemetry-addr localhost:9091]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"teledrive/internal/campaign"
-	"teledrive/internal/questionnaire"
+	"teledrive/internal/campaignd"
 	"teledrive/internal/rds"
 	"teledrive/internal/report"
 	"teledrive/internal/telemetry"
@@ -48,6 +58,9 @@ func run(args []string) error {
 		workers   = fs.Int("workers", 0, "parallel simulation workers (0 = all CPUs, 1 = sequential); results are identical for any value")
 		telemAddr = fs.String("telemetry-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. localhost:9090); empty = off")
 		progress  = fs.Bool("progress", true, "repaint a live progress line (cells done/total, elapsed, ETA) on stderr")
+		strict    = fs.Bool("strict", false, "exit nonzero when any fault injection failed (invalid test executions under the paper's protocol)")
+		connect   = fs.String("connect", "", "run as a campaignd worker: dial the coordinator at this address instead of running a local campaign")
+		workerID  = fs.String("worker-id", "", "worker name in coordinator telemetry and journal (with -connect); default worker-<pid>")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,17 +71,9 @@ func run(args []string) error {
 		return nil
 	}
 
-	mode := campaign.PlanPaper
-	switch *plan {
-	case "paper":
-	case "random":
-		mode = campaign.PlanRandom
-	default:
-		return fmt.Errorf("unknown plan %q", *plan)
-	}
-
-	// One registry serves the whole campaign: cells aggregate into it,
-	// the ops server exposes it, and the progress line reads it.
+	// One registry serves the whole campaign (or worker): cells
+	// aggregate into it, the ops server exposes it, and the progress
+	// line reads it.
 	reg := telemetry.NewRegistry()
 	ops, err := telemetry.Serve(*telemAddr, reg)
 	if err != nil {
@@ -77,6 +82,19 @@ func run(args []string) error {
 	if ops != nil {
 		defer ops.Close()
 		fmt.Fprintf(os.Stderr, "telemetry: serving /metrics on http://%s/metrics\n", ops.Addr())
+	}
+
+	if *connect != "" {
+		return runWorker(reg, *connect, *workerID, *workers)
+	}
+
+	mode := campaign.PlanPaper
+	switch *plan {
+	case "paper":
+	case "random":
+		mode = campaign.PlanRandom
+	default:
+		return fmt.Errorf("unknown plan %q", *plan)
 	}
 
 	fmt.Printf("running campaign: seed=%d plan=%s training=%v workers=%d ...\n", *seed, *plan, *training, *workers)
@@ -99,29 +117,7 @@ func run(args []string) error {
 	}
 	fmt.Printf("completed %d subjects in %v (wall clock)\n\n", len(res.Subjects), res.Elapsed.Truncate(1e7))
 
-	report.WriteTableI(os.Stdout, rds.PaperStation())
-	fmt.Println()
-	report.WriteTableII(os.Stdout, res.BuildTableII())
-	fmt.Println()
-	report.WriteTableIII(os.Stdout, res.BuildTableIII())
-	fmt.Println()
-	report.WriteTableIV(os.Stdout, res.BuildTableIV())
-	fmt.Println()
-	report.WriteCollisionAnalysis(os.Stdout, res.BuildCollisionAnalysis())
-	fmt.Println()
-	report.WriteQuestionnaire(os.Stdout, questionnaire.Summarize(res))
-	fmt.Println()
-	report.WriteSignificance(os.Stdout, res.BuildSignificance())
-	fmt.Println()
-	fig4Subject := *fig4Sub
-	if fig4Subject == "auto" {
-		if name, ok := res.Fig4AutoSubject(*fig4Scn); ok {
-			fig4Subject = name
-		}
-	}
-	if fig, ok := res.BuildFig4(fig4Subject, *fig4Scn); ok {
-		report.WriteFig4(os.Stdout, fig)
-	}
+	report.WriteCampaignReport(os.Stdout, res, *fig4Sub, *fig4Scn)
 
 	if *logsDir != "" || *csvDir != "" {
 		if err := exportLogs(res, *logsDir, *csvDir); err != nil {
@@ -142,7 +138,42 @@ func run(args []string) error {
 		}
 		fmt.Printf("wrote HTML dashboard to %s\n", *htmlOut)
 	}
+	return checkStrict(res, *strict)
+}
+
+// checkStrict enforces -strict: failed fault injections mean some cells
+// never experienced their assigned network conditions — invalid test
+// executions under the paper's protocol. They always warn; with -strict
+// they fail the run (historically campaign exited 0 regardless, hiding
+// them from CI).
+func checkStrict(res *campaign.Result, strict bool) error {
+	failed := res.TotalFailedInjections()
+	if failed == 0 {
+		return nil
+	}
+	if strict {
+		return fmt.Errorf("%d fault injection(s) failed (-strict)", failed)
+	}
+	fmt.Fprintf(os.Stderr, "campaign: warning: %d fault injection(s) failed; rerun with -strict to make this fatal\n", failed)
 	return nil
+}
+
+// runWorker is the -connect mode: one campaignd worker process.
+func runWorker(reg *telemetry.Registry, addr, id string, capacity int) error {
+	if id == "" {
+		id = fmt.Sprintf("worker-%d", os.Getpid())
+	}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	w := &campaignd.Worker{
+		ID:       id,
+		Capacity: capacity,
+		Registry: reg,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+	return w.Run(ctx, addr)
 }
 
 func exportLogs(res *campaign.Result, logsDir, csvDir string) error {

@@ -1,6 +1,14 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+
+	"teledrive/internal/campaign"
+	"teledrive/internal/core"
+	"teledrive/internal/rds"
+	"teledrive/internal/trace"
+)
 
 func TestRunFlagErrors(t *testing.T) {
 	if err := run([]string{"-plan", "bogus"}); err == nil {
@@ -16,5 +24,58 @@ func TestRunSpecOnly(t *testing.T) {
 	// plumbing (including -workers) parses without running a campaign.
 	if err := run([]string{"-spec", "-workers", "4"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunConnectRefused(t *testing.T) {
+	// -connect flips the binary into worker mode; a dead coordinator
+	// address must surface as a dial error, not a local campaign run.
+	err := run([]string{"-connect", "127.0.0.1:1", "-worker-id", "w"})
+	if err == nil || !strings.Contains(err.Error(), "dial") {
+		t.Fatalf("want a dial error from -connect to a dead address, got %v", err)
+	}
+}
+
+// resultWithFailedInjections fabricates a campaign result whose faulty
+// run refused n injections.
+func resultWithFailedInjections(n int) *campaign.Result {
+	return &campaign.Result{
+		Subjects: []campaign.SubjectResult{{
+			Runs: []campaign.ScenarioResult{{
+				Golden: &core.Result{Outcome: &rds.Outcome{Log: &trace.RunLog{}}},
+				Faulty: &core.Result{Outcome: &rds.Outcome{Log: &trace.RunLog{}, FailedInjections: n}},
+			}},
+		}},
+	}
+}
+
+// TestStrictFailsOnFailedInjections is the regression test for the
+// historical bug: campaign exited 0 even when fault injections failed,
+// so CI never saw invalid test executions. -strict must turn them into
+// a nonzero exit.
+func TestStrictFailsOnFailedInjections(t *testing.T) {
+	res := resultWithFailedInjections(3)
+	if got := res.TotalFailedInjections(); got != 3 {
+		t.Fatalf("TotalFailedInjections = %d, want 3", got)
+	}
+
+	err := checkStrict(res, true)
+	if err == nil {
+		t.Fatal("-strict must fail when injections failed")
+	}
+	if !strings.Contains(err.Error(), "3 fault injection(s) failed") {
+		t.Fatalf("unhelpful -strict error: %v", err)
+	}
+
+	// Without -strict the legacy exit-0 behavior is preserved (plus a
+	// stderr warning, not asserted here).
+	if err := checkStrict(res, false); err != nil {
+		t.Fatalf("non-strict mode must not fail: %v", err)
+	}
+}
+
+func TestStrictPassesOnCleanCampaign(t *testing.T) {
+	if err := checkStrict(resultWithFailedInjections(0), true); err != nil {
+		t.Fatalf("clean campaign must pass -strict: %v", err)
 	}
 }

@@ -136,6 +136,51 @@ func Run(cfg Config) (*Result, error) {
 	return plan.Execute()
 }
 
+// TotalFailedInjections sums rds.Outcome.FailedInjections over every
+// drive of the campaign (training included). Nonzero means some cells
+// never experienced their assigned fault conditions — invalid test
+// executions under the paper's protocol; `campaign -strict` turns this
+// into a nonzero exit.
+func (r *Result) TotalFailedInjections() int {
+	total := 0
+	for _, sub := range r.Subjects {
+		for _, res := range sub.allResults() {
+			total += res.Outcome.FailedInjections
+		}
+	}
+	return total
+}
+
+// TotalControlsDropped sums operator commands lost to a saturated
+// uplink send window over every drive of the campaign.
+func (r *Result) TotalControlsDropped() uint64 {
+	var total uint64
+	for _, sub := range r.Subjects {
+		for _, res := range sub.allResults() {
+			total += res.Outcome.ControlsDropped
+		}
+	}
+	return total
+}
+
+// allResults enumerates the subject's non-nil drive results in protocol
+// order.
+func (s *SubjectResult) allResults() []*core.Result {
+	out := make([]*core.Result, 0, 1+2*len(s.Runs))
+	if s.Training != nil {
+		out = append(out, s.Training)
+	}
+	for _, run := range s.Runs {
+		if run.Golden != nil {
+			out = append(out, run.Golden)
+		}
+		if run.Faulty != nil {
+			out = append(out, run.Faulty)
+		}
+	}
+	return out
+}
+
 // Analysed returns the subjects that enter the result tables (excluded
 // subjects filtered out).
 func (r *Result) Analysed() []SubjectResult {

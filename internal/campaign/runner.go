@@ -13,6 +13,7 @@ package campaign
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -200,6 +201,13 @@ func checkFreshScenarios(subject string, lists ...[]*scenario.Scenario) error {
 	return nil
 }
 
+// CellError wraps a cell failure in the canonical campaign error
+// format ("campaign: subject T5 golden slalom: ..."). External
+// executors — the distributed coordinator — use it so a cell that
+// fails on a remote worker reports exactly like one that fails in
+// process.
+func (p *Plan) CellError(c RunCell, err error) error { return p.cellError(c, err) }
+
 // cellError wraps a cell failure in the legacy error format.
 func (p *Plan) cellError(c RunCell, err error) error {
 	name := p.Subjects[c.Subject].Profile.Name
@@ -311,6 +319,28 @@ func (p *Plan) Execute() (*Result, error) {
 	}
 	return p.assemble(results, started), nil
 }
+
+// Assemble folds externally executed per-cell results into the
+// campaign Result, exactly as the in-process execute phase does:
+// results[i] must be the outcome of Cells[i], and the fold is by plan
+// order, so any executor that produces correct per-cell results —
+// worker pool, distributed service, journal replay — aggregates
+// bit-identically. started anchors Result.Elapsed (wall-clock cost of
+// the whole campaign, not simulated time).
+func (p *Plan) Assemble(results []*core.Result, started time.Time) (*Result, error) {
+	if len(results) != len(p.Cells) {
+		return nil, fmt.Errorf("campaign: assemble: %d results for %d cells", len(results), len(p.Cells))
+	}
+	for ci, r := range results {
+		if r == nil {
+			return nil, fmt.Errorf("campaign: assemble: missing result for cell %d (%s)", ci, p.cellError(p.Cells[ci], errTruncated))
+		}
+	}
+	return p.assemble(results, started), nil
+}
+
+// errTruncated labels a missing cell result inside an Assemble error.
+var errTruncated = errors.New("no result")
 
 // assemble folds per-cell results back into the legacy Result shape,
 // in subject/scenario order regardless of completion order.

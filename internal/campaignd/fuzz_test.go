@@ -1,0 +1,102 @@
+package campaignd
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// FuzzWireProtocol throws arbitrary bytes at the coordinator's frame
+// decoder. The invariant is the one the coordinator's connection
+// handler relies on: readMsg never panics, never spins, and every
+// failure is either a clean io.EOF (end of stream at a message
+// boundary) or an ErrProtocol the caller counts on
+// campaignd_protocol_errors_total before closing the connection.
+func FuzzWireProtocol(f *testing.F) {
+	// Seed with valid traffic so the fuzzer starts near the interesting
+	// surface: every message type, a compressed body, a chunked body.
+	encode := func(m *msg) []byte {
+		var buf bytes.Buffer
+		if err := newWireWriter(&buf).writeMsg(m); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	seeds := [][]byte{
+		encode(&msg{T: msgHello, Worker: "w1", Capacity: 4}),
+		encode(&msg{T: msgLease, Cell: 3}),
+		encode(&msg{T: msgHeartbeat}),
+		encode(&msg{T: msgDone}),
+		encode(&msg{T: msgError, Cell: 1, Error: "boom"}),
+		encode(&msg{T: msgResult, Cell: 0, ElapsedNS: 5,
+			Outcome: []byte(`{"Log":{"subject":"T5"}}`)}),
+		// Compressed (large, repetitive) body.
+		encode(&msg{T: msgResult, Cell: 2,
+			Outcome: []byte(`{"blob":"` + strings.Repeat("x", 64<<10) + `"}`)}),
+		// Two messages back to back.
+		append(encode(&msg{T: msgHeartbeat}), encode(&msg{T: msgDone})...),
+		// Truncations and raw garbage.
+		encode(&msg{T: msgHeartbeat})[:7],
+		{0, 0, 0, 0},
+		{0xff, 0xff, 0xff, 0xff, 1, 2, 3},
+		[]byte("GET / HTTP/1.1\r\n\r\n"),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := bufio.NewReader(bytes.NewReader(data))
+		for i := 0; ; i++ {
+			m, err := readMsg(br)
+			if err != nil {
+				if err != io.EOF && !errors.Is(err, ErrProtocol) {
+					t.Fatalf("readMsg leaked a non-protocol error: %v", err)
+				}
+				return
+			}
+			if m.T == "" {
+				t.Fatal("readMsg returned a message with no type")
+			}
+			if i > 1024 {
+				t.Fatal("decoder failed to make progress through bounded input")
+			}
+		}
+	})
+}
+
+// FuzzWireRoundTrip drives the encoder with fuzzed message contents and
+// checks the decode is exact — the property the distributed equivalence
+// rests on at the codec layer.
+func FuzzWireRoundTrip(f *testing.F) {
+	f.Add("hello", "w", 4, int64(17), []byte(`{"Log":null}`))
+	f.Add("result", "", 0, int64(0), []byte{})
+	f.Add("err", strings.Repeat("n", 300), -5, int64(-1), []byte(`{"a":[1,2,3]}`))
+	f.Fuzz(func(t *testing.T, typ, worker string, cell int, elapsed int64, outcome []byte) {
+		if typ == "" {
+			typ = "x"
+		}
+		in := &msg{T: typ, Worker: worker, Cell: cell, ElapsedNS: elapsed}
+		if len(outcome) > 0 {
+			if !json.Valid(outcome) {
+				return // RawMessage must be valid JSON for the envelope to marshal
+			}
+			in.Outcome = outcome
+		}
+		var buf bytes.Buffer
+		if err := newWireWriter(&buf).writeMsg(in); err != nil {
+			t.Skipf("unencodable input: %v", err)
+		}
+		out, err := readMsg(bufio.NewReader(&buf))
+		if err != nil {
+			t.Fatalf("decode of freshly encoded message failed: %v", err)
+		}
+		if out.T != in.T || out.Worker != in.Worker || out.Cell != in.Cell || out.ElapsedNS != in.ElapsedNS {
+			t.Fatalf("round trip mangled fields: in %+v out %+v", in, out)
+		}
+	})
+}

@@ -1,0 +1,150 @@
+package campaignd
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"teledrive/internal/campaign"
+	"teledrive/internal/scenario"
+	"teledrive/internal/trace"
+)
+
+// shortScenarios mirrors the campaign runner tests: two short courses
+// plus a slalom repeat so the POI count (4+3+4=11) fits the smaller
+// Table II budgets. Registered as "short" so Specs can name it.
+func shortScenarios() []*scenario.Scenario {
+	return []*scenario.Scenario{
+		scenario.LaneChangeSlalom(), scenario.Overtake(), scenario.LaneChangeSlalom(),
+	}
+}
+
+func init() {
+	if err := RegisterScenarioSet("short", shortScenarios); err != nil {
+		panic(err)
+	}
+}
+
+// testSpec is the battery's canonical small campaign: one subject,
+// three short scenarios — 6 cells, a couple of seconds of wall clock.
+func testSpec() Spec {
+	return Spec{
+		Seed:                 31,
+		Subjects:             []string{"T5"},
+		ScenarioSet:          "short",
+		ApplyPaperExclusions: true,
+	}
+}
+
+// referenceOnce caches the single-process reference run for testSpec():
+// every equivalence assertion in the battery diffs against the same
+// `campaign -workers 2` result.
+var (
+	referenceOnce sync.Once
+	referenceRes  *campaign.Result
+	referenceErr  error
+)
+
+func referenceResult(t *testing.T) *campaign.Result {
+	t.Helper()
+	referenceOnce.Do(func() {
+		cfg, err := testSpec().Config()
+		if err != nil {
+			referenceErr = err
+			return
+		}
+		cfg.Workers = 2
+		referenceRes, referenceErr = campaign.Run(cfg)
+	})
+	if referenceErr != nil {
+		t.Fatalf("reference campaign: %v", referenceErr)
+	}
+	return referenceRes
+}
+
+// stripVolatile zeroes wall-clock fields and drops the func-carrying
+// references (Config.Scenarios, Scenario.MapBuilder) so the remaining
+// Result is pure data and reflect.DeepEqual-comparable — the same
+// normalization the campaign package's own determinism tests use.
+func stripVolatile(res *campaign.Result) {
+	res.Elapsed = 0
+	res.Config = campaign.Config{}
+	for i := range res.Subjects {
+		sub := &res.Subjects[i]
+		if sub.Training != nil {
+			sub.Training.Elapsed = 0
+		}
+		for j := range sub.Runs {
+			sub.Runs[j].Scenario = nil
+			if sub.Runs[j].Golden != nil {
+				sub.Runs[j].Golden.Elapsed = 0
+			}
+			if sub.Runs[j].Faulty != nil {
+				sub.Runs[j].Faulty.Elapsed = 0
+			}
+		}
+	}
+}
+
+// fingerprints reduces a campaign result to one trace fingerprint per
+// drive, keyed subject/scenario-index/kind. Call before stripVolatile.
+func fingerprints(res *campaign.Result) map[string]string {
+	out := make(map[string]string)
+	for _, sub := range res.Subjects {
+		for si, run := range sub.Runs {
+			if run.Golden != nil {
+				out[fmt.Sprintf("%s/%d/golden", sub.Profile.Name, si)] = trace.Fingerprint(run.Golden.Outcome.Log)
+			}
+			if run.Faulty != nil {
+				out[fmt.Sprintf("%s/%d/faulty", sub.Profile.Name, si)] = trace.Fingerprint(run.Faulty.Outcome.Log)
+			}
+		}
+	}
+	return out
+}
+
+// coordResult is what a backgrounded Coordinator.Run produced.
+type coordResult struct {
+	res *campaign.Result
+	err error
+}
+
+// startCoordinator serves coord on an ephemeral localhost listener and
+// runs it in the background. The returned channel delivers Run's result
+// exactly once.
+func startCoordinator(t *testing.T, coord *Coordinator, stop <-chan struct{}) (string, <-chan coordResult) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	done := make(chan coordResult, 1)
+	go func() {
+		res, err := coord.Run(stop, ln)
+		done <- coordResult{res: res, err: err}
+	}()
+	return ln.Addr().String(), done
+}
+
+// runWorker runs one worker against addr in the background and reports
+// its error on the returned channel.
+func runWorker(ctx context.Context, w *Worker, addr string) <-chan error {
+	errc := make(chan error, 1)
+	go func() { errc <- w.Run(ctx, addr) }()
+	return errc
+}
+
+// waitCoord bounds how long a test waits for the coordinator to finish.
+func waitCoord(t *testing.T, done <-chan coordResult, timeout time.Duration) coordResult {
+	t.Helper()
+	select {
+	case cr := <-done:
+		return cr
+	case <-time.After(timeout):
+		t.Fatalf("coordinator did not finish within %v", timeout)
+		return coordResult{}
+	}
+}

@@ -1,0 +1,186 @@
+package campaignd
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"teledrive/internal/rds"
+)
+
+// fakeOutcome builds a minimal valid outcome JSON (the journal only
+// requires a decodable rds.Outcome with a non-nil run log).
+func fakeOutcome(station float64) json.RawMessage {
+	return json.RawMessage(fmt.Sprintf(
+		`{"Log":{"subject":"T5","scenario":"s","run_type":"golden"},"FinalStation":%g}`, station))
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := openJournal(path, "digest-1", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.append(journalEntry{Cell: 2, Worker: "w1", ElapsedNS: 7, Outcome: fakeOutcome(10)}, mustDecode(t, fakeOutcome(10))); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.append(journalEntry{Cell: 0, Worker: "w2", ElapsedNS: 9, Outcome: fakeOutcome(20)}, mustDecode(t, fakeOutcome(20))); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: both cells replay; later appends land after them.
+	j2, err := openJournal(path, "digest-1", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.close()
+	if len(j2.outcomes) != 2 {
+		t.Fatalf("replayed %d cells, want 2", len(j2.outcomes))
+	}
+	if j2.outcomes[2].FinalStation != 10 || j2.outcomes[0].FinalStation != 20 {
+		t.Fatal("replayed outcomes mangled")
+	}
+	if j2.elapsed[2] != 7 || j2.elapsed[0] != 9 {
+		t.Fatal("replayed elapsed mangled")
+	}
+}
+
+func mustDecode(t *testing.T, raw json.RawMessage) *rds.Outcome {
+	t.Helper()
+	out, err := decodeOutcome(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestJournalFirstWriteWinsAcrossRestarts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := openJournal(path, "d", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two entries for the same cell (a crash window can journal a
+	// duplicate): the first must win on replay.
+	for _, station := range []float64{1, 2} {
+		if err := j.append(journalEntry{Cell: 1, Outcome: fakeOutcome(station)}, mustDecode(t, fakeOutcome(station))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.close()
+	j2, err := openJournal(path, "d", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.close()
+	if got := j2.outcomes[1].FinalStation; got != 1 {
+		t.Fatalf("replay kept station %g, want the first write (1)", got)
+	}
+}
+
+func TestJournalTornTailDropped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := openJournal(path, "d", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.append(journalEntry{Cell: 0, Outcome: fakeOutcome(5)}, mustDecode(t, fakeOutcome(5))); err != nil {
+		t.Fatal(err)
+	}
+	j.close()
+	// Simulate a crash mid-append: a final line without a newline.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"cell":1,"outco`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, err := openJournal(path, "d", 2)
+	if err != nil {
+		t.Fatalf("torn tail must be tolerated: %v", err)
+	}
+	defer j2.close()
+	if len(j2.outcomes) != 1 {
+		t.Fatalf("replayed %d cells, want 1 (torn line dropped)", len(j2.outcomes))
+	}
+}
+
+func TestJournalEarlierCorruptionFailsLoudly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := openJournal(path, "d", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.close()
+	// A corrupt *complete* line (newline-terminated) is real damage, not
+	// a torn tail.
+	f, _ := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	f.WriteString("garbage line\n")
+	f.Close()
+	if _, err := openJournal(path, "d", 2); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("corrupt interior line must fail loudly, got %v", err)
+	}
+}
+
+func TestJournalRefusesDifferentPlan(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := openJournal(path, "digest-A", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.close()
+
+	if _, err := openJournal(path, "digest-B", 4); err == nil || !strings.Contains(err.Error(), "refusing to resume") {
+		t.Fatalf("digest mismatch must refuse to resume, got %v", err)
+	}
+	if _, err := openJournal(path, "digest-A", 5); err == nil || !strings.Contains(err.Error(), "refusing to resume") {
+		t.Fatalf("cell-count mismatch must refuse to resume, got %v", err)
+	}
+	if _, err := openJournal(path, "digest-A", 4); err != nil {
+		t.Fatalf("matching plan must resume: %v", err)
+	}
+}
+
+func TestJournalRejectsForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	if err := os.WriteFile(path, []byte("{\"not\":\"a journal\"}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := openJournal(path, "d", 1); err == nil || !strings.Contains(err.Error(), "not a campaignd journal") {
+		t.Fatalf("foreign file must be rejected, got %v", err)
+	}
+}
+
+func TestJournalInMemory(t *testing.T) {
+	j, err := openJournal("", "d", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.append(journalEntry{Cell: 0, Outcome: fakeOutcome(1)}, mustDecode(t, fakeOutcome(1))); err != nil {
+		t.Fatal(err)
+	}
+	if len(j.outcomes) != 1 {
+		t.Fatal("in-memory journal lost the entry")
+	}
+	if err := j.close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeOutcomeRejectsMissingLog(t *testing.T) {
+	if _, err := decodeOutcome(json.RawMessage(`{"FinalStation":1}`)); err == nil {
+		t.Fatal("outcome without a run log must be rejected")
+	}
+	if _, err := decodeOutcome(nil); err == nil {
+		t.Fatal("empty outcome must be rejected")
+	}
+}

@@ -1,0 +1,246 @@
+package campaignd
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"math"
+	"sort"
+	"sync"
+
+	"teledrive/internal/campaign"
+	"teledrive/internal/driver"
+	"teledrive/internal/scenario"
+	"teledrive/internal/transport"
+)
+
+// Spec is the wire-serializable description of a campaign. It is the
+// subset of campaign.Config that survives a process boundary: scenario
+// factories and driver profiles cannot be shipped as code, so scenarios
+// travel as a registered set name and subjects as profile names — both
+// sides resolve them locally and the plan digest verifies they resolved
+// to the same plan.
+type Spec struct {
+	// Seed drives all campaign-level randomness (fault placement).
+	Seed int64 `json:"seed"`
+	// Plan is "paper" (Table II budgets) or "random".
+	Plan string `json:"plan,omitempty"`
+	// IncludeTraining adds the §V-E1 training drive per subject.
+	IncludeTraining bool `json:"training,omitempty"`
+	// ApplyPaperExclusions reproduces §VI-A (exclude T7, mask missing
+	// recordings).
+	ApplyPaperExclusions bool `json:"exclusions,omitempty"`
+	// Subjects lists profile names (driver.SubjectByName); empty means
+	// the full T1–T12 group.
+	Subjects []string `json:"subjects,omitempty"`
+	// ScenarioSet names a factory registered with RegisterScenarioSet;
+	// empty means "test" (the paper's three test scenarios).
+	ScenarioSet string `json:"scenario_set,omitempty"`
+	// Transport overrides the default reliable channel (ablations).
+	Transport *transport.Options `json:"transport,omitempty"`
+}
+
+// DefaultScenarioSet is the registry name resolved for an empty
+// Spec.ScenarioSet.
+const DefaultScenarioSet = "test"
+
+var (
+	scenarioSetsMu sync.Mutex
+	scenarioSets   = map[string]func() []*scenario.Scenario{
+		DefaultScenarioSet: scenario.TestScenarios,
+	}
+)
+
+// RegisterScenarioSet names a scenario factory so a Spec can reference
+// it across process boundaries. Both coordinator and workers must
+// register the same sets; the plan digest catches divergent factories.
+// Re-registering a name replaces it (tests rely on this).
+func RegisterScenarioSet(name string, factory func() []*scenario.Scenario) error {
+	if name == "" || factory == nil {
+		return fmt.Errorf("campaignd: scenario set needs a name and a factory")
+	}
+	scenarioSetsMu.Lock()
+	defer scenarioSetsMu.Unlock()
+	scenarioSets[name] = factory
+	return nil
+}
+
+// lookupScenarioSet resolves a registered set name.
+func lookupScenarioSet(name string) (func() []*scenario.Scenario, error) {
+	if name == "" {
+		name = DefaultScenarioSet
+	}
+	scenarioSetsMu.Lock()
+	defer scenarioSetsMu.Unlock()
+	f, ok := scenarioSets[name]
+	if !ok {
+		return nil, fmt.Errorf("campaignd: unknown scenario set %q (register it with RegisterScenarioSet)", name)
+	}
+	return f, nil
+}
+
+// Config resolves the Spec into a runnable campaign.Config. Workers is
+// deliberately left zero: the coordinator never executes cells, and a
+// worker's local pool width is its own business.
+func (s Spec) Config() (campaign.Config, error) {
+	cfg := campaign.Config{
+		Seed:                 s.Seed,
+		IncludeTraining:      s.IncludeTraining,
+		ApplyPaperExclusions: s.ApplyPaperExclusions,
+		Transport:            s.Transport,
+	}
+	switch s.Plan {
+	case "", "paper":
+		cfg.Plan = campaign.PlanPaper
+	case "random":
+		cfg.Plan = campaign.PlanRandom
+	default:
+		return campaign.Config{}, fmt.Errorf("campaignd: unknown plan %q", s.Plan)
+	}
+	for _, name := range s.Subjects {
+		p, ok := driver.SubjectByName(name)
+		if !ok {
+			return campaign.Config{}, fmt.Errorf("campaignd: unknown subject %q", name)
+		}
+		cfg.Subjects = append(cfg.Subjects, p)
+	}
+	factory, err := lookupScenarioSet(s.ScenarioSet)
+	if err != nil {
+		return campaign.Config{}, err
+	}
+	cfg.Scenarios = factory
+	return cfg, nil
+}
+
+// BuildPlan resolves the Spec and runs the deterministic plan phase.
+func (s Spec) BuildPlan() (*campaign.Plan, error) {
+	cfg, err := s.Config()
+	if err != nil {
+		return nil, err
+	}
+	return campaign.BuildPlan(cfg)
+}
+
+// PlanDigest reduces a plan to a SHA-256 hex digest over everything
+// that determines cell results: subject profiles (every behavioral
+// parameter, not just the name), budgets, assignments, and per-cell
+// (kind, seed, scenario structure, fault list). Coordinator and worker
+// compare digests at handshake; a mismatch means their registries or
+// binaries disagree and the worker is rejected before it can produce
+// divergent results.
+func PlanDigest(p *campaign.Plan) string {
+	h := sha256.New()
+	dU64(h, uint64(p.Config.Seed))
+	dU64(h, uint64(p.Config.Plan))
+	dBool(h, p.Config.IncludeTraining)
+	dBool(h, p.Config.ApplyPaperExclusions)
+	if t := p.Config.Transport; t == nil {
+		dU64(h, 0)
+	} else {
+		dU64(h, 1)
+		dStr(h, t.Name)
+		dBool(h, t.Reliable)
+		dU64(h, uint64(t.Window))
+		dU64(h, uint64(t.RTOMin))
+		dU64(h, uint64(t.RTOMax))
+		dBool(h, t.Congestion)
+	}
+
+	dU64(h, uint64(len(p.Subjects)))
+	for _, sp := range p.Subjects {
+		dProfile(h, sp.Profile)
+		b := sp.Budget
+		dU64(h, uint64(b.Delay5), uint64(b.Delay25), uint64(b.Delay50), uint64(b.Loss2), uint64(b.Loss5))
+		dBool(h, sp.Excluded)
+		dU64(h, uint64(len(sp.Assignment.PerScenario)))
+		for _, per := range sp.Assignment.PerScenario {
+			dU64(h, uint64(len(per)))
+			for _, c := range per {
+				dU64(h, uint64(c))
+			}
+		}
+	}
+
+	dU64(h, uint64(len(p.Cells)))
+	for _, cell := range p.Cells {
+		dU64(h, uint64(cell.Subject), uint64(cell.Scenario), uint64(cell.Kind))
+		dU64(h, uint64(cell.Spec.Seed))
+		dScenario(h, cell.Spec.Scenario)
+		dU64(h, uint64(len(cell.Spec.Faults)))
+		for _, c := range cell.Spec.Faults {
+			dU64(h, uint64(c))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func dProfile(h hash.Hash, p driver.Profile) {
+	dStr(h, p.Name)
+	dU64(h, uint64(p.Seed), uint64(p.ReactionTime))
+	dF64(h, p.Anticipation, p.SteerNoise, p.NearGain, p.LateralDeadband,
+		p.LookaheadTime, p.Aggressiveness, p.Caution, p.WheelRate, p.SteerBias)
+}
+
+// dScenario hashes the scenario structure that shapes a cell's
+// trajectory: route, actors, POIs, end conditions. MapBuilder is code
+// and cannot be hashed; the structural fields cover everything the
+// factories vary.
+func dScenario(h hash.Hash, s *scenario.Scenario) {
+	if s == nil {
+		dU64(h, 0)
+		return
+	}
+	dStr(h, s.Name)
+	dStr(h, s.Weather)
+	dF64(h, s.BlendLen, s.LaneWidth, s.EgoStartStation, s.EndStation)
+	dF64(h, s.TaskSegment[0], s.TaskSegment[1])
+	dU64(h, uint64(s.Timeout))
+	dBool(h, s.StopAtEnd)
+	dU64(h, uint64(len(s.RouteOffsets)), uint64(len(s.Actors)), uint64(len(s.POIs)), uint64(len(s.PrecisionZones)))
+	for _, p := range s.POIs {
+		dF64(h, p.From, p.To)
+		dU64(h, uint64(p.Weight))
+	}
+}
+
+func dU64(h hash.Hash, vs ...uint64) {
+	var buf [8]byte
+	for _, v := range vs {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+}
+
+func dStr(h hash.Hash, s string) {
+	dU64(h, uint64(len(s)))
+	h.Write([]byte(s))
+}
+
+func dBool(h hash.Hash, b bool) {
+	if b {
+		dU64(h, 1)
+	} else {
+		dU64(h, 0)
+	}
+}
+
+func dF64(h hash.Hash, vs ...float64) {
+	for _, v := range vs {
+		dU64(h, math.Float64bits(v))
+	}
+}
+
+// RegisteredScenarioSets returns the registry's names, sorted — for
+// error messages and the campaignd -scenarios flag help.
+func RegisteredScenarioSets() []string {
+	scenarioSetsMu.Lock()
+	defer scenarioSetsMu.Unlock()
+	out := make([]string, 0, len(scenarioSets))
+	for name := range scenarioSets {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

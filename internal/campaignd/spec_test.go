@@ -1,0 +1,129 @@
+package campaignd
+
+import (
+	"strings"
+	"testing"
+
+	"teledrive/internal/scenario"
+	"teledrive/internal/transport"
+)
+
+func TestSpecConfigResolution(t *testing.T) {
+	cfg, err := testSpec().Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Subjects) != 1 || cfg.Subjects[0].Name != "T5" {
+		t.Fatalf("subjects resolved to %+v", cfg.Subjects)
+	}
+	if got := len(cfg.Scenarios()); got != 3 {
+		t.Fatalf("scenario set resolved to %d scenarios, want 3", got)
+	}
+	if cfg.Workers != 0 {
+		t.Fatal("Spec must not pin Workers; pool width is the executor's business")
+	}
+}
+
+func TestSpecConfigErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		want string
+	}{
+		{"unknown plan", Spec{Plan: "fancy"}, "unknown plan"},
+		{"unknown subject", Spec{Subjects: []string{"T99"}}, "unknown subject"},
+		{"unknown scenario set", Spec{ScenarioSet: "nope"}, "unknown scenario set"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := tc.spec.Config(); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want %q error, got %v", tc.want, err)
+			}
+		})
+	}
+}
+
+func TestRegisterScenarioSetValidation(t *testing.T) {
+	if err := RegisterScenarioSet("", scenario.TestScenarios); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := RegisterScenarioSet("x", nil); err == nil {
+		t.Fatal("nil factory accepted")
+	}
+	names := RegisteredScenarioSets()
+	joined := strings.Join(names, ",")
+	if !strings.Contains(joined, DefaultScenarioSet) || !strings.Contains(joined, "short") {
+		t.Fatalf("registry missing expected sets: %v", names)
+	}
+}
+
+// TestPlanDigestPinsEverythingThatMatters: identical specs agree;
+// every knob that changes cell trajectories changes the digest.
+func TestPlanDigestPinsEverythingThatMatters(t *testing.T) {
+	digest := func(t *testing.T, s Spec) string {
+		t.Helper()
+		p, err := s.BuildPlan()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return PlanDigest(p)
+	}
+	base := digest(t, testSpec())
+	if again := digest(t, testSpec()); again != base {
+		t.Fatalf("same spec, different digests: %s vs %s", base, again)
+	}
+
+	mutations := map[string]Spec{}
+	s := testSpec()
+	s.Seed++
+	mutations["seed"] = s
+	s = testSpec()
+	s.Subjects = []string{"T1"}
+	mutations["subject"] = s
+	s = testSpec()
+	s.ScenarioSet = DefaultScenarioSet
+	mutations["scenario set"] = s
+	s = testSpec()
+	s.IncludeTraining = true
+	mutations["training"] = s
+	s = testSpec()
+	s.ApplyPaperExclusions = false
+	mutations["exclusions"] = s
+	s = testSpec()
+	s.Transport = &transport.Options{Window: 99, Reliable: true}
+	mutations["transport"] = s
+
+	for name, spec := range mutations {
+		if d := digest(t, spec); d == base {
+			t.Errorf("changing %s did not change the plan digest", name)
+		}
+	}
+}
+
+// TestPlanDigestSeesScenarioStructure: two factories registered under
+// different names but returning *different* scenarios must digest
+// differently even with every other knob equal — this is what catches a
+// coordinator and worker resolving the same set name to divergent code.
+func TestPlanDigestSeesScenarioStructure(t *testing.T) {
+	if err := RegisterScenarioSet("short-swapped", func() []*scenario.Scenario {
+		return []*scenario.Scenario{
+			scenario.Overtake(), scenario.LaneChangeSlalom(), scenario.LaneChangeSlalom(),
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	a := testSpec()
+	b := testSpec()
+	b.ScenarioSet = "short-swapped"
+	pa, err := a.BuildPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := b.BuildPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if PlanDigest(pa) == PlanDigest(pb) {
+		t.Fatal("swapped scenario order digests identically")
+	}
+}

@@ -1,0 +1,174 @@
+package campaignd
+
+import (
+	"fmt"
+	"time"
+)
+
+// cellState is the lifecycle of one plan cell on the coordinator.
+//
+//	pending --next()--> leased --complete()--> done
+//	   ^                  |
+//	   +---expire()/release() (retries++, bounded)
+//
+// complete() accepts a result from ANY state except done — a worker
+// whose lease expired may still deliver a valid result (the cell's seed
+// makes every execution identical), and the first write wins. Every
+// later result for the same cell is a counted duplicate, so re-leased
+// or re-executed cells can never double-count in the aggregation (see
+// TestLeaseRequeueNeverDoubleCounts).
+type cellState uint8
+
+const (
+	statePending cellState = iota
+	stateLeased
+	stateDone
+)
+
+// leaseInfo tracks the current lease of one cell.
+type leaseInfo struct {
+	worker   string
+	deadline time.Time
+}
+
+// expiredLease reports a lease the tracker revoked.
+type expiredLease struct {
+	cell   int
+	worker string
+}
+
+// tracker is the coordinator's cell state machine. It is purely
+// deterministic — every method takes explicit times — so the lease
+// semantics are property-testable without a network or a clock. Not
+// safe for concurrent use; the coordinator event loop owns it.
+type tracker struct {
+	states     []cellState
+	leases     []leaseInfo
+	retries    []int
+	queue      []int // pending cells, FIFO; may contain stale (done) entries
+	doneCount  int
+	maxRetries int
+}
+
+func newTracker(cells, maxRetries int) *tracker {
+	t := &tracker{
+		states:     make([]cellState, cells),
+		leases:     make([]leaseInfo, cells),
+		retries:    make([]int, cells),
+		queue:      make([]int, 0, cells),
+		maxRetries: maxRetries,
+	}
+	for i := 0; i < cells; i++ {
+		t.queue = append(t.queue, i)
+	}
+	return t
+}
+
+// restore marks a cell done during journal replay. Idempotent.
+func (t *tracker) restore(cell int) {
+	if t.states[cell] == stateDone {
+		return
+	}
+	t.states[cell] = stateDone
+	t.doneCount++
+}
+
+// next pops the lowest pending cell and leases it to worker until
+// deadline. ok=false when nothing is pending (cells may still be in
+// flight elsewhere).
+func (t *tracker) next(worker string, deadline time.Time) (int, bool) {
+	for len(t.queue) > 0 {
+		cell := t.queue[0]
+		t.queue = t.queue[1:]
+		if t.states[cell] != statePending {
+			continue // completed (late result) or re-leased while queued
+		}
+		t.states[cell] = stateLeased
+		t.leases[cell] = leaseInfo{worker: worker, deadline: deadline}
+		return cell, true
+	}
+	return 0, false
+}
+
+// complete records a result for cell. First write wins: it returns
+// true exactly once per cell, regardless of how many workers deliver
+// the (identical, seed-determined) result or what state the lease is
+// in. A false return is a duplicate the caller counts and drops.
+func (t *tracker) complete(cell int) bool {
+	if t.states[cell] == stateDone {
+		return false
+	}
+	t.states[cell] = stateDone
+	t.leases[cell] = leaseInfo{}
+	t.doneCount++
+	return true
+}
+
+// touch extends every lease held by worker — the heartbeat path.
+func (t *tracker) touch(worker string, deadline time.Time) {
+	for i := range t.leases {
+		if t.states[i] == stateLeased && t.leases[i].worker == worker {
+			t.leases[i].deadline = deadline
+		}
+	}
+}
+
+// expire revokes leases whose deadline has passed and requeues their
+// cells. It returns the revoked leases, or an error once a cell has
+// been requeued more than maxRetries times — at that point the cell is
+// systematically failing and the campaign must abort rather than spin.
+func (t *tracker) expire(now time.Time) ([]expiredLease, error) {
+	var out []expiredLease
+	for i := range t.leases {
+		if t.states[i] != stateLeased || !t.leases[i].deadline.Before(now) {
+			continue
+		}
+		out = append(out, expiredLease{cell: i, worker: t.leases[i].worker})
+		if err := t.requeue(i); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// release revokes every lease held by worker (connection loss) and
+// requeues the cells.
+func (t *tracker) release(worker string) ([]int, error) {
+	var out []int
+	for i := range t.leases {
+		if t.states[i] != stateLeased || t.leases[i].worker != worker {
+			continue
+		}
+		out = append(out, i)
+		if err := t.requeue(i); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// requeue returns a leased cell to the pending queue, counting the
+// retry.
+func (t *tracker) requeue(cell int) error {
+	t.states[cell] = statePending
+	t.leases[cell] = leaseInfo{}
+	t.queue = append(t.queue, cell)
+	t.retries[cell]++
+	if t.retries[cell] > t.maxRetries {
+		return fmt.Errorf("campaignd: cell %d requeued %d times (max %d) — aborting campaign", cell, t.retries[cell], t.maxRetries)
+	}
+	return nil
+}
+
+// done reports whether every cell has a result.
+func (t *tracker) done() bool { return t.doneCount == len(t.states) }
+
+// pending reports whether any cell is waiting for a lease.
+func (t *tracker) pending() bool {
+	for _, cell := range t.queue {
+		if t.states[cell] == statePending {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,203 @@
+package campaignd
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func at(s int) time.Time { return time.Unix(int64(s), 0) }
+
+func TestTrackerLeaseLifecycle(t *testing.T) {
+	tr := newTracker(3, 5)
+	cell, ok := tr.next("a", at(10))
+	if !ok || cell != 0 {
+		t.Fatalf("first lease: got (%d,%v), want (0,true)", cell, ok)
+	}
+	if !tr.complete(0) {
+		t.Fatal("first complete must win")
+	}
+	if tr.complete(0) {
+		t.Fatal("second complete of the same cell must be a duplicate")
+	}
+	if tr.done() {
+		t.Fatal("done with 2 cells outstanding")
+	}
+	for i := 0; i < 2; i++ {
+		cell, ok := tr.next("a", at(10))
+		if !ok {
+			t.Fatalf("lease %d: queue empty", i)
+		}
+		tr.complete(cell)
+	}
+	if !tr.done() {
+		t.Fatal("all complete, tracker not done")
+	}
+	if _, ok := tr.next("a", at(10)); ok {
+		t.Fatal("lease after done")
+	}
+}
+
+func TestTrackerExpiryRequeues(t *testing.T) {
+	tr := newTracker(1, 5)
+	if _, ok := tr.next("a", at(10)); !ok {
+		t.Fatal("no lease")
+	}
+	exp, err := tr.expire(at(5))
+	if err != nil || len(exp) != 0 {
+		t.Fatalf("premature expiry: %v %v", exp, err)
+	}
+	exp, err = tr.expire(at(11))
+	if err != nil || len(exp) != 1 || exp[0].cell != 0 || exp[0].worker != "a" {
+		t.Fatalf("expiry: %+v %v", exp, err)
+	}
+	cell, ok := tr.next("b", at(20))
+	if !ok || cell != 0 {
+		t.Fatal("expired cell must be re-leasable")
+	}
+}
+
+func TestTrackerHeartbeatExtendsLease(t *testing.T) {
+	tr := newTracker(1, 5)
+	tr.next("a", at(10))
+	tr.touch("a", at(30))
+	if exp, _ := tr.expire(at(11)); len(exp) != 0 {
+		t.Fatal("heartbeat did not extend the lease")
+	}
+	if exp, _ := tr.expire(at(31)); len(exp) != 1 {
+		t.Fatal("extended lease never expired")
+	}
+}
+
+func TestTrackerReleaseOnWorkerDeath(t *testing.T) {
+	tr := newTracker(4, 5)
+	tr.next("a", at(10))
+	tr.next("b", at(10))
+	tr.next("a", at(10))
+	requeued, err := tr.release("a")
+	if err != nil || len(requeued) != 2 {
+		t.Fatalf("release: %v %v", requeued, err)
+	}
+	// b's lease must be untouched; the two re-queued cells plus cell 3
+	// are leasable.
+	for i := 0; i < 3; i++ {
+		if _, ok := tr.next("c", at(20)); !ok {
+			t.Fatalf("re-queued lease %d missing", i)
+		}
+	}
+	if _, ok := tr.next("c", at(20)); ok {
+		t.Fatal("leased more cells than exist")
+	}
+}
+
+func TestTrackerBoundedRetries(t *testing.T) {
+	tr := newTracker(1, 2)
+	for attempt := 0; ; attempt++ {
+		if _, ok := tr.next("a", at(10)); !ok {
+			t.Fatal("no lease")
+		}
+		_, err := tr.expire(at(11))
+		if err != nil {
+			if attempt != 2 {
+				t.Fatalf("aborted on requeue %d, want the 3rd (maxRetries=2)", attempt+1)
+			}
+			return
+		}
+		if attempt > 5 {
+			t.Fatal("retries never bounded")
+		}
+	}
+}
+
+// TestLeaseRequeueNeverDoubleCounts is the issue's scripted property:
+// worker a's lease expires, the cell is re-leased to worker b, and BOTH
+// deliver the (identical, seed-determined) result — a after its lease
+// expired. Exactly one write wins, deterministically the first.
+func TestLeaseRequeueNeverDoubleCounts(t *testing.T) {
+	tr := newTracker(1, 5)
+	cell, _ := tr.next("a", at(10))
+	if exp, _ := tr.expire(at(11)); len(exp) != 1 {
+		t.Fatal("lease did not expire")
+	}
+	if c2, ok := tr.next("b", at(20)); !ok || c2 != cell {
+		t.Fatalf("re-lease gave cell %d, want %d", c2, cell)
+	}
+	// Late result from a (lease long revoked) arrives first: it wins.
+	if !tr.complete(cell) {
+		t.Fatal("late result from expired lease must still count (first write)")
+	}
+	// b's result for the same cell is a duplicate.
+	if tr.complete(cell) {
+		t.Fatal("second result double-counted the cell")
+	}
+	if tr.doneCount != 1 {
+		t.Fatalf("doneCount = %d, want 1", tr.doneCount)
+	}
+}
+
+// TestTrackerCompletionPropertyRandomized drives the tracker through
+// randomized lease/expire/release/complete/heartbeat storms and checks
+// the aggregation invariants the distributed equivalence rests on:
+// complete() returns true exactly once per cell, doneCount equals the
+// number of distinct completed cells, and no cell is ever lost (every
+// campaign with bounded chaos finishes).
+func TestTrackerCompletionPropertyRandomized(t *testing.T) {
+	workers := []string{"a", "b", "c"}
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cells := 1 + rng.Intn(12)
+		tr := newTracker(cells, 1<<30) // unbounded retries: chaos must never lose a cell
+		wins := make([]int, cells)
+		now := 0
+		leased := make(map[int]bool)
+
+		for step := 0; step < 400 && !tr.done(); step++ {
+			now++
+			switch rng.Intn(5) {
+			case 0: // lease to a random worker
+				w := workers[rng.Intn(len(workers))]
+				if cell, ok := tr.next(w, at(now+3+rng.Intn(5))); ok {
+					leased[cell] = true
+				}
+			case 1: // a leased (or stale) cell delivers its result
+				for cell := range leased {
+					if tr.complete(cell) {
+						wins[cell]++
+					}
+					delete(leased, cell)
+					break
+				}
+			case 2: // duplicate delivery for a random cell
+				cell := rng.Intn(cells)
+				if tr.complete(cell) {
+					wins[cell]++
+				}
+			case 3: // clock jump: expire whatever is overdue
+				if _, err := tr.expire(at(now)); err != nil {
+					t.Fatalf("seed %d: unbounded retries errored: %v", seed, err)
+				}
+			case 4: // a worker dies
+				if _, err := tr.release(workers[rng.Intn(len(workers))]); err != nil {
+					t.Fatalf("seed %d: release errored: %v", seed, err)
+				}
+			}
+		}
+		// Drain: complete everything still outstanding.
+		for cell := 0; cell < cells; cell++ {
+			if tr.complete(cell) {
+				wins[cell]++
+			}
+		}
+		if !tr.done() {
+			t.Fatalf("seed %d: tracker never completed", seed)
+		}
+		if tr.doneCount != cells {
+			t.Fatalf("seed %d: doneCount %d, want %d", seed, tr.doneCount, cells)
+		}
+		for cell, n := range wins {
+			if n != 1 {
+				t.Fatalf("seed %d: cell %d won %d times, want exactly 1", seed, cell, n)
+			}
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package campaignd
+
+import (
+	"bufio"
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"teledrive/internal/transport"
+)
+
+func roundTrip(t *testing.T, in *msg) *msg {
+	t.Helper()
+	var buf bytes.Buffer
+	ww := newWireWriter(&buf)
+	if err := ww.writeMsg(in); err != nil {
+		t.Fatalf("writeMsg: %v", err)
+	}
+	out, err := readMsg(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatalf("readMsg: %v", err)
+	}
+	return out
+}
+
+func TestWireRoundTripSmall(t *testing.T) {
+	in := &msg{T: msgHello, Worker: "w1", Capacity: 3}
+	out := roundTrip(t, in)
+	if out.T != msgHello || out.Worker != "w1" || out.Capacity != 3 {
+		t.Fatalf("round trip mangled message: %+v", out)
+	}
+}
+
+func TestWireRoundTripCellZero(t *testing.T) {
+	// Cell must not carry omitempty: cell 0 is a valid lease.
+	out := roundTrip(t, &msg{T: msgLease, Cell: 0})
+	if out.Cell != 0 || out.T != msgLease {
+		t.Fatalf("cell 0 mangled: %+v", out)
+	}
+	if !strings.Contains(mustJSON(t, &msg{T: msgLease, Cell: 0}), `"cell":0`) {
+		t.Fatal("cell field dropped from JSON when zero")
+	}
+}
+
+func mustJSON(t *testing.T, m *msg) string {
+	t.Helper()
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestWireRoundTripLarge pushes a payload far beyond
+// transport.MaxPayload through the chunking + compression path. The
+// body is pseudorandom hex so deflate cannot collapse it below one
+// chunk.
+func TestWireRoundTripLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	raw := make([]byte, 3<<20)
+	const hex = "0123456789abcdef"
+	for i := range raw {
+		raw[i] = hex[rng.Intn(len(hex))]
+	}
+	outcome := json.RawMessage(fmt.Sprintf(`{"blob":%q}`, raw))
+	if len(outcome) <= transport.MaxPayload {
+		t.Fatalf("test payload too small to exercise chunking: %d", len(outcome))
+	}
+
+	var buf bytes.Buffer
+	ww := newWireWriter(&buf)
+	if err := ww.writeMsg(&msg{T: msgResult, Cell: 4, ElapsedNS: 123, Outcome: outcome}); err != nil {
+		t.Fatalf("writeMsg: %v", err)
+	}
+	// Chunking must actually have happened: more than one frame on the wire.
+	if frames := countFrames(t, buf.Bytes()); frames < 2 {
+		t.Fatalf("expected multi-frame message, got %d frame(s)", frames)
+	}
+	out, err := readMsg(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatalf("readMsg: %v", err)
+	}
+	if out.Cell != 4 || out.ElapsedNS != 123 || !bytes.Equal(out.Outcome, outcome) {
+		t.Fatal("large message mangled in transit")
+	}
+}
+
+func countFrames(t *testing.T, wire []byte) int {
+	t.Helper()
+	n := 0
+	for len(wire) > 0 {
+		if len(wire) < 4 {
+			t.Fatalf("trailing garbage on wire: %d bytes", len(wire))
+		}
+		l := binary.BigEndian.Uint32(wire)
+		wire = wire[4+l:]
+		n++
+	}
+	return n
+}
+
+func TestWireCompressionShrinksLargeBodies(t *testing.T) {
+	outcome := json.RawMessage(`{"zeros":"` + strings.Repeat("0", 1<<20) + `"}`)
+	var buf bytes.Buffer
+	if err := newWireWriter(&buf).writeMsg(&msg{T: msgResult, Outcome: outcome}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() >= len(outcome)/10 {
+		t.Fatalf("compressible 1 MiB body should shrink dramatically, wire is %d bytes", buf.Len())
+	}
+	out, err := readMsg(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Outcome, outcome) {
+		t.Fatal("compressed body mangled")
+	}
+}
+
+func TestWireMultipleMessagesOnOneStream(t *testing.T) {
+	var buf bytes.Buffer
+	ww := newWireWriter(&buf)
+	for i := 0; i < 5; i++ {
+		if err := ww.writeMsg(&msg{T: msgLease, Cell: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	br := bufio.NewReader(&buf)
+	for i := 0; i < 5; i++ {
+		m, err := readMsg(br)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if m.Cell != i {
+			t.Fatalf("message %d: got cell %d", i, m.Cell)
+		}
+	}
+	if _, err := readMsg(br); err != io.EOF {
+		t.Fatalf("want io.EOF at clean end of stream, got %v", err)
+	}
+}
+
+// TestReadMsgRejectsMalformedInput walks every protocol-error path:
+// each must surface as ErrProtocol (never a panic, never a silent nil).
+func TestReadMsgRejectsMalformedInput(t *testing.T) {
+	valid := func() []byte {
+		var buf bytes.Buffer
+		if err := newWireWriter(&buf).writeMsg(&msg{T: msgHeartbeat}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}()
+
+	frame := func(payload []byte) []byte {
+		wire, err := transport.EncodeFrame(transport.Frame{Type: transport.FrameData, Payload: payload})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]byte, 4+len(wire))
+		binary.BigEndian.PutUint32(out, uint32(len(wire)))
+		copy(out[4:], wire)
+		return out
+	}
+	ackFrame := func() []byte {
+		wire, err := transport.EncodeFrame(transport.Frame{Type: transport.FrameAck, Payload: []byte{0}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]byte, 4+len(wire))
+		binary.BigEndian.PutUint32(out, uint32(len(wire)))
+		copy(out[4:], wire)
+		return out
+	}
+	// A deflate bomb: a tiny compressed body that inflates past
+	// maxMessage must be refused by the LimitReader, not allocated.
+	bomb := func() []byte {
+		var z bytes.Buffer
+		fw, _ := flate.NewWriter(&z, flate.BestSpeed)
+		zeros := make([]byte, 1<<20)
+		for written := 0; written <= maxMessage; written += len(zeros) {
+			if _, err := fw.Write(zeros); err != nil {
+				t.Fatal(err)
+			}
+		}
+		fw.Close()
+		return frame(append([]byte{flagDeflate}, z.Bytes()...))
+	}()
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"truncated length prefix", valid[:2]},
+		{"zero frame length", []byte{0, 0, 0, 0}},
+		{"oversized frame length", []byte{0xff, 0xff, 0xff, 0xff}},
+		{"truncated frame body", valid[:len(valid)-3]},
+		{"corrupt frame CRC", corrupt(valid)},
+		{"non-data frame type", ackFrame()},
+		{"empty frame payload", frame(nil)},
+		{"invalid JSON body", frame([]byte{0, 'n', 'o', 'p', 'e'})},
+		{"missing message type", frame([]byte{0, '{', '}'})},
+		{"dangling continuation", frame([]byte{flagMore, '{'})},
+		{"corrupt deflate body", frame([]byte{flagDeflate, 1, 2, 3})},
+		{"deflate bomb", bomb},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := readMsg(bufio.NewReader(bytes.NewReader(tc.data)))
+			if err == nil {
+				t.Fatalf("accepted malformed input: %+v", m)
+			}
+			if !errors.Is(err, ErrProtocol) {
+				t.Fatalf("want ErrProtocol, got %v", err)
+			}
+		})
+	}
+}
+
+// corrupt flips one bit in the frame body (past the length prefix) so
+// the CRC check must catch it.
+func corrupt(wire []byte) []byte {
+	out := append([]byte(nil), wire...)
+	out[len(out)-1] ^= 0x40
+	return out
+}
+
+func TestReadMsgCleanEOF(t *testing.T) {
+	if _, err := readMsg(bufio.NewReader(bytes.NewReader(nil))); err != io.EOF {
+		t.Fatalf("empty stream: want io.EOF, got %v", err)
+	}
+}

@@ -1,0 +1,45 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"teledrive/internal/campaign"
+	"teledrive/internal/questionnaire"
+	"teledrive/internal/rds"
+)
+
+// WriteCampaignReport renders the full campaign report — Tables I–IV,
+// the collision analysis, the questionnaire summary, the significance
+// tests, and the Fig-4 steering profile — in the canonical order. Both
+// `campaign` and `campaignd` print through this one function, so a
+// distributed run's stdout is byte-identical to the in-process run's
+// (the distributed-equivalence test diffs the two byte streams).
+//
+// fig4Subject may be "auto" (pick the largest task-time inflation for
+// fig4Scenario); an unknown subject or empty profile silently skips the
+// figure, matching the historical CLI behavior.
+func WriteCampaignReport(w io.Writer, res *campaign.Result, fig4Subject string, fig4Scenario int) {
+	WriteTableI(w, rds.PaperStation())
+	fmt.Fprintln(w)
+	WriteTableII(w, res.BuildTableII())
+	fmt.Fprintln(w)
+	WriteTableIII(w, res.BuildTableIII())
+	fmt.Fprintln(w)
+	WriteTableIV(w, res.BuildTableIV())
+	fmt.Fprintln(w)
+	WriteCollisionAnalysis(w, res.BuildCollisionAnalysis())
+	fmt.Fprintln(w)
+	WriteQuestionnaire(w, questionnaire.Summarize(res))
+	fmt.Fprintln(w)
+	WriteSignificance(w, res.BuildSignificance())
+	fmt.Fprintln(w)
+	if fig4Subject == "auto" {
+		if name, ok := res.Fig4AutoSubject(fig4Scenario); ok {
+			fig4Subject = name
+		}
+	}
+	if fig, ok := res.BuildFig4(fig4Subject, fig4Scenario); ok {
+		WriteFig4(w, fig)
+	}
+}
