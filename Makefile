@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race race-dist fuzz check bench fingerprint fingerprint-update
+.PHONY: build test vet lint lint-json race race-dist fuzz check ci bench fingerprint fingerprint-update
 
 # Tier-1 verification: everything must build, vet clean, lint clean,
 # and pass.
@@ -10,12 +10,22 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Determinism linter (cmd/teledrive-lint): four repo-specific rules —
-# wallclock, globalrand, maporderfloat, floateq — that machine-check
-# the invariants the golden/faulty comparison depends on. See
-# internal/analysis and DESIGN.md §6.
+# Determinism and concurrency linter (cmd/teledrive-lint): nine
+# repo-specific rules — wallclock, globalrand, maporderfloat, floateq,
+# atomicmix, goroutineleak, errswallow, exhaustiveenvelope,
+# locksimclock — that machine-check the invariants the golden/faulty
+# comparison and the distributed campaign service depend on. See
+# internal/analysis and DESIGN.md §6, §12.
 lint:
 	$(GO) run ./cmd/teledrive-lint ./...
+
+# Machine-readable lint results: the same run as `lint`, emitted as a
+# (file, line, column, rule)-sorted JSON array in LINT.json —
+# byte-identical across runs on the same tree, so CI can diff it.
+# `|| true` keeps the artifact writable when findings exist; the `lint`
+# target is the gate.
+lint-json:
+	$(GO) run ./cmd/teledrive-lint -json ./... > LINT.json || true
 
 test: vet lint
 	$(GO) test ./...
@@ -23,9 +33,12 @@ test: vet lint
 # Race-detector pass over every package. The campaign worker pool, the
 # core run path, and the validity sweep pool carry the concurrency, and
 # their determinism tests exercise multi-worker execution under the
-# detector; running ./... keeps any future concurrency covered too.
+# detector. internal/campaignd runs in -short mode here: the tracker
+# ledger, journal, and wire codec race on every check, while the
+# multi-second localhost-TCP campaign battery stays in race-dist.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race $$($(GO) list ./... | grep -v internal/campaignd)
+	$(GO) test -race -short ./internal/campaignd
 
 # Distributed-campaign battery under the race detector: the campaignd
 # coordinator/worker protocol, the chaos suite (worker kill, coordinator
@@ -53,6 +66,12 @@ fuzz:
 # Everything a PR must survive: compile, static checks, determinism
 # lint, race-clean tests, and the short fuzz budget.
 check: build vet lint race fuzz
+
+# One-command CI gate: build + vet + lint + race + fingerprint, in
+# order, stopping at the first failure (scripts/ci.sh). Fuzz and the
+# full distributed battery are the slower `check`/`race-dist` add-ons.
+ci:
+	./scripts/ci.sh
 
 # Machine-readable benchmark run: every benchmark (substrate
 # microbenches, table/figure reproductions, ablations), five interleaved

@@ -1,23 +1,35 @@
-// Command teledrive-lint runs the repo's determinism linter: four
-// static-analysis rules (wallclock, globalrand, maporderfloat, floateq)
-// that machine-check the invariants the campaign methodology depends on
-// — see internal/analysis and DESIGN.md §6.
+// Command teledrive-lint runs the repo's determinism and concurrency
+// linter: nine static-analysis rules (wallclock, globalrand,
+// maporderfloat, floateq, atomicmix, goroutineleak, errswallow,
+// exhaustiveenvelope, locksimclock) that machine-check the invariants
+// the campaign methodology depends on — see internal/analysis and
+// DESIGN.md §6 and §12.
 //
 // Usage:
 //
-//	teledrive-lint [-v] [packages ...]
+//	teledrive-lint [-v] [-json] [packages ...]
 //
 // Package patterns are directories; a trailing /... recurses. The
 // default is ./... from the current directory. Exit status: 0 clean,
 // 1 diagnostics found, 2 the linter itself failed.
 //
-// Diagnostics print as `file:line: [rule] message`; suppress a
-// deliberate violation in place with `//lint:allow <rule> <reason>`.
+// Diagnostics print as `file:line: [rule] message`, or with -json as a
+// JSON array sorted by (file, line, column, rule) — byte-identical
+// across runs on the same tree. Suppress a deliberate violation in
+// place with `//lint:allow <rule>[,<rule>...] <reason>`.
+//
+// Fixture and support trees — testdata/, hidden and underscore
+// directories, and examples/internal — are never linted: the recursive
+// walk prunes them and explicitly naming one is an error, so fixture
+// packages (which violate the rules on purpose) cannot leak into a run
+// either way.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -31,10 +43,11 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr *os.File) int {
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("teledrive-lint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	verbose := fs.Bool("v", false, "report package count and elapsed wall-clock time")
+	asJSON := fs.Bool("json", false, "emit diagnostics as a sorted JSON array")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -80,12 +93,36 @@ func run(args []string, stdout, stderr *os.File) int {
 		packages++
 		all = append(all, diags...)
 	}
-	for _, d := range all {
-		file := d.Pos.Filename
+	relativize := func(file string) string {
 		if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
-			file = rel
+			return filepath.ToSlash(rel)
 		}
-		fmt.Fprintf(stdout, "%s:%d: [%s] %s\n", file, d.Pos.Line, d.Rule, d.Message)
+		return file
+	}
+	// Per-package diagnostics arrive position-sorted; the global order
+	// must not depend on how packages interleave, so re-sort the union.
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	if *asJSON {
+		if err := writeJSON(stdout, all, relativize); err != nil {
+			fmt.Fprintln(stderr, "teledrive-lint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range all {
+			fmt.Fprintf(stdout, "%s:%d: [%s] %s\n", relativize(d.Pos.Filename), d.Pos.Line, d.Rule, d.Message)
+		}
 	}
 	elapsed := time.Since(started) //lint:allow wallclock timing the lint pass itself for EXPERIMENTS.md, not simulation state
 	if *verbose {
@@ -98,6 +135,39 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 1
 	}
 	return 0
+}
+
+// jsonDiag is the machine-readable diagnostic shape. Field order is
+// fixed; together with the (file, line, column, rule) sort this makes
+// -json output byte-identical across runs on the same tree.
+type jsonDiag struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// writeJSON renders the diagnostics as an indented JSON array (never
+// null: an empty run emits []).
+func writeJSON(w io.Writer, diags []analysis.Diagnostic, relativize func(string) string) error {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			File:    relativize(d.Pos.Filename),
+			Line:    d.Pos.Line,
+			Column:  d.Pos.Column,
+			Rule:    d.Rule,
+			Message: d.Message,
+		})
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
 }
 
 // findModuleRoot walks up from dir to the nearest go.mod.
@@ -114,9 +184,35 @@ func findModuleRoot(dir string) (string, error) {
 	}
 }
 
-// expandPatterns resolves directory patterns into a sorted, de-duplicated
-// list of package directories containing non-test Go files. testdata
-// trees and hidden directories are skipped, mirroring the go tool.
+// skippedPath reports whether any segment of path names a tree the
+// linter never enters: testdata fixtures, hidden and underscore
+// directories, and the examples/internal support tree. The "." and ".."
+// navigation segments are NOT hidden directories — treating ".." as one
+// is the bug that silently skipped entire walks rooted above the
+// current directory.
+func skippedPath(path string) bool {
+	segs := strings.Split(filepath.ToSlash(filepath.Clean(path)), "/")
+	for i, seg := range segs {
+		switch {
+		case seg == "." || seg == "..":
+			continue
+		case seg == "testdata":
+			return true
+		case len(seg) > 1 && (seg[0] == '.' || seg[0] == '_'):
+			return true
+		case seg == "internal" && i > 0 && segs[i-1] == "examples":
+			return true
+		}
+	}
+	return false
+}
+
+// expandPatterns resolves directory patterns into a sorted,
+// de-duplicated list of package directories containing non-test Go
+// files. Both the recursive walk and explicitly named paths apply the
+// same skippedPath rule, so fixture packages cannot leak into a run by
+// being named directly; naming one is a hard error rather than a silent
+// no-op.
 func expandPatterns(patterns []string) ([]string, error) {
 	seen := make(map[string]bool)
 	var dirs []string
@@ -134,6 +230,9 @@ func expandPatterns(patterns []string) ([]string, error) {
 			if root == "" {
 				root = "."
 			}
+			if skippedPath(root) {
+				return nil, fmt.Errorf("%s is inside a tree the linter skips (testdata, hidden, or examples/internal)", pat)
+			}
 			err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
 				if err != nil {
 					return err
@@ -141,8 +240,7 @@ func expandPatterns(patterns []string) ([]string, error) {
 				if !d.IsDir() {
 					return nil
 				}
-				name := d.Name()
-				if name == "testdata" || (len(name) > 1 && (name[0] == '.' || name[0] == '_')) {
+				if path != root && skippedPath(path) {
 					return filepath.SkipDir
 				}
 				if hasLintableFiles(path) {
@@ -154,6 +252,9 @@ func expandPatterns(patterns []string) ([]string, error) {
 				return nil, err
 			}
 			continue
+		}
+		if skippedPath(pat) {
+			return nil, fmt.Errorf("%s is inside a tree the linter skips (testdata, hidden, or examples/internal)", pat)
 		}
 		if !hasLintableFiles(pat) {
 			return nil, fmt.Errorf("no non-test Go files in %s", pat)

@@ -18,6 +18,26 @@
 //	              associative, so sums differ run to run).
 //	floateq       no ==/!= between floating-point operands.
 //
+// PR 7 adds a concurrency-safety and protocol-invariant family. The
+// distributed campaign service (PR 6) moved the failure modes from
+// "wrong number" to "wedged fleet": a mixed atomic/plain counter read,
+// a leaked pump goroutine, a swallowed journal write, a wire switch
+// that silently drops an unknown message kind, or a tick-path mutex
+// held across a channel send each corrupt a campaign in ways no unit
+// test reliably catches:
+//
+//	atomicmix          a variable accessed via sync/atomic in one place
+//	                   must use sync/atomic at every access.
+//	goroutineleak      a `go` statement must have a termination path
+//	                   (return, quit-channel select, bounded loop).
+//	errswallow         write-path method errors (Write*/Encode/Flush/
+//	                   Sync, io.Writer receivers) must not be discarded.
+//	exhaustiveenvelope a switch over an enum (wire msg kind, session
+//	                   phase) covers all constants or rejects unknowns
+//	                   via default (the ErrProtocol rule).
+//	locksimclock       no blocking operation while holding a mutex a
+//	                   simclock tick path also locks.
+//
 // Legitimate sites (wall-clock measurement of the bench itself, live
 // demo loops) are annotated in place:
 //
@@ -63,6 +83,11 @@ func Analyzers() []*Analyzer {
 		GlobalRandAnalyzer,
 		MapOrderFloatAnalyzer,
 		FloatEqAnalyzer,
+		AtomicMixAnalyzer,
+		GoroutineLeakAnalyzer,
+		ErrSwallowAnalyzer,
+		ExhaustiveEnvelopeAnalyzer,
+		LockSimclockAnalyzer,
 	}
 }
 

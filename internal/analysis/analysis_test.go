@@ -19,9 +19,17 @@ var fixtureDirs = []string{
 	"globalrand",
 	"maporderfloat",
 	"floateq",
+	"atomicmix",
+	"goroutineleak",
+	"errswallow",
+	"exhaustiveenvelope",
+	"locksimclock",
 	"suppress",
 	"clean",
 	"internal/simclock",
+	"loadparse",
+	"loadimport",
+	"loadtype",
 }
 
 func TestFixtures(t *testing.T) {
@@ -52,6 +60,7 @@ func TestRepoIsClean(t *testing.T) {
 		t.Fatal(err)
 	}
 	var failures []string
+	linted := 0
 	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
@@ -59,14 +68,21 @@ func TestRepoIsClean(t *testing.T) {
 		if !d.IsDir() {
 			return nil
 		}
-		name := d.Name()
-		if name == "testdata" || (len(name) > 1 && (name[0] == '.' || name[0] == '_')) {
-			return filepath.SkipDir
+		// The skip test must not apply to the walk root itself: its
+		// basename here is "..", which the hidden-dir rule would match
+		// and silently skip the entire repository (the regression that
+		// made this test vacuous until PR 7).
+		if path != root {
+			name := d.Name()
+			if name == "testdata" || (len(name) > 1 && (name[0] == '.' || name[0] == '_')) {
+				return filepath.SkipDir
+			}
 		}
 		diags, err := loader.LintDir(path, Analyzers())
 		if err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}
+		linted++
 		for _, dg := range diags {
 			failures = append(failures, dg.String())
 		}
@@ -74,6 +90,9 @@ func TestRepoIsClean(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if linted < 10 {
+		t.Fatalf("walk visited only %d directories — the repo walk is broken (vacuous pass)", linted)
 	}
 	for _, f := range failures {
 		t.Errorf("unsuppressed violation: %s", f)

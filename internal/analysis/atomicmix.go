@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMixAnalyzer flags variables (struct fields and package-level
+// vars) that are accessed through sync/atomic in one place and by plain
+// read/write in another — within the same package, which is where Go
+// encapsulation keeps a field's accessors. Mixed access is the classic
+// silent race: the plain load can read a torn or stale value and the
+// race detector only catches it when the schedule cooperates, while the
+// campaign's telemetry counters (the heaviest atomic users here) must
+// stay exact under any worker interleaving. Identity is resolved with
+// go/types, so shadowing, embedding, and aliased imports do not fool
+// the check. Deliberate single-goroutine fast paths carry a
+// //lint:allow atomicmix annotation with the ownership argument.
+var AtomicMixAnalyzer = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "forbid mixing sync/atomic access with plain reads/writes of the same variable",
+	Run:  runAtomicMix,
+}
+
+// atomicAddrFns are the sync/atomic functions whose first argument is
+// the address of the shared variable.
+var atomicAddrFns = map[string]bool{
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true, "AddUintptr": true,
+	"LoadInt32": true, "LoadInt64": true, "LoadUint32": true, "LoadUint64": true, "LoadUintptr": true, "LoadPointer": true,
+	"StoreInt32": true, "StoreInt64": true, "StoreUint32": true, "StoreUint64": true, "StoreUintptr": true, "StorePointer": true,
+	"SwapInt32": true, "SwapInt64": true, "SwapUint32": true, "SwapUint64": true, "SwapUintptr": true, "SwapPointer": true,
+	"CompareAndSwapInt32": true, "CompareAndSwapInt64": true, "CompareAndSwapUint32": true,
+	"CompareAndSwapUint64": true, "CompareAndSwapUintptr": true, "CompareAndSwapPointer": true,
+}
+
+func runAtomicMix(pass *Pass) {
+	if pass.Info == nil {
+		return
+	}
+	// First walk: every &x passed to an atomic function marks x's object
+	// as atomically accessed, and the selector/ident node itself as
+	// sanctioned (so the second walk does not count it as plain access).
+	atomicAt := make(map[types.Object]token.Pos) // first atomic site per object
+	sanctioned := make(map[ast.Expr]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !atomicAddrFns[sel.Sel.Name] {
+				return true
+			}
+			pkgID, ok := sel.X.(*ast.Ident)
+			if !ok || !pass.isPkgIdent(file, pkgID, "sync/atomic") {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			target := ast.Unparen(addr.X)
+			obj := pass.accessedObject(target)
+			if obj == nil {
+				return true
+			}
+			if _, seen := atomicAt[obj]; !seen {
+				atomicAt[obj] = call.Pos()
+			}
+			sanctioned[target] = true
+			return true
+		})
+	}
+	if len(atomicAt) == 0 {
+		return
+	}
+	// Second walk: any other use of those objects is a plain access.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			expr, ok := n.(ast.Expr)
+			if !ok || sanctioned[expr] {
+				return true
+			}
+			var obj types.Object
+			switch e := expr.(type) {
+			case *ast.SelectorExpr:
+				obj = pass.accessedObject(e)
+			case *ast.Ident:
+				// Only package-level vars reach atomicAt via bare idents;
+				// field accesses always come through a SelectorExpr (whose
+				// Sel ident must not be double-counted here).
+				if use, ok := pass.Info.Uses[e]; ok {
+					if v, isVar := use.(*types.Var); isVar && !v.IsField() {
+						obj = use
+					}
+				}
+			default:
+				return true
+			}
+			if obj == nil {
+				return true
+			}
+			first, isAtomic := atomicAt[obj]
+			if !isAtomic || sanctioned[expr] {
+				return true
+			}
+			pass.Reportf(expr.Pos(), "atomicmix",
+				"%s is accessed via sync/atomic at %s but plainly here; every access must go through sync/atomic (or prove single-goroutine ownership with %s atomicmix <reason>)",
+				obj.Name(), pass.Fset.Position(first), allowPrefix)
+			return false // don't descend into the selector's own idents
+		})
+	}
+}
+
+// accessedObject resolves the variable object an expression reads or
+// writes: the field for a selector, the var for an identifier. Returns
+// nil for anything else (calls, indexes of computed values, ...).
+func (p *Pass) accessedObject(e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if selInfo, ok := p.Info.Selections[x]; ok {
+			if v, ok := selInfo.Obj().(*types.Var); ok && v.IsField() {
+				return v
+			}
+			return nil
+		}
+		// Qualified identifier (pkg.Var).
+		if obj, ok := p.Info.Uses[x.Sel]; ok {
+			if v, ok := obj.(*types.Var); ok {
+				return v
+			}
+		}
+	case *ast.Ident:
+		if obj, ok := p.Info.Uses[x]; ok {
+			if v, ok := obj.(*types.Var); ok {
+				return v
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ErrSwallowAnalyzer flags discarded error results on write-path method
+// calls: bare-statement or blank-assigned calls to Write*/Encode/Flush/
+// Sync methods, and to any method of a type that implements io.Writer.
+// The repo's journals, wire writers, and trace encoders follow the
+// sticky-error pattern — the first lost write error turns every later
+// frame into garbage that only surfaces as a fingerprint mismatch three
+// stages downstream. A genuinely best-effort write (a farewell message
+// on a dying connection) is annotated //lint:allow errswallow with the
+// argument for why the error is unrecoverable anyway.
+//
+// Plain functions (fmt.Fprintf, ...) are deliberately out of scope: the
+// rule targets the package's own writer objects, where a swallowed
+// error breaks the sticky-error chain, not terminal output.
+var ErrSwallowAnalyzer = &Analyzer{
+	Name: "errswallow",
+	Doc:  "forbid discarding the error result of writer/encoder/journal method calls",
+	Run:  runErrSwallow,
+}
+
+// writeMethodNames are method names whose error result is load-bearing
+// regardless of the receiver's type.
+var writeMethodNames = map[string]bool{
+	"Encode": true, "Flush": true, "Sync": true,
+}
+
+// ioWriterIface is a hand-built io.Writer, so the check does not need
+// to load the io package for every fixture: interface{ Write([]byte)
+// (int, error) }.
+var ioWriterIface = func() *types.Interface {
+	params := types.NewTuple(types.NewVar(token.NoPos, nil, "p", types.NewSlice(types.Typ[types.Byte])))
+	results := types.NewTuple(
+		types.NewVar(token.NoPos, nil, "n", types.Typ[types.Int]),
+		types.NewVar(token.NoPos, nil, "err", types.Universe.Lookup("error").Type()),
+	)
+	sig := types.NewSignatureType(nil, nil, nil, params, results, false)
+	iface := types.NewInterfaceType([]*types.Func{types.NewFunc(token.NoPos, nil, "Write", sig)}, nil)
+	iface.Complete()
+	return iface
+}()
+
+func runErrSwallow(pass *Pass) {
+	if pass.Info == nil {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = s.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = s.Call
+			case *ast.AssignStmt:
+				if len(s.Rhs) != 1 || !allBlank(s.Lhs) {
+					return true
+				}
+				call, _ = s.Rhs[0].(*ast.CallExpr)
+			default:
+				return true
+			}
+			if call == nil {
+				return true
+			}
+			if name, ok := pass.swallowedWriteError(call); ok {
+				pass.Reportf(call.Pos(), "errswallow",
+					"error result of %s is discarded; write-path errors are sticky — check it, or annotate a best-effort write with %s errswallow <reason>",
+					name, allowPrefix)
+			}
+			return true
+		})
+	}
+}
+
+// allBlank reports whether every assignment target is the blank
+// identifier — the `_ = w.Flush()` and `_, _ = w.Write(b)` shapes.
+func allBlank(lhs []ast.Expr) bool {
+	for _, e := range lhs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}
+
+// swallowedWriteError reports whether call is a method call whose final
+// result is an error and whose receiver/name marks it as a write-path
+// operation. Returns a printable name for the diagnostic.
+func (p *Pass) swallowedWriteError(call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	selInfo, ok := p.Info.Selections[sel]
+	if !ok || selInfo.Kind() != types.MethodVal {
+		return "", false // qualified function or field access, not a method
+	}
+	sig, ok := selInfo.Obj().Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return "", false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	if !types.Identical(last, types.Universe.Lookup("error").Type()) {
+		return "", false
+	}
+	recv := selInfo.Recv()
+	name := sel.Sel.Name
+	switch receiverPkgPath(recv) {
+	case "strings", "bytes", "hash":
+		// Builder, Buffer, and Hash writes are documented to never
+		// return a non-nil error; flagging them trains people to write
+		// meaningless checks.
+		return "", false
+	case "bufio":
+		// bufio.Writer latches its first error and re-reports it from
+		// every later call; the mandatory checkpoint is Flush, which
+		// stays in scope.
+		if name != "Flush" {
+			return "", false
+		}
+	}
+	writeish := writeMethodNames[name] ||
+		strings.HasPrefix(name, "Write") || strings.HasPrefix(name, "write")
+	if !writeish {
+		if benignWriterMethods[name] {
+			return "", false
+		}
+		if !types.Implements(recv, ioWriterIface) &&
+			!types.Implements(types.NewPointer(recv), ioWriterIface) {
+			return "", false
+		}
+	}
+	return types.ExprString(sel), true
+}
+
+// benignWriterMethods are error-returning methods on writer types whose
+// discarded error is conventional, not a broken sticky-error chain:
+// teardown and deadline bookkeeping, not payload writes.
+var benignWriterMethods = map[string]bool{
+	"Close": true, "CloseRead": true, "CloseWrite": true,
+	"SetDeadline": true, "SetReadDeadline": true, "SetWriteDeadline": true,
+}
+
+// receiverPkgPath returns the import path of the package declaring the
+// receiver's (pointer-stripped) named type, or "" when there is none.
+func receiverPkgPath(recv types.Type) string {
+	t := recv
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path()
+}

@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ExhaustiveEnvelopeAnalyzer enforces the ErrProtocol rule on enum
+// switches: a switch over a wire-message kind or observer-event kind
+// must either cover every declared constant of the enum or carry a
+// default clause that handles (rejects) unknown values. The failure
+// mode it guards is protocol drift — a new msg kind or session phase is
+// added, the compiler stays silent, and the peer that doesn't know the
+// kind drops it on the floor instead of failing the connection with
+// ErrProtocol.
+//
+// Two enum shapes are recognized:
+//
+//   - a named defined type with a basic underlying type (MsgType,
+//     session.Phase): the family is every package-level constant of
+//     exactly that type, wherever the type is declared;
+//   - untyped or plain-basic constants (the campaignd msg.T strings):
+//     the family is the const declaration group (one `const (...)`
+//     block) the case constants come from, provided all of them come
+//     from the same group.
+//
+// A switch whose cases are literals or non-constants is out of scope.
+// An intentionally partial switch (a filter, not a dispatcher) is
+// annotated //lint:allow exhaustiveenvelope with the reason.
+var ExhaustiveEnvelopeAnalyzer = &Analyzer{
+	Name: "exhaustiveenvelope",
+	Doc:  "require enum switches to cover all declared constants or reject unknowns via default",
+	Run:  runExhaustiveEnvelope,
+}
+
+func runExhaustiveEnvelope(pass *Pass) {
+	if pass.Info == nil {
+		return
+	}
+	groups := pass.constGroups()
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			pass.checkEnumSwitch(sw, groups)
+			return true
+		})
+	}
+}
+
+// constGroup identifies one `const (...)` declaration block.
+type constGroup struct {
+	id      int
+	members []*types.Const // declaration order
+}
+
+// constGroups maps every package-level constant object to its
+// declaration group, so string-keyed enums (no named type) can be
+// reconstructed.
+func (p *Pass) constGroups() map[types.Object]*constGroup {
+	byObj := make(map[types.Object]*constGroup)
+	id := 0
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			group := &constGroup{id: id}
+			id++
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if c, ok := p.Info.Defs[name].(*types.Const); ok && name.Name != "_" {
+						group.members = append(group.members, c)
+						byObj[c] = group
+					}
+				}
+			}
+		}
+	}
+	return byObj
+}
+
+// checkEnumSwitch resolves the switch's case constants, derives the
+// enum family, and reports partial coverage without a default.
+func (p *Pass) checkEnumSwitch(sw *ast.SwitchStmt, groups map[types.Object]*constGroup) {
+	var caseConsts []*types.Const
+	var defaultClause *ast.CaseClause
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			defaultClause = cc
+			continue
+		}
+		for _, e := range cc.List {
+			if c := p.constOf(e); c != nil {
+				caseConsts = append(caseConsts, c)
+			}
+		}
+	}
+	if len(caseConsts) == 0 {
+		return // literal or non-constant cases: not an enum dispatch
+	}
+
+	family, enumName := p.enumFamily(sw.Tag, caseConsts, groups)
+	if len(family) < 2 {
+		return // a single constant is a sentinel, not an enum
+	}
+
+	covered := make(map[types.Object]bool, len(caseConsts))
+	for _, c := range caseConsts {
+		covered[c] = true
+	}
+	var missing []string
+	for _, m := range family {
+		if !covered[m] {
+			missing = append(missing, m.Name())
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+
+	if defaultClause == nil {
+		p.Reportf(sw.Pos(), "exhaustiveenvelope",
+			"switch on %s covers %d of %d values (missing %s) and has no default; add the cases or a default that rejects unknown values, or mark a deliberate filter with %s exhaustiveenvelope <reason>",
+			enumName, len(family)-len(missing), len(family), strings.Join(missing, ", "), allowPrefix)
+		return
+	}
+	if len(defaultClause.Body) == 0 {
+		p.Reportf(defaultClause.Pos(), "exhaustiveenvelope",
+			"empty default on a partial switch over %s (missing %s) silently drops unknown values; reject them (ErrProtocol) or handle them explicitly",
+			enumName, strings.Join(missing, ", "))
+	}
+}
+
+// constOf resolves a case expression to a declared constant object:
+// a bare identifier or a pkg-qualified selector. Literals return nil.
+func (p *Pass) constOf(e ast.Expr) *types.Const {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		c, _ := p.Info.Uses[x].(*types.Const)
+		return c
+	case *ast.SelectorExpr:
+		c, _ := p.Info.Uses[x.Sel].(*types.Const)
+		return c
+	}
+	return nil
+}
+
+// enumFamily derives the full constant family the switch dispatches
+// over, plus a printable enum name for the diagnostic.
+func (p *Pass) enumFamily(tag ast.Expr, caseConsts []*types.Const, groups map[types.Object]*constGroup) ([]*types.Const, string) {
+	// Shape 1: named defined type with basic underlying — collect every
+	// package-scope constant of exactly that type from its home package.
+	if named, ok := p.typeOf(tag).(*types.Named); ok {
+		if _, basic := named.Underlying().(*types.Basic); basic && named.Obj().Pkg() != nil {
+			scope := named.Obj().Pkg().Scope()
+			var family []*types.Const
+			names := scope.Names() // already sorted
+			for _, name := range names {
+				if c, ok := scope.Lookup(name).(*types.Const); ok && types.Identical(c.Type(), named) {
+					family = append(family, c)
+				}
+			}
+			return family, named.Obj().Name()
+		}
+		return nil, ""
+	}
+	// Shape 2: basic-typed tag — the family is the const group shared by
+	// ALL resolved case constants (a group is one `const (...)` block in
+	// this package).
+	group := groups[caseConsts[0]]
+	if group == nil {
+		return nil, ""
+	}
+	for _, c := range caseConsts[1:] {
+		if groups[c] != group {
+			return nil, "" // mixed origins: not one enum
+		}
+	}
+	return group.members, "the " + group.members[0].Name() + " const group"
+}

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"slices"
 	"strings"
 	"testing"
 )
@@ -18,6 +19,11 @@ func FuzzParseAllow(f *testing.F) {
 	f.Add("//lint:allowance prose")
 	f.Add("//lint:allow\twallclock\ttabbed reason")
 	f.Add("//lint:allow wallclock \x00 binary reason")
+	f.Add("//lint:allow wallclock,globalrand one site trips both rules")
+	f.Add("//lint:allow wallclock,globalrand,floateq demo loop")
+	f.Add("//lint:allow wallclock, space after comma")
+	f.Add("//lint:allow wallclock,,globalrand doubled comma")
+	f.Add("//lint:allow ,wallclock leading comma")
 	f.Add("")
 
 	known := RuleNames()
@@ -28,7 +34,7 @@ func FuzzParseAllow(f *testing.F) {
 			if err != nil {
 				t.Fatalf("unmatched comment returned error: %v", err)
 			}
-			if allow != (Allow{}) {
+			if allow.Rules != nil || allow.Reason != "" {
 				t.Fatalf("unmatched comment returned payload: %+v", allow)
 			}
 			if strings.HasPrefix(text, allowPrefix+" ") {
@@ -42,17 +48,22 @@ func FuzzParseAllow(f *testing.F) {
 		if err != nil {
 			return
 		}
-		// A successful parse yields a known rule and a normalized,
+		// A successful parse yields known rules and a normalized,
 		// non-empty reason…
-		if !known[allow.Rule] {
-			t.Fatalf("parsed unknown rule %q from %q", allow.Rule, text)
+		if len(allow.Rules) == 0 {
+			t.Fatalf("parsed zero rules without error from %q", text)
+		}
+		for _, rule := range allow.Rules {
+			if !known[rule] {
+				t.Fatalf("parsed unknown rule %q from %q", rule, text)
+			}
 		}
 		if allow.Reason == "" || allow.Reason != strings.Join(strings.Fields(allow.Reason), " ") {
 			t.Fatalf("reason %q not normalized (from %q)", allow.Reason, text)
 		}
 		// …and reconstructing the directive round-trips exactly.
-		re, matched2, err2 := ParseAllow(allowPrefix+" "+allow.Rule+" "+allow.Reason, known)
-		if !matched2 || err2 != nil || re != allow {
+		re, matched2, err2 := ParseAllow(allowPrefix+" "+strings.Join(allow.Rules, ",")+" "+allow.Reason, known)
+		if !matched2 || err2 != nil || !slices.Equal(re.Rules, allow.Rules) || re.Reason != allow.Reason {
 			t.Fatalf("round-trip of %+v gave %+v (matched=%v err=%v)", allow, re, matched2, err2)
 		}
 	})

@@ -1,0 +1,232 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroutineLeakAnalyzer flags `go` statements that launch a goroutine
+// with no termination path: a function whose body contains an
+// unconditional `for` loop from which no statement can ever exit — no
+// return, no break targeting the loop, no goto, no panic/os.Exit. Such
+// a goroutine outlives the work that spawned it; in a campaign process
+// thousands of leaked pumps accumulate until the scheduler (and the
+// race detector) drown. Loops that select on a quit channel or
+// ctx.Done() exit through the `return` in that case and are clean; a
+// deliberately process-lifetime goroutine carries a
+// //lint:allow goroutineleak annotation saying who owns its shutdown.
+//
+// The check resolves `go f()` and `go s.method()` to same-package
+// function declarations (via go/types) as well as inline closures;
+// cross-package launches are out of scope for a per-package pass.
+var GoroutineLeakAnalyzer = &Analyzer{
+	Name: "goroutineleak",
+	Doc:  "forbid goroutines whose body loops forever with no return/break/quit-channel exit",
+	Run:  runGoroutineLeak,
+}
+
+func runGoroutineLeak(pass *Pass) {
+	decls := pass.funcDecls()
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := pass.goBody(gs, decls)
+			if body == nil {
+				return true
+			}
+			if loop := findInescapableLoop(body); loop != nil {
+				pass.Reportf(gs.Pos(), "goroutineleak",
+					"goroutine has no termination path: the loop at %s can never exit; select on a quit channel or ctx.Done() and return, or annotate a process-lifetime goroutine with %s goroutineleak <reason>",
+					pass.Fset.Position(loop.Pos()), allowPrefix)
+			}
+			return true
+		})
+	}
+}
+
+// funcDecls indexes the package's function declarations by their
+// types.Func object, so `go f()` can be traced to f's body.
+func (p *Pass) funcDecls() map[types.Object]*ast.FuncDecl {
+	decls := make(map[types.Object]*ast.FuncDecl)
+	if p.Info == nil {
+		return decls
+	}
+	for _, file := range p.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj := p.Info.Defs[fd.Name]; obj != nil {
+				decls[obj] = fd
+			}
+		}
+	}
+	return decls
+}
+
+// goBody resolves the body of the function a go statement launches:
+// an inline closure directly, or a same-package declaration through the
+// type checker. nil when the callee is out of reach (another package, a
+// function value).
+func (p *Pass) goBody(gs *ast.GoStmt, decls map[types.Object]*ast.FuncDecl) *ast.BlockStmt {
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if p.Info != nil {
+			if obj, ok := p.Info.Uses[fun]; ok {
+				if fd := decls[obj]; fd != nil {
+					return fd.Body
+				}
+			}
+		}
+	case *ast.SelectorExpr:
+		if p.Info != nil {
+			if obj, ok := p.Info.Uses[fun.Sel]; ok {
+				if fd := decls[obj]; fd != nil {
+					return fd.Body
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// findInescapableLoop returns the first unconditional for loop in body
+// (not inside a nested function literal) that no statement can exit, or
+// nil when every loop terminates or can be escaped.
+func findInescapableLoop(body *ast.BlockStmt) *ast.ForStmt {
+	var found *ast.ForStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // runs on its own goroutine/time; not this body
+		}
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil {
+			return true
+		}
+		if !loopCanExit(loop) {
+			found = loop
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// loopCanExit reports whether an unconditional `for { }` loop has any
+// escape: a return, a goto, a panic/os.Exit-style call, or a break that
+// targets this loop (an unlabeled break inside a nested for, select,
+// switch, or type switch targets the inner statement and does NOT
+// escape — the `for { select { case <-ch: break } }` trap).
+func loopCanExit(loop *ast.ForStmt) bool {
+	var label string
+	// A labeled loop can be exited from nested statements via its label.
+	// The parent walk does not hand us the label, so accept any labeled
+	// break/continue naming an enclosing statement as an escape — the
+	// label must refer to an enclosing loop for the program to compile,
+	// and escaping to ANY enclosing loop leaves this one.
+	_ = label
+	exits := false
+	var walk func(n ast.Node, breakable bool)
+	walk = func(n ast.Node, breakTargetsLoop bool) {
+		if n == nil || exits {
+			return
+		}
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return // separate body
+		case *ast.ReturnStmt:
+			exits = true
+			return
+		case *ast.BranchStmt:
+			switch {
+			case s.Label != nil:
+				// Labeled break/continue/goto: targets an enclosing
+				// statement, so control leaves this loop body.
+				exits = true
+			case s.Tok.String() == "break" && breakTargetsLoop:
+				exits = true
+			case s.Tok.String() == "goto":
+				exits = true
+			}
+			return
+		case *ast.CallExpr:
+			if isTerminalCall(s) {
+				exits = true
+				return
+			}
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SelectStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt:
+			// Unlabeled break inside these targets them, not our loop.
+			for _, child := range childStatements(n) {
+				walk(child, false)
+			}
+			return
+		}
+		// Generic descent preserving the break context.
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == n || exits {
+				return c == n
+			}
+			walk(c, breakTargetsLoop)
+			return false
+		})
+	}
+	for _, stmt := range loop.Body.List {
+		walk(stmt, true)
+		if exits {
+			return true
+		}
+	}
+	return false
+}
+
+// childStatements returns the statement children of a nested breakable
+// construct, so the walk can descend with break-targeting disabled.
+func childStatements(n ast.Node) []ast.Stmt {
+	switch s := n.(type) {
+	case *ast.ForStmt:
+		return s.Body.List
+	case *ast.RangeStmt:
+		return s.Body.List
+	case *ast.SelectStmt:
+		return s.Body.List
+	case *ast.SwitchStmt:
+		return s.Body.List
+	case *ast.TypeSwitchStmt:
+		return s.Body.List
+	default:
+		return nil
+	}
+}
+
+// isTerminalCall reports calls that never return: panic, os.Exit,
+// log.Fatal*, runtime.Goexit.
+func isTerminalCall(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		name := fun.Sel.Name
+		switch pkg.Name {
+		case "os":
+			return name == "Exit"
+		case "log":
+			return name == "Fatal" || name == "Fatalf" || name == "Fatalln"
+		case "runtime":
+			return name == "Goexit"
+		}
+	}
+	return false
+}

@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadErrorPathsDoNotAbort pins the loader's failure contract: an
+// unparseable file, a missing import, and a type-check failure are each
+// reported as [lint] diagnostics while the run continues — LintDir must
+// return diagnostics, not an error, and the surviving files must still
+// be analyzed (each fixture plants a wallclock violation to prove it).
+func TestLoadErrorPathsDoNotAbort(t *testing.T) {
+	loader, err := NewLoader(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range []string{"loadparse", "loadimport", "loadtype"} {
+		t.Run(dir, func(t *testing.T) {
+			diags, err := loader.LintDir(filepath.Join("testdata", "src", dir), Analyzers())
+			if err != nil {
+				t.Fatalf("LintDir aborted: %v", err)
+			}
+			var lint, wallclock bool
+			for _, d := range diags {
+				switch d.Rule {
+				case "lint":
+					lint = true
+				case "wallclock":
+					wallclock = true
+				}
+			}
+			if !lint {
+				t.Errorf("no [lint] diagnostic for the load failure; got %v", diags)
+			}
+			if !wallclock {
+				t.Errorf("load failure stopped analysis: wallclock violation not reported; got %v", diags)
+			}
+		})
+	}
+}
+
+// TestLoadAllFilesUnparseable covers the corner where no file in the
+// package parses at all: the parse diagnostics must still surface (so
+// the run fails loudly) even though there is nothing to analyze.
+func TestLoadAllFilesUnparseable(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "only.go"), []byte("package broken\nfunc (\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := loader.LintDir(dir, Analyzers())
+	if err != nil {
+		t.Fatalf("LintDir aborted: %v", err)
+	}
+	if len(diags) != 1 || diags[0].Rule != "lint" || !strings.Contains(diags[0].Message, "parse failed") {
+		t.Fatalf("want one [lint] parse-failed diagnostic, got %v", diags)
+	}
+}
+
+// TestLoadTypeErrorCap pins the cascade cap: a package with more than
+// maxTypeDiags distinct type errors reports exactly maxTypeDiags of
+// them plus one summary line, so one missing import cannot flood the
+// output.
+func TestLoadTypeErrorCap(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	b.WriteString("package flood\n\n")
+	for i := 0; i < maxTypeDiags+5; i++ {
+		fmt.Fprintf(&b, "var v%d int = %q\n", i, "not an int")
+	}
+	if err := os.WriteFile(filepath.Join(dir, "flood.go"), []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := loader.LintDir(dir, Analyzers())
+	if err != nil {
+		t.Fatalf("LintDir aborted: %v", err)
+	}
+	if len(diags) != maxTypeDiags+1 {
+		t.Fatalf("want %d capped diagnostics + 1 summary, got %d: %v", maxTypeDiags, len(diags), diags)
+	}
+	last := diags[len(diags)-1]
+	if !strings.Contains(last.Message, "further errors") {
+		t.Fatalf("last diagnostic should summarize the truncation, got %v", last)
+	}
+}
+
+// TestLoadDependencyIdentityStable pins the import-cache contract: once
+// a package instance has been vended to dependents, a later direct Load
+// of the same directory must not replace the cached instance. The
+// regression this guards: Load(mid) caches base for importers, a direct
+// Load(base) overwrote the cache with a second instance, and Load(user)
+// — importing both — saw two distinct base packages and reported the
+// nonsensical `cannot use x (*base.T) as *base.T`.
+func TestLoadDependencyIdentityStable(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module example.test/idy\n\ngo 1.21\n")
+	write("base/base.go", "package base\n\ntype T struct{ N int }\n")
+	write("mid/mid.go", `package mid
+
+import "example.test/idy/base"
+
+func Make() *base.T { return &base.T{} }
+`)
+	write("user/user.go", `package user
+
+import (
+	"example.test/idy/base"
+	"example.test/idy/mid"
+)
+
+var V *base.T = mid.Make()
+`)
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The triggering order: dependency-first (mid caches base), then the
+	// direct load of base, then a dependent of both.
+	for _, p := range []string{"mid", "base", "user"} {
+		diags, err := loader.LintDir(filepath.Join(dir, p), Analyzers())
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if len(diags) != 0 {
+			t.Fatalf("%s: unexpected diagnostics (split package identity?): %v", p, diags)
+		}
+	}
+}

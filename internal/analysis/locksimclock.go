@@ -1,0 +1,237 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockSimclockAnalyzer guards the virtual-time axis: no blocking
+// operation (channel send/receive, a select with no default, taking a
+// second lock) may sit inside a critical section of a mutex that a
+// simclock tick path also takes. The simulation advances time from a
+// single tick loop; if the tick goroutine parks on a mutex whose
+// current holder is itself parked on a channel, virtual time freezes
+// and every deadline in the campaign silently stretches — the
+// wall/virtual divergence the paper's method (§IV) exists to prevent.
+//
+// Tick paths are found structurally: functions named *tick*/Step/
+// Advance/OnTick and closures handed to Schedule/ScheduleAt. Mutexes
+// they lock become "tick mutexes"; any critical section of a tick
+// mutex anywhere in the package is then scanned for blocking calls.
+// A section that provably cannot block (e.g. a buffered channel with
+// guaranteed capacity) is annotated //lint:allow locksimclock with the
+// capacity argument.
+var LockSimclockAnalyzer = &Analyzer{
+	Name: "locksimclock",
+	Doc:  "forbid blocking operations while holding a mutex shared with a simclock tick path",
+	Run:  runLockSimclock,
+}
+
+func runLockSimclock(pass *Pass) {
+	if pass.Info == nil {
+		return
+	}
+	tickMutexes := pass.collectTickMutexes()
+	if len(tickMutexes) == 0 {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			pass.scanForHeldBlocking(fd.Body, tickMutexes)
+		}
+	}
+}
+
+// collectTickMutexes finds every mutex object locked somewhere on a
+// tick path, mapped to the position of that tick-path lock for the
+// diagnostic.
+func (p *Pass) collectTickMutexes() map[types.Object]token.Pos {
+	mutexes := make(map[types.Object]token.Pos)
+	record := func(body *ast.BlockStmt) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if obj, method, ok := p.mutexMethodCall(call); ok && (method == "Lock" || method == "RLock") {
+				if _, seen := mutexes[obj]; !seen {
+					mutexes[obj] = call.Pos()
+				}
+			}
+			return true
+		})
+	}
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil && isTickName(fd.Name.Name) {
+				record(fd.Body)
+			}
+		}
+		// Closures scheduled on the simclock are tick path too.
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "Schedule" && sel.Sel.Name != "ScheduleAt") {
+				return true
+			}
+			for _, arg := range call.Args {
+				if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+					record(lit.Body)
+				}
+			}
+			return true
+		})
+	}
+	return mutexes
+}
+
+// isTickName matches the repo's tick-path naming: tick loops, stepper
+// entry points, and scheduler callbacks.
+func isTickName(name string) bool {
+	switch name {
+	case "Step", "Advance", "OnTick":
+		return true
+	}
+	return strings.Contains(strings.ToLower(name), "tick")
+}
+
+// mutexMethodCall matches x.Lock/RLock/Unlock/RUnlock where the method
+// is declared in package sync, returning the object holding the mutex.
+func (p *Pass) mutexMethodCall(call *ast.CallExpr) (types.Object, string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return nil, "", false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, "", false
+	}
+	obj := p.accessedObject(sel.X)
+	if obj == nil {
+		return nil, "", false
+	}
+	return obj, name, true
+}
+
+// scanForHeldBlocking walks every statement list in body, tracking
+// critical sections of tick mutexes and reporting blocking operations
+// inside them.
+func (p *Pass) scanForHeldBlocking(body *ast.BlockStmt, tickMutexes map[types.Object]token.Pos) {
+	var scanList func(list []ast.Stmt, held map[types.Object]token.Pos)
+	scanList = func(list []ast.Stmt, held map[types.Object]token.Pos) {
+		// held is the set of tick mutexes locked on entry to this list
+		// (from an enclosing block); copy so sibling branches don't leak.
+		local := make(map[types.Object]token.Pos, len(held))
+		for k, v := range held {
+			local[k] = v
+		}
+		for _, stmt := range list {
+			switch s := stmt.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					if obj, method, ok := p.mutexMethodCall(call); ok {
+						if tickPos, isTick := tickMutexes[obj]; isTick {
+							switch method {
+							case "Lock", "RLock":
+								local[obj] = tickPos
+								continue
+							case "Unlock", "RUnlock":
+								delete(local, obj)
+								continue
+							}
+						} else if (method == "Lock" || method == "RLock") && len(local) > 0 {
+							p.reportHeldBlocking(call.Pos(), "acquiring a second lock", local)
+							continue
+						}
+					}
+				}
+			case *ast.DeferStmt:
+				// defer mu.Unlock() does not end the critical section for
+				// the rest of this list; nothing to do.
+				continue
+			}
+			p.scanStmtForBlocking(stmt, local, scanList)
+		}
+	}
+	scanList(body.List, map[types.Object]token.Pos{})
+}
+
+// scanStmtForBlocking inspects one statement (recursing into nested
+// blocks with the current held set) and reports blocking operations
+// when any tick mutex is held.
+func (p *Pass) scanStmtForBlocking(stmt ast.Stmt, held map[types.Object]token.Pos, scanList func([]ast.Stmt, map[types.Object]token.Pos)) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false // runs later, on its own stack
+		case *ast.BlockStmt:
+			scanList(s.List, held)
+			return false
+		case *ast.CaseClause:
+			scanList(s.Body, held)
+			return false
+		case *ast.CommClause:
+			scanList(s.Body, held)
+			return false
+		case *ast.SendStmt:
+			if len(held) > 0 {
+				p.reportHeldBlocking(s.Pos(), "a channel send", held)
+			}
+		case *ast.UnaryExpr:
+			if s.Op == token.ARROW && len(held) > 0 {
+				p.reportHeldBlocking(s.Pos(), "a channel receive", held)
+			}
+		case *ast.SelectStmt:
+			if len(held) > 0 && !selectHasDefault(s) {
+				p.reportHeldBlocking(s.Pos(), "a select with no default", held)
+			}
+		case *ast.CallExpr:
+			if obj, method, ok := p.mutexMethodCall(s); ok && (method == "Lock" || method == "RLock") {
+				if _, already := held[obj]; !already && len(held) > 0 {
+					p.reportHeldBlocking(s.Pos(), "acquiring a second lock", held)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, clause := range s.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// reportHeldBlocking emits one diagnostic naming an arbitrary-but-
+// deterministic held mutex (the map has at most a couple of entries;
+// pick the earliest tick position for stability).
+func (p *Pass) reportHeldBlocking(pos token.Pos, what string, held map[types.Object]token.Pos) {
+	var name string
+	var tickPos token.Pos
+	for obj, tp := range held {
+		if name == "" || tp < tickPos {
+			name, tickPos = obj.Name(), tp
+		}
+	}
+	p.Reportf(pos, "locksimclock",
+		"%s while holding %s, which the simclock tick path locks at %s; a parked tick freezes virtual time — move the blocking operation outside the critical section or annotate with %s locksimclock <reason>",
+		what, name, p.Fset.Position(tickPos), allowPrefix)
+}

@@ -12,18 +12,22 @@ import (
 // not a directive.
 const allowPrefix = "//lint:allow"
 
-// Allow is one parsed suppression: which rule to silence and why. The
+// Allow is one parsed suppression: which rules to silence and why. The
 // reason is mandatory — a suppression without a recorded justification
-// is exactly the tribal knowledge this linter exists to eliminate.
+// is exactly the tribal knowledge this linter exists to eliminate. One
+// directive may name several comma-separated rules
+// (`//lint:allow wallclock,globalrand reason`) when a single site
+// legitimately trips more than one analyzer.
 type Allow struct {
-	Rule   string
+	Rules  []string
 	Reason string
 }
 
 // ParseAllow parses a raw comment (including the leading "//"). The
 // second result reports whether the comment is a lint:allow directive at
 // all; when it is, a non-nil error means the directive is malformed
-// (missing rule, unknown rule, or missing reason) and must be reported.
+// (missing rule, unknown rule, empty list element, or missing reason)
+// and must be reported.
 func ParseAllow(text string, known map[string]bool) (Allow, bool, error) {
 	rest, ok := strings.CutPrefix(text, allowPrefix)
 	if !ok {
@@ -35,17 +39,22 @@ func ParseAllow(text string, known map[string]bool) (Allow, bool, error) {
 	}
 	fields := strings.Fields(rest)
 	if len(fields) == 0 {
-		return Allow{}, true, fmt.Errorf("missing rule name (want %q)", allowPrefix+" <rule> <reason>")
+		return Allow{}, true, fmt.Errorf("missing rule name (want %q)", allowPrefix+" <rule>[,<rule>...] <reason>")
 	}
-	rule := fields[0]
-	if !known[rule] {
-		return Allow{}, true, fmt.Errorf("unknown rule %q", rule)
+	rules := strings.Split(fields[0], ",")
+	for _, rule := range rules {
+		if rule == "" {
+			return Allow{}, true, fmt.Errorf("empty rule name in list %q (a trailing or doubled comma, or a space after a comma)", fields[0])
+		}
+		if !known[rule] {
+			return Allow{}, true, fmt.Errorf("unknown rule %q", rule)
+		}
 	}
 	reason := strings.Join(fields[1:], " ")
 	if reason == "" {
-		return Allow{}, true, fmt.Errorf("rule %s: missing reason — say why the violation is safe", rule)
+		return Allow{}, true, fmt.Errorf("rule %s: missing reason — say why the violation is safe", fields[0])
 	}
-	return Allow{Rule: rule, Reason: reason}, true, nil
+	return Allow{Rules: rules, Reason: reason}, true, nil
 }
 
 // suppression is an Allow resolved to a file-line range.
@@ -93,11 +102,15 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File, known map[strin
 					})
 					continue
 				}
-				sup := suppression{rule: allow.Rule, startLine: pos.Line, endLine: pos.Line + 1}
+				endLine := pos.Line + 1
 				if decl, ok := docOwner[c]; ok {
-					sup.endLine = fset.Position(decl.End()).Line
+					endLine = fset.Position(decl.End()).Line
 				}
-				set[pos.Filename] = append(set[pos.Filename], sup)
+				for _, rule := range allow.Rules {
+					set[pos.Filename] = append(set[pos.Filename], suppression{
+						rule: rule, startLine: pos.Line, endLine: endLine,
+					})
+				}
 			}
 		}
 	}

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/token"
+	"slices"
 	"strings"
 	"testing"
 )
@@ -13,16 +14,23 @@ func TestParseAllow(t *testing.T) {
 		text    string
 		matched bool
 		wantErr string // "" = no error
-		rule    string
+		rules   []string
 		reason  string
 	}{
-		{name: "valid", text: "//lint:allow wallclock measuring bench cost", matched: true, rule: "wallclock", reason: "measuring bench cost"},
-		{name: "valid tabs", text: "//lint:allow\tfloateq\texact sentinel", matched: true, rule: "floateq", reason: "exact sentinel"},
-		{name: "reason whitespace collapsed", text: "//lint:allow globalrand   a   b  ", matched: true, rule: "globalrand", reason: "a b"},
+		{name: "valid", text: "//lint:allow wallclock measuring bench cost", matched: true, rules: []string{"wallclock"}, reason: "measuring bench cost"},
+		{name: "valid tabs", text: "//lint:allow\tfloateq\texact sentinel", matched: true, rules: []string{"floateq"}, reason: "exact sentinel"},
+		{name: "reason whitespace collapsed", text: "//lint:allow globalrand   a   b  ", matched: true, rules: []string{"globalrand"}, reason: "a b"},
+		{name: "comma list", text: "//lint:allow wallclock,globalrand one site trips both", matched: true, rules: []string{"wallclock", "globalrand"}, reason: "one site trips both"},
+		{name: "comma list three", text: "//lint:allow wallclock,globalrand,floateq demo loop", matched: true, rules: []string{"wallclock", "globalrand", "floateq"}, reason: "demo loop"},
 		{name: "missing reason", text: "//lint:allow wallclock", matched: true, wantErr: "missing reason"},
+		{name: "comma list missing reason", text: "//lint:allow wallclock,globalrand", matched: true, wantErr: "missing reason"},
 		{name: "missing rule", text: "//lint:allow", matched: true, wantErr: "missing rule name"},
 		{name: "missing rule trailing space", text: "//lint:allow   ", matched: true, wantErr: "missing rule name"},
 		{name: "unknown rule", text: "//lint:allow wallclok typo", matched: true, wantErr: "unknown rule"},
+		{name: "unknown rule in list", text: "//lint:allow wallclock,wallclok typo in second", matched: true, wantErr: "unknown rule"},
+		{name: "trailing comma", text: "//lint:allow wallclock, reason here", matched: true, wantErr: "empty rule name"},
+		{name: "doubled comma", text: "//lint:allow wallclock,,globalrand reason", matched: true, wantErr: "empty rule name"},
+		{name: "leading comma", text: "//lint:allow ,wallclock reason", matched: true, wantErr: "empty rule name"},
 		{name: "not a directive", text: "// lint:allow wallclock spaced out", matched: false},
 		{name: "prose prefix", text: "//lint:allowance is prose", matched: false},
 		{name: "unrelated comment", text: "// just a comment", matched: false},
@@ -45,8 +53,8 @@ func TestParseAllow(t *testing.T) {
 			if !tc.matched {
 				return
 			}
-			if allow.Rule != tc.rule || allow.Reason != tc.reason {
-				t.Fatalf("got %+v, want rule=%q reason=%q", allow, tc.rule, tc.reason)
+			if !slices.Equal(allow.Rules, tc.rules) || allow.Reason != tc.reason {
+				t.Fatalf("got %+v, want rules=%v reason=%q", allow, tc.rules, tc.reason)
 			}
 		})
 	}

@@ -1,0 +1,47 @@
+// Package atomicmix is the fixture for the atomicmix analyzer: a
+// variable touched through sync/atomic anywhere must be touched through
+// sync/atomic everywhere.
+package atomicmix
+
+import "sync/atomic"
+
+type counter struct {
+	hot  int64 // accessed via atomics
+	cold int64 // plain everywhere: fine
+	solo int64 // atomic everywhere: fine
+}
+
+var shared int64
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.hot, 1)
+	atomic.StoreInt64(&c.solo, 7)
+	c.cold++
+}
+
+func (c *counter) mixedRead() int64 {
+	return c.hot // want atomicmix "accessed via sync/atomic"
+}
+
+func (c *counter) mixedWrite() {
+	c.hot = 0 // want atomicmix "accessed via sync/atomic"
+}
+
+func (c *counter) cleanReads() int64 {
+	return atomic.LoadInt64(&c.hot) + atomic.LoadInt64(&c.solo) + c.cold
+}
+
+func bumpShared() {
+	atomic.AddInt64(&shared, 1)
+}
+
+func peekShared() int64 {
+	return shared // want atomicmix "accessed via sync/atomic"
+}
+
+// resetDuringInit shows the suppression path: single-goroutine phases
+// (construction, teardown) may use plain access with an ownership
+// argument.
+func resetDuringInit(c *counter) {
+	c.hot = 0 //lint:allow atomicmix fixture: constructor runs before any goroutine can observe the field
+}

@@ -32,3 +32,9 @@ func session() time.Duration {
 func draw() int {
 	return rand.Intn(6) //lint:allow globalrand fixture: demo dice roll, determinism irrelevant
 }
+
+// both demonstrates one comma-list directive suppressing two rules that
+// trip on the same line.
+func both() bool {
+	return rand.Float64() == 0 //lint:allow globalrand,floateq fixture: comma list covers both violations on this line
+}

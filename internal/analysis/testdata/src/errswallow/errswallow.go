@@ -1,0 +1,53 @@
+// Package errswallow is the fixture for the errswallow analyzer:
+// discarded errors on write-path method calls break the sticky-error
+// chain.
+package errswallow
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+)
+
+type journal struct{ err error }
+
+func (j *journal) WriteRecord(b []byte) error { return j.err }
+func (j *journal) Flush() error               { return j.err }
+func (j *journal) Encode(v any) error         { return j.err }
+func (j *journal) rename() error              { return j.err }
+
+// sink implements io.Writer, so even its oddly named mutators are
+// write-path.
+type sink struct{}
+
+func (s *sink) Write(p []byte) (int, error) { return len(p), nil }
+func (s *sink) Push(b []byte) error         { return nil }
+func (s *sink) Close() error                { return nil }
+
+func swallowed(j *journal, s *sink, bw *bufio.Writer) {
+	j.WriteRecord(nil)     // want errswallow "WriteRecord"
+	_ = j.WriteRecord(nil) // want errswallow "WriteRecord"
+	j.Encode(1)            // want errswallow "Encode"
+	defer j.Flush()        // want errswallow "Flush"
+	s.Push(nil)            // want errswallow "Push"
+	_ = bw.Flush()         // want errswallow "Flush"
+}
+
+func clean(j *journal, s *sink, bw *bufio.Writer, sb *strings.Builder, buf *bytes.Buffer) error {
+	if err := j.WriteRecord(nil); err != nil { // checked: fine
+		return err
+	}
+	_ = j.rename()      // not write-path
+	_ = s.Close()       // teardown, not a payload write
+	sb.WriteString("x") // strings.Builder never fails
+	buf.WriteByte('y')  // bytes.Buffer never fails
+	bw.WriteString("z") // bufio latches the error; Flush is the checkpoint
+	return bw.Flush()
+}
+
+// farewell shows the suppression path for a genuinely best-effort
+// write.
+func farewell(j *journal) {
+	//lint:allow errswallow fixture: best-effort goodbye on a connection that is closing either way
+	_ = j.WriteRecord(nil)
+}

@@ -1,0 +1,98 @@
+// Package exhaustiveenvelope is the fixture for the exhaustiveenvelope
+// analyzer: a switch over an enum covers every declared constant or
+// rejects unknown values in a default.
+package exhaustiveenvelope
+
+import "errors"
+
+type kind uint8
+
+const (
+	kindA kind = iota + 1
+	kindB
+	kindC
+)
+
+// A string-keyed wire enum: no named type, one const group.
+const (
+	evOpen  = "open"
+	evClose = "close"
+	evError = "err"
+)
+
+var errUnknown = errors.New("unknown kind")
+
+func partialNoDefault(k kind) int {
+	switch k { // want exhaustiveenvelope "missing kindC"
+	case kindA:
+		return 1
+	case kindB:
+		return 2
+	}
+	return 0
+}
+
+func fullCoverage(k kind) int {
+	switch k {
+	case kindA, kindB:
+		return 1
+	case kindC:
+		return 2
+	}
+	return 0
+}
+
+func rejectingDefault(k kind) error {
+	switch k {
+	case kindA:
+		return nil
+	default:
+		return errUnknown
+	}
+}
+
+func silentDefault(k kind) {
+	switch k {
+	case kindA:
+	default: // want exhaustiveenvelope "silently drops"
+	}
+}
+
+func stringEnumPartial(t string) int {
+	switch t { // want exhaustiveenvelope "missing evError"
+	case evOpen:
+		return 1
+	case evClose:
+		return 2
+	}
+	return 0
+}
+
+func stringEnumFull(t string) int {
+	switch t {
+	case evOpen, evClose:
+		return 1
+	case evError:
+		return 2
+	}
+	return 0
+}
+
+func literalCases(s string) int {
+	switch s { // literals are not an enum: out of scope
+	case "x":
+		return 1
+	}
+	return 0
+}
+
+// filter shows the suppression path for a deliberately partial switch
+// (a filter, not a dispatcher).
+func filter(k kind) bool {
+	//lint:allow exhaustiveenvelope fixture: deliberate filter, non-A kinds fall through
+	switch k {
+	case kindA:
+		return true
+	}
+	return false
+}

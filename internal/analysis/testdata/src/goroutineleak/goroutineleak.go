@@ -1,0 +1,105 @@
+// Package goroutineleak is the fixture for the goroutineleak analyzer:
+// a launched goroutine must have a termination path.
+package goroutineleak
+
+var flag bool
+
+type pumpOwner struct {
+	ch   chan int
+	quit chan struct{}
+}
+
+func leakClosure(ch chan int) {
+	go func() { // want goroutineleak "no termination path"
+		for {
+			select {
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+// breakTrap shows the classic trap: the unlabeled break targets the
+// select, not the loop, so the loop still never exits.
+func breakTrap(ch chan int) {
+	go func() { // want goroutineleak "no termination path"
+		for {
+			select {
+			case <-ch:
+				break
+			}
+		}
+	}()
+}
+
+func cleanQuit(ch chan int, quit chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-ch:
+			case <-quit:
+				return
+			}
+		}
+	}()
+}
+
+func cleanRange(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+func cleanConditionalBreak(ch chan int) {
+	go func() {
+		for {
+			if flag {
+				break
+			}
+			<-ch
+		}
+	}()
+}
+
+func cleanLabeledBreak(ch chan int) {
+	go func() {
+	pump:
+		for {
+			select {
+			case v := <-ch:
+				if v < 0 {
+					break pump
+				}
+			}
+		}
+	}()
+}
+
+func spin() {
+	for {
+	}
+}
+
+func leakDecl() {
+	go spin() // want goroutineleak "no termination path"
+}
+
+func (p *pumpOwner) loop() {
+	for {
+		select {
+		case <-p.ch:
+		}
+	}
+}
+
+func (p *pumpOwner) start() {
+	go p.loop() // want goroutineleak "no termination path"
+}
+
+// startForever shows the suppression path for a deliberate
+// process-lifetime goroutine.
+func startForever() {
+	go spin() //lint:allow goroutineleak fixture: process-lifetime pump, torn down by os.Exit
+}

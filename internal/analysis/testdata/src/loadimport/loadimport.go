@@ -1,0 +1,16 @@
+// Package loadimport is a fixture for the loader's missing-import
+// path: an import that resolves nowhere must surface as a [lint]
+// diagnostic instead of aborting, and syntactic analysis of the rest of
+// the file must still run.
+package loadimport
+
+import (
+	"time"
+
+	nosuch "no/such/module/anywhere" // want lint "could not import"
+)
+
+func stillLinted() time.Time {
+	_ = nosuch.Thing
+	return time.Now() // want wallclock "time.Now"
+}

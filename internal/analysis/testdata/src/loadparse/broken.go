@@ -1,0 +1,5 @@
+// broken.go cannot be parsed: the declaration below is missing its
+// parameter list closer. The loader must report it and keep going.
+package loadparse
+
+func broken( { // want lint "parse failed"

@@ -1,0 +1,10 @@
+// Package loadparse is a fixture for the loader's parse-failure path:
+// the unparseable sibling file broken.go must surface as a [lint]
+// diagnostic while this file is still parsed and analyzed.
+package loadparse
+
+import "time"
+
+func stillLinted() time.Time {
+	return time.Now() // want wallclock "time.Now"
+}

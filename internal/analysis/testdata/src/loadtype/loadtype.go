@@ -1,0 +1,12 @@
+// Package loadtype is a fixture for the loader's type-check-failure
+// path: a type error must surface as a [lint] diagnostic while the
+// analyzers keep working from the partial type information.
+package loadtype
+
+import "time"
+
+var wrong int = "not an int" // want lint "cannot use"
+
+func stillLinted() time.Time {
+	return time.Now() // want wallclock "time.Now"
+}

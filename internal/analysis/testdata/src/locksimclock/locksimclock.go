@@ -1,0 +1,100 @@
+// Package locksimclock is the fixture for the locksimclock analyzer:
+// no blocking operation while holding a mutex a simclock tick path also
+// locks.
+package locksimclock
+
+import "sync"
+
+type sched struct {
+	mu      sync.Mutex // locked by the tick path
+	schedMu sync.Mutex // locked by a Schedule closure
+	plainMu sync.Mutex // never near a tick
+	other   sync.Mutex
+	ch      chan int
+	state   int
+}
+
+// onTickAdvance is a tick-path function by name; mu becomes a tick
+// mutex.
+func (s *sched) onTickAdvance() {
+	s.mu.Lock()
+	s.state++
+	s.mu.Unlock()
+}
+
+type clock struct{}
+
+func (c *clock) Schedule(after int, fn func()) { fn() }
+
+// wire marks schedMu as tick-path through the scheduled closure.
+func wire(c *clock, s *sched) {
+	c.Schedule(1, func() {
+		s.schedMu.Lock()
+		s.state++
+		s.schedMu.Unlock()
+	})
+}
+
+func (s *sched) blockingSend(v int) {
+	s.mu.Lock()
+	s.ch <- v // want locksimclock "channel send"
+	s.mu.Unlock()
+}
+
+func (s *sched) blockingRecv() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.ch // want locksimclock "channel receive"
+}
+
+func (s *sched) blockingSelect() {
+	s.mu.Lock()
+	select { // want locksimclock "select with no default"
+	case v := <-s.ch:
+		s.state = v
+	}
+	s.mu.Unlock()
+}
+
+func (s *sched) secondLock() {
+	s.mu.Lock()
+	s.other.Lock() // want locksimclock "second lock"
+	s.other.Unlock()
+	s.mu.Unlock()
+}
+
+func (s *sched) heldSchedMu() {
+	s.schedMu.Lock()
+	<-s.ch // want locksimclock "channel receive"
+	s.schedMu.Unlock()
+}
+
+func (s *sched) cleanAfterUnlock(v int) {
+	s.mu.Lock()
+	s.state = v
+	s.mu.Unlock()
+	s.ch <- v // lock already released
+}
+
+func (s *sched) cleanTrySend() {
+	s.mu.Lock()
+	select { // non-blocking: has a default
+	case s.ch <- 1:
+	default:
+	}
+	s.mu.Unlock()
+}
+
+func (s *sched) cleanPlainMutex(v int) {
+	s.plainMu.Lock()
+	s.ch <- v // plainMu is on no tick path
+	s.plainMu.Unlock()
+}
+
+// notify shows the suppression path: a send that provably cannot block.
+func (s *sched) notify() {
+	s.mu.Lock()
+	//lint:allow locksimclock fixture: ch is buffered with one slot reserved per caller
+	s.ch <- 1
+	s.mu.Unlock()
+}

@@ -22,6 +22,15 @@ func flagged() time.Time {
 // want+1 lint "missing rule name"
 //lint:allow
 
+// A comma list with an empty element (trailing comma, doubled comma, or
+// a space after the comma) is malformed and suppresses nothing.
+// want+1 lint "empty rule name"
+//lint:allow wallclock, the space after the comma splits the list
+
+// A comma list containing a typo is malformed as a whole.
+// want+1 lint "unknown rule"
+//lint:allow wallclock,wallclok second rule has a typo
+
 // allowed shows a well-formed suppression working next to the
 // malformed ones.
 func allowed() time.Time {

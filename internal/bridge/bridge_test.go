@@ -327,3 +327,43 @@ func TestNightWeatherReducesCameraRange(t *testing.T) {
 		t.Fatalf("back-to-day range = %v", got)
 	}
 }
+
+// TestUnknownMessageKindsRejected pins the exhaustive-envelope contract
+// on both bridge endpoints: a message kind the peer must never receive
+// — or one this build does not know at all — is counted as a protocol
+// error, not silently dropped. Protocol drift (a new kind added on one
+// side only) then shows up in stats instead of vanishing.
+func TestUnknownMessageKindsRejected(t *testing.T) {
+	_, sess, _, _ := testSession(t)
+
+	// Server side: client→server kinds are fine, server→client kinds and
+	// unknown kinds are protocol errors.
+	sess.Server.handleMessage(envelope(MsgFrame, []byte("{}")))
+	sess.Server.handleMessage(envelope(MsgMetaReply, []byte("{}")))
+	sess.Server.handleMessage(envelope(MsgType(0xEE), nil))
+	sess.Server.handleMessage(nil) // malformed: empty payload
+	if got := sess.Server.Stats().ProtocolErrors; got != 4 {
+		t.Fatalf("server ProtocolErrors = %d, want 4", got)
+	}
+
+	// Client side: mirror image.
+	sess.Client.handleMessage(envelope(MsgControl, MarshalControl(vehicle.Control{})), 0)
+	sess.Client.handleMessage(envelope(MsgMeta, []byte("{}")), 0)
+	sess.Client.handleMessage(envelope(MsgType(0xEE), nil), 0)
+	sess.Client.handleMessage(nil, 0)
+	if got := sess.Client.Stats().ProtocolErrors; got != 4 {
+		t.Fatalf("client ProtocolErrors = %d, want 4", got)
+	}
+
+	// A malformed body on a known kind counts too.
+	sess.Server.handleMessage(envelope(MsgControl, []byte("bogus")))
+	if got := sess.Server.Stats().ProtocolErrors; got != 5 {
+		t.Fatalf("server ProtocolErrors after bad control = %d, want 5", got)
+	}
+
+	// Legitimate traffic does not move the counter.
+	sess.Client.SendControl(vehicle.Control{Throttle: 0.5})
+	if got := sess.Client.Stats().ProtocolErrors; got != 4 {
+		t.Fatalf("client ProtocolErrors after valid send = %d, want 4", got)
+	}
+}

@@ -21,6 +21,7 @@ type ClientStats struct {
 	CollisionsSeen    uint64
 	LaneInvasionsSeen uint64
 	MetaRepliesSeen   uint64
+	ProtocolErrors    uint64 // malformed envelopes or kinds a client must never receive
 }
 
 // Client is the operator-station side of the bridge: it tracks the most
@@ -125,12 +126,14 @@ func (c *Client) SendMeta(cmd string, args map[string]string) (uint64, error) {
 func (c *Client) handleMessage(payload []byte, latency time.Duration) {
 	t, body, err := splitEnvelope(payload)
 	if err != nil {
+		c.stats.ProtocolErrors++
 		return
 	}
 	switch t {
 	case MsgFrame:
 		view, err := sensors.UnmarshalWorldView(body)
 		if err != nil {
+			c.stats.ProtocolErrors++
 			return
 		}
 		c.stats.FramesReceived++
@@ -177,6 +180,11 @@ func (c *Client) handleMessage(payload []byte, latency time.Duration) {
 				c.OnMetaReply(r)
 			}
 		}
+	default:
+		// MsgControl and MsgMeta flow client→server only; receiving one
+		// here — or a kind this build does not know — is peer confusion
+		// to count, not traffic to ignore.
+		c.stats.ProtocolErrors++
 	}
 }
 

@@ -25,6 +25,7 @@ type ServerStats struct {
 	ControlsApplied uint64
 	EventsSent      uint64
 	MetasHandled    uint64
+	ProtocolErrors  uint64 // malformed envelopes/bodies or kinds a server must never receive
 }
 
 // Server is the vehicle subsystem: it owns the world, steps physics at
@@ -206,12 +207,14 @@ func (s *Server) flushEvents() {
 func (s *Server) handleMessage(payload []byte) {
 	t, body, err := splitEnvelope(payload)
 	if err != nil {
+		s.stats.ProtocolErrors++
 		return
 	}
 	switch t {
 	case MsgControl:
 		c, err := UnmarshalControl(body)
 		if err != nil {
+			s.stats.ProtocolErrors++
 			return
 		}
 		s.lastControl = c
@@ -223,9 +226,16 @@ func (s *Server) handleMessage(payload []byte) {
 	case MsgMeta:
 		var cmd MetaCommand
 		if err := json.Unmarshal(body, &cmd); err != nil {
+			s.stats.ProtocolErrors++
 			return
 		}
 		s.handleMeta(cmd)
+	default:
+		// MsgFrame, MsgCollision, MsgLaneInvasion, and MsgMetaReply flow
+		// server→client only; receiving one here — or a kind this build
+		// does not know — is peer confusion to count, not traffic to
+		// ignore.
+		s.stats.ProtocolErrors++
 	}
 }
 

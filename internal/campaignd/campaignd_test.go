@@ -35,6 +35,7 @@ type equivalenceGolden struct {
 // byte-identical report tables, and match the per-drive fingerprint
 // golden.
 func TestDistributedEquivalence(t *testing.T) {
+	skipInShort(t)
 	ref := referenceResult(t)
 
 	reg := telemetry.NewRegistry()
@@ -143,6 +144,7 @@ func checkEquivalenceGolden(t *testing.T, got equivalenceGolden) {
 // TestSingleWorkerResume exercises the short-circuit path: a campaign
 // whose journal is already complete assembles without any worker.
 func TestJournalShortCircuit(t *testing.T) {
+	skipInShort(t)
 	dir := t.TempDir()
 	journal := filepath.Join(dir, "j.jsonl")
 
@@ -184,6 +186,7 @@ func TestJournalShortCircuit(t *testing.T) {
 // campaignd_protocol_errors_total and close the connection, without
 // disturbing the campaign (a real worker still completes it).
 func TestProtocolErrorsCountedAndConnClosed(t *testing.T) {
+	skipInShort(t)
 	reg := telemetry.NewRegistry()
 	coord := &Coordinator{Spec: testSpec(), Registry: reg, WorkerTimeout: 5 * time.Second}
 	addr, done := startCoordinator(t, coord, nil)

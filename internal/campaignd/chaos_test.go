@@ -31,6 +31,7 @@ func assertEqualToReference(t *testing.T, res *campaign.Result) {
 // coordinator must re-queue its leases to the surviving worker and the
 // final tables must equal the single-process run.
 func TestChaosWorkerKilledMidCell(t *testing.T) {
+	skipInShort(t)
 	reg := telemetry.NewRegistry()
 	coord := &Coordinator{Spec: testSpec(), Registry: reg}
 	addr, done := startCoordinator(t, coord, nil)
@@ -65,6 +66,7 @@ func TestChaosWorkerKilledMidCell(t *testing.T) {
 // workers: only the remaining cells run, and the final tables equal the
 // single-process run.
 func TestChaosCoordinatorKilledAndResumed(t *testing.T) {
+	skipInShort(t)
 	journal := filepath.Join(t.TempDir(), "j.jsonl")
 
 	first := &Coordinator{Spec: testSpec(), JournalPath: journal, haltAfterJournaled: 2}
@@ -119,6 +121,7 @@ func TestChaosCoordinatorKilledAndResumed(t *testing.T) {
 // re-queued and re-run, and the tables still equal the single-process
 // run.
 func TestChaosDroppedResultFrame(t *testing.T) {
+	skipInShort(t)
 	reg := telemetry.NewRegistry()
 	coord := &Coordinator{
 		Spec:     testSpec(),
@@ -172,6 +175,7 @@ func TestChaosDroppedResultFrame(t *testing.T) {
 // one worker: the duplicates must be counted and dropped (first write
 // wins), never double-aggregated.
 func TestChaosDuplicatedResultFrame(t *testing.T) {
+	skipInShort(t)
 	reg := telemetry.NewRegistry()
 	coord := &Coordinator{Spec: testSpec(), Registry: reg}
 	addr, done := startCoordinator(t, coord, nil)

@@ -329,7 +329,8 @@ func (c *Coordinator) Run(stop <-chan struct{}, ln net.Listener) (*campaign.Resu
 				}
 				if tr.done() {
 					for _, wc := range workers {
-						_ = wc.ww.writeMsg(&msg{T: msgDone}) // best-effort farewell
+						//lint:allow errswallow best-effort farewell: the campaign result is already assembled and the conn closes next line either way
+						_ = wc.ww.writeMsg(&msg{T: msgDone})
 						wc.conn.Close()
 					}
 					return c.assembleResult(plan, j, started)

@@ -148,3 +148,15 @@ func waitCoord(t *testing.T, done <-chan coordResult, timeout time.Duration) coo
 		return coordResult{}
 	}
 }
+
+// skipInShort gates the localhost-TCP campaign battery out of -short
+// runs: `make race` runs this package with -short so the tracker
+// ledger, journal, and wire codec still race-test on every check,
+// while the multi-second end-to-end campaigns stay in `make
+// race-dist`.
+func skipInShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("end-to-end TCP campaign battery: run by make race-dist")
+	}
+}

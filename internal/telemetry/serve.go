@@ -83,12 +83,13 @@ func (s *OpsServer) Close() error {
 	return err
 }
 
+//lint:allow errswallow a scrape error means the client hung up; there is no one left to tell
 func (s *OpsServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = s.reg.WriteProm(w)
 }
 
-//lint:allow wallclock healthz uptime is wall-clock by definition; exposition boundary only
+//lint:allow wallclock,errswallow healthz uptime is wall-clock by definition, and an encode error means the probe hung up
 func (s *OpsServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(map[string]any{

@@ -1,0 +1,28 @@
+#!/bin/sh
+# ci.sh — the one-command verification gate for a PR branch:
+# build + vet + lint + race + fingerprint, in order, stopping at the
+# first failure. Slower batteries are separate opt-ins: `make fuzz`
+# (hostile-input budget), `make race-dist` (full distributed campaign
+# battery over localhost TCP), `make bench` (paper tables).
+#
+# Usage: scripts/ci.sh   (or: make ci)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+stage() {
+	echo "==> $*"
+}
+
+stage make build
+make build
+stage make vet
+make vet
+stage make lint
+make lint
+stage make race
+make race
+stage make fingerprint
+make fingerprint
+
+stage "ci: all gates passed"
