@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint lint-json race race-dist fuzz check ci bench fingerprint fingerprint-update
+.PHONY: build test vet lint lint-json race race-dist fuzz check ci bench fingerprint fingerprint-pooled fingerprint-update
 
 # Tier-1 verification: everything must build, vet clean, lint clean,
 # and pass.
@@ -67,9 +67,10 @@ fuzz:
 # lint, race-clean tests, and the short fuzz budget.
 check: build vet lint race fuzz
 
-# One-command CI gate: build + vet + lint + race + fingerprint, in
-# order, stopping at the first failure (scripts/ci.sh). Fuzz and the
-# full distributed battery are the slower `check`/`race-dist` add-ons.
+# One-command CI gate: build + vet + lint + race + fingerprint +
+# fingerprint-pooled, in order, stopping at the first failure
+# (scripts/ci.sh). Fuzz and the full distributed battery are the
+# slower `check`/`race-dist` add-ons.
 ci:
 	./scripts/ci.sh
 
@@ -92,6 +93,15 @@ bench:
 # only after a change that is MEANT to alter trajectories.
 fingerprint:
 	$(GO) run ./cmd/fingerprint
+
+# Arena-reuse safety net: every canonical cell runs TWICE through one
+# shared session.RunScratch + scenario.ArtifactCache, and both passes
+# must match the goldens recorded before pooling existed. The first
+# pass fills the arena; the second proves recycled buffers, timers,
+# world slabs, and cached artifacts are bit-identical to fresh
+# allocation.
+fingerprint-pooled:
+	$(GO) run ./cmd/fingerprint -pooled
 
 fingerprint-update:
 	$(GO) run ./cmd/fingerprint -update

@@ -6,11 +6,18 @@
 //
 // Usage:
 //
-//	fingerprint [-golden internal/session/testdata/fingerprints.json] [-update]
+//	fingerprint [-golden internal/session/testdata/fingerprints.json] [-update] [-pooled]
 //
 // Without -update it diffs the freshly computed digests against the
 // golden file and exits 1 on any mismatch; with -update it rewrites
 // the golden file.
+//
+// With -pooled every cell is driven TWICE through one shared run
+// arena (session.RunScratch) and one shared scenario.ArtifactCache,
+// and both passes must match the golden: the first pass fills the
+// arena's pools, the second proves that executing out of a recycled
+// arena — reused buffers, timers, world slabs, and cached immutable
+// scenario artifacts — is bit-identical to fresh allocation.
 package main
 
 import (
@@ -21,6 +28,8 @@ import (
 	"sort"
 
 	"teledrive/internal/rds"
+	"teledrive/internal/scenario"
+	"teledrive/internal/session"
 )
 
 func main() {
@@ -35,16 +44,38 @@ func run(args []string) error {
 	var (
 		golden = fs.String("golden", "internal/session/testdata/fingerprints.json", "golden fingerprint file")
 		update = fs.Bool("update", false, "rewrite the golden file instead of diffing against it")
+		pooled = fs.Bool("pooled", false, "drive each cell twice through one shared run arena; both passes must match")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	var (
+		scratch *session.RunScratch
+		arts    *scenario.ArtifactCache
+	)
+	if *pooled {
+		scratch = session.NewRunScratch()
+		arts = scenario.NewArtifactCache()
+	}
+
 	fresh := make(map[string]string)
 	for _, cell := range rds.FingerprintCells() {
-		fp, err := rds.RunFingerprint(cell)
+		fp, err := rds.RunFingerprintPooled(cell, scratch, arts)
 		if err != nil {
 			return err
+		}
+		if *pooled {
+			// Second pass through the now-warm arena: recycled buffers,
+			// timers, world slabs, and the cached artifact. Any divergence
+			// here is a pooling bug, not a behaviour change.
+			fp2, err := rds.RunFingerprintPooled(cell, scratch, arts)
+			if err != nil {
+				return fmt.Errorf("pooled rerun: %w", err)
+			}
+			if fp2 != fp {
+				return fmt.Errorf("cell %s: pooled rerun diverges from first pass\n  first  %s\n  rerun  %s", cell.Name, fp, fp2)
+			}
 		}
 		fresh[cell.Name] = fp
 		fmt.Printf("ran  %-40s %.16s…\n", cell.Name, fp)

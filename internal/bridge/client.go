@@ -48,6 +48,17 @@ type Client struct {
 	metaSeq     uint64
 	stats       ClientStats
 	ins         *ClientInstruments // optional telemetry handles; nil = uninstrumented
+
+	// decodeView double-buffers the frame decode: each MsgFrame is
+	// decoded into it, and on acceptance it is swapped with latest, so
+	// the displaced view's actor backing becomes the next decode target.
+	// A view handed out (Frame, OnFrame) is therefore stable only until
+	// the next accepted frame — consumers that look further back copy
+	// what they keep (the driver's reaction buffer does).
+	decodeView sensors.WorldView
+	// ctrlBuf is the reused control envelope; the transport copies the
+	// payload into pooled fragments, so reuse across sends is safe.
+	ctrlBuf []byte
 }
 
 // NewClient builds the operator station side. ep is the client transport
@@ -93,8 +104,8 @@ func (c *Client) FrameLatency() time.Duration { return c.latestLat }
 // SendControl transmits a driving command to the vehicle. A full send
 // window drops the command (counted), like a congested socket.
 func (c *Client) SendControl(ctrl vehicle.Control) error {
-	payload := envelope(MsgControl, MarshalControl(ctrl))
-	if err := c.ep.Send(payload); err != nil {
+	c.ctrlBuf = appendControlMsg(c.ctrlBuf[:0], ctrl)
+	if err := c.ep.Send(c.ctrlBuf); err != nil {
 		c.stats.ControlsDropped++
 		if c.ins != nil {
 			c.ins.ControlsDropped.Inc()
@@ -131,8 +142,7 @@ func (c *Client) handleMessage(payload []byte, latency time.Duration) {
 	}
 	switch t {
 	case MsgFrame:
-		view, err := sensors.UnmarshalWorldView(body)
-		if err != nil {
+		if err := sensors.UnmarshalWorldViewInto(&c.decodeView, body); err != nil {
 			c.stats.ProtocolErrors++
 			return
 		}
@@ -141,20 +151,21 @@ func (c *Client) handleMessage(payload []byte, latency time.Duration) {
 			c.ins.FramesReceived.Inc()
 		}
 		// Display only monotonically newer frames; an older frame that
-		// arrives late (reordering, duplication) is discarded.
-		if c.latestValid && view.Frame <= c.latest.Frame {
+		// arrives late (reordering, duplication) is discarded — its
+		// decode target is simply reused by the next frame.
+		if c.latestValid && c.decodeView.Frame <= c.latest.Frame {
 			c.stats.FramesStale++
 			if c.ins != nil {
 				c.ins.FramesStale.Inc()
 			}
 			return
 		}
-		c.latest = view
+		c.latest, c.decodeView = c.decodeView, c.latest
 		c.latestValid = true
 		c.latestLat = latency
 		c.receivedAt = c.clock.Now()
 		if c.OnFrame != nil {
-			c.OnFrame(view, latency)
+			c.OnFrame(c.latest, latency)
 		}
 	case MsgCollision:
 		var ev CollisionWire

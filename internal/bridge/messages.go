@@ -101,6 +101,26 @@ func MarshalControl(c vehicle.Control) []byte {
 	return buf
 }
 
+// appendControlMsg appends the enveloped MsgControl wire form to dst —
+// the allocation-free path for the 50 Hz control send (the stack array
+// does not escape).
+func appendControlMsg(dst []byte, c vehicle.Control) []byte {
+	var buf [1 + controlWireLen]byte
+	buf[0] = byte(MsgControl)
+	binary.BigEndian.PutUint64(buf[1:], math.Float64bits(c.Throttle))
+	binary.BigEndian.PutUint64(buf[9:], math.Float64bits(c.Steer))
+	binary.BigEndian.PutUint64(buf[17:], math.Float64bits(c.Brake))
+	var flags byte
+	if c.Reverse {
+		flags |= flagReverse
+	}
+	if c.HandBrake {
+		flags |= flagHandBrake
+	}
+	buf[1+24] = flags
+	return append(dst, buf[:]...)
+}
+
 // UnmarshalControl decodes a control command.
 func UnmarshalControl(buf []byte) (vehicle.Control, error) {
 	if len(buf) != controlWireLen {

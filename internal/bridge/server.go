@@ -59,6 +59,11 @@ type Server struct {
 	// transport.Endpoint.Send copies the payload into its fragments.
 	view    sensors.WorldView
 	sendBuf []byte
+
+	// Owned tick timers (simclock.NewTimer): one struct per loop for the
+	// server's whole life instead of a fresh Timer per tick.
+	physTimer *simclock.Timer
+	camTimer  *simclock.Timer
 }
 
 // NewServer builds the vehicle subsystem around an existing world and
@@ -71,7 +76,7 @@ func NewServer(clock *simclock.Clock, w *world.World, ego *world.Actor, ep *tran
 	if ego.Plant == nil {
 		return nil, fmt.Errorf("bridge: server ego %d has no dynamic plant", ego.ID)
 	}
-	return &Server{
+	s := &Server{
 		clock:         clock,
 		w:             w,
 		ego:           ego,
@@ -81,7 +86,10 @@ func NewServer(clock *simclock.Clock, w *world.World, ego *world.Actor, ep *tran
 		lanSen:        sensors.NewLaneInvasionSensor(w, ego.ID),
 		frameInterval: sensors.DefaultFrameInterval,
 		weather:       "clear-day",
-	}, nil
+	}
+	s.physTimer = clock.NewTimer(s.physicsTick)
+	s.camTimer = clock.NewTimer(s.cameraTick)
+	return s, nil
 }
 
 // Handler returns the transport handler processing client→server
@@ -134,8 +142,13 @@ func (s *Server) Start() {
 	}
 	s.running = true
 	s.stopped = false
-	s.clock.Schedule(PhysicsTick, s.physicsTick)
-	s.clock.Schedule(s.frameInterval, s.cameraTick)
+	// Each Reschedule consumes one clock sequence number, exactly like
+	// the per-tick Schedule calls it replaced, so event ordering (and
+	// every trace fingerprint) is unchanged.
+	s.clock.Cancel(s.physTimer)
+	s.clock.Reschedule(s.physTimer, PhysicsTick)
+	s.clock.Cancel(s.camTimer)
+	s.clock.Reschedule(s.camTimer, s.frameInterval)
 }
 
 // Stop halts the loops after the current event.
@@ -153,7 +166,7 @@ func (s *Server) physicsTick(now time.Duration) {
 	if s.OnTick != nil {
 		s.OnTick(now)
 	}
-	s.clock.Schedule(PhysicsTick, s.physicsTick)
+	s.clock.Reschedule(s.physTimer, PhysicsTick)
 }
 
 func (s *Server) cameraTick(now time.Duration) {
@@ -177,7 +190,7 @@ func (s *Server) cameraTick(now time.Duration) {
 			s.ins.PayloadBytes.Add(uint64(len(s.sendBuf)))
 		}
 	}
-	s.clock.Schedule(s.frameInterval, s.cameraTick)
+	s.clock.Reschedule(s.camTimer, s.frameInterval)
 }
 
 // flushEvents streams buffered sensor events to the client.

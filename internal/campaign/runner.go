@@ -23,6 +23,7 @@ import (
 	"teledrive/internal/core"
 	"teledrive/internal/driver"
 	"teledrive/internal/scenario"
+	"teledrive/internal/session"
 	"teledrive/internal/telemetry"
 )
 
@@ -249,8 +250,16 @@ func (p *Plan) Execute() (*Result, error) {
 		ins.Workers.Set(int64(workers))
 	}
 
+	// Shared scenario artifacts: cells carry fresh *Scenario instances
+	// (the plan/execute contract, checkFreshScenarios), but the immutable
+	// half — map, blended route — is identical across every cell of a
+	// scenario and is built once here instead of once per cell.
+	arts := scenario.NewArtifactCache()
+
 	if workers <= 1 {
-		// Legacy path: strictly sequential, first error aborts.
+		// Legacy path: strictly sequential, first error aborts. One run
+		// arena serves every cell.
+		scratch := session.NewRunScratch()
 		var w0 *telemetry.Counter
 		if ins != nil {
 			w0 = ins.WorkerCells(0)
@@ -259,7 +268,10 @@ func (p *Plan) Execute() (*Result, error) {
 			if ins != nil {
 				ins.CellsInFlight.Inc()
 			}
-			r, err := core.RunOne(cell.Spec)
+			spec := cell.Spec
+			spec.Scratch = scratch
+			spec.Artifacts = arts
+			r, err := core.RunOne(spec)
 			ins.cellDone(r, w0, err)
 			if err != nil {
 				return nil, p.cellError(cell, err)
@@ -284,6 +296,10 @@ func (p *Plan) Execute() (*Result, error) {
 		}
 		go func() {
 			defer wg.Done()
+			// Each worker owns one run arena for its whole cell stream;
+			// the artifact cache is shared (immutable artifacts, mutex
+			// inside).
+			scratch := session.NewRunScratch()
 			for ci := range jobs {
 				// After a failure elsewhere, drain the queue without
 				// starting new simulations.
@@ -293,7 +309,10 @@ func (p *Plan) Execute() (*Result, error) {
 				if ins != nil {
 					ins.CellsInFlight.Inc()
 				}
-				r, err := core.RunOne(p.Cells[ci].Spec)
+				spec := p.Cells[ci].Spec
+				spec.Scratch = scratch
+				spec.Artifacts = arts
+				r, err := core.RunOne(spec)
 				ins.cellDone(r, wc, err)
 				if err != nil {
 					errs[ci] = err

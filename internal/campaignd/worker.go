@@ -12,6 +12,8 @@ import (
 
 	"teledrive/internal/campaign"
 	"teledrive/internal/core"
+	"teledrive/internal/scenario"
+	"teledrive/internal/session"
 	"teledrive/internal/telemetry"
 )
 
@@ -189,6 +191,11 @@ func (w *Worker) Run(ctx context.Context, addr string) error {
 // their outcomes back. Send errors are deliberately dropped — the read
 // loop observes the connection death and unwinds the whole worker.
 func (w *Worker) runCells(ctx context.Context, cells []campaign.RunCell, jobs <-chan int, send func(*msg) error, ins *workerInstruments) {
+	// One run arena and one artifact cache per pool runner: leased cells
+	// execute strictly sequentially here, and the scratch's RunLog is
+	// detached by RunOne before the next lease reuses it.
+	scratch := session.NewRunScratch()
+	arts := scenario.NewArtifactCache()
 	for cell := range jobs {
 		if ctx.Err() != nil {
 			continue // drain; the coordinator re-queues on disconnect
@@ -196,6 +203,8 @@ func (w *Worker) runCells(ctx context.Context, cells []campaign.RunCell, jobs <-
 		ins.gauge(+1)
 		spec := cells[cell].Spec
 		spec.Metrics = w.Registry
+		spec.Scratch = scratch
+		spec.Artifacts = arts
 		res, err := core.RunOne(spec)
 		ins.gauge(-1)
 		if err != nil {

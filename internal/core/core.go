@@ -50,6 +50,14 @@ type RunSpec struct {
 	// Events receives the run's sparse structured events as JSONL.
 	// Ignored unless Metrics is set.
 	Events *telemetry.EventSink
+	// Scratch is the executing worker's reusable run arena (see
+	// rds.BenchConfig.Scratch). RunOne detaches the outcome's RunLog
+	// from it with a tight copy, so the returned Result stays valid
+	// after the scratch is reused for the next cell.
+	Scratch *session.RunScratch
+	// Artifacts shares immutable scenario artifacts (maps, routes)
+	// across runs; safe for concurrent use.
+	Artifacts *scenario.ArtifactCache
 }
 
 // Result couples the raw outcome with its analysis.
@@ -77,9 +85,17 @@ func RunOne(spec RunSpec) (*Result, error) {
 		Observers:        spec.Observers,
 		Metrics:          spec.Metrics,
 		Events:           spec.Events,
+		Scratch:          spec.Scratch,
+		Artifacts:        spec.Artifacts,
 	})
 	if err != nil {
 		return nil, err
+	}
+	if spec.Scratch != nil {
+		// The log lives in the scratch and is clobbered by the next run;
+		// results outlive cells (campaign aggregation reads them after
+		// the whole plan finishes), so detach it.
+		out.Log = out.Log.Clone()
 	}
 	return &Result{
 		Outcome:  out,

@@ -142,10 +142,16 @@ type Driver struct {
 	rng   *rand.Rand
 
 	// Perception buffer: frames become actionable ReactionTime after
-	// they were displayed.
-	buffer    []timedView
-	perceived sensors.WorldView
-	hasView   bool
+	// they were displayed. Buffered views own their actor slices (the
+	// client's display view is only stable until the next frame), with
+	// the backings recycled through othersFree as views are promoted.
+	buffer     []timedView
+	perceived  sensors.WorldView
+	hasView    bool
+	othersFree [][]sensors.ActorView
+	// extrapBuf backs perceivedOthers' extrapolated snapshot; valid only
+	// within one Tick.
+	extrapBuf []sensors.ActorView
 
 	// Feed-quality estimate.
 	ageEMA    time.Duration
@@ -276,6 +282,10 @@ func (d *Driver) Tick(now time.Duration) vehicle.Control {
 func (d *Driver) observe(now time.Duration) {
 	if view, ok := d.see.Frame(); ok {
 		if len(d.buffer) == 0 || view.Frame > d.buffer[len(d.buffer)-1].view.Frame {
+			// Copy the actors into a recycled backing: the perception
+			// source's view is only stable until its next frame, while
+			// this buffer holds views across the whole reaction time.
+			view.Others = append(d.takeOthers(), view.Others...)
 			d.buffer = append(d.buffer, timedView{displayedAt: now, view: view})
 		}
 	}
@@ -290,6 +300,10 @@ func (d *Driver) observe(now time.Duration) {
 		}
 	}
 	if idx >= 0 {
+		d.putOthers(d.perceived.Others) // replaced below; nobody retains it
+		for i := 0; i < idx; i++ {
+			d.putOthers(d.buffer[i].view.Others) // skipped, never promoted
+		}
 		d.perceived = d.buffer[idx].view
 		d.hasView = true
 		d.buffer = d.buffer[idx+1:]
@@ -410,12 +424,32 @@ func (d *Driver) perceivedOthers(now time.Duration) []sensors.ActorView {
 	if staleness > 0.5 {
 		staleness = 0.5
 	}
-	out := make([]sensors.ActorView, len(d.perceived.Others))
-	for i, o := range d.perceived.Others {
+	out := d.extrapBuf[:0]
+	for _, o := range d.perceived.Others {
 		o.Pose.Pos = o.Pose.Pos.Add(o.Pose.Forward().Scale(o.Speed * staleness))
-		out[i] = o
+		out = append(out, o)
 	}
+	d.extrapBuf = out
 	return out
+}
+
+// takeOthers pops a recycled actor-slice backing (nil when the freelist
+// is empty — the append allocates once and the backing then cycles).
+func (d *Driver) takeOthers() []sensors.ActorView {
+	if n := len(d.othersFree); n > 0 {
+		s := d.othersFree[n-1]
+		d.othersFree = d.othersFree[:n-1]
+		return s
+	}
+	return nil
+}
+
+// putOthers recycles a buffered view's actor backing. Zero-capacity
+// slices carry nothing worth keeping.
+func (d *Driver) putOthers(s []sensors.ActorView) {
+	if cap(s) > 0 {
+		d.othersFree = append(d.othersFree, s[:0])
+	}
 }
 
 // longitudinal computes the desired acceleration and whether an

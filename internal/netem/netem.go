@@ -243,6 +243,12 @@ type Link struct {
 	lastDepart   time.Duration
 	reorderCount int
 
+	// bufs, when non-nil, recycles payload clones (see SetBufferPool).
+	bufs *BufferPool
+	// freeDeliveries recycles the in-flight delivery entries scheduled
+	// on the clock, so the per-packet path allocates nothing.
+	freeDeliveries []*delivery
+
 	// RuleChanged, when non-nil, is invoked on AddRule/DeleteRule with a
 	// tc-style description. The fault injector uses it for the paper's
 	// fault-injection log (§V-F).
@@ -266,6 +272,15 @@ func NewLink(name string, clock *simclock.Clock, seed int64, recv Receiver) *Lin
 
 // Name returns the link's name.
 func (l *Link) Name() string { return l.name }
+
+// SetBufferPool attaches a payload buffer pool: Send clones payloads
+// into pooled buffers, and each delivered packet's payload is recycled
+// as soon as the receiver's callback returns. The receiver must not
+// retain pkt.Payload past the callback — transport.Endpoint.HandlePacket
+// honours that (everything it keeps is copied), which is why
+// transport.Connect opts its links in. Attach the pool before the first
+// Send and never while packets are in flight.
+func (l *Link) SetBufferPool(p *BufferPool) { l.bufs = p }
 
 // Stats returns a snapshot of the link counters.
 func (l *Link) Stats() Stats { return l.stats }
@@ -322,7 +337,7 @@ func (l *Link) Send(payload []byte) bool {
 	}
 
 	if !l.hasRule {
-		l.deliverAt(now, Packet{Seq: seq, Payload: clone(payload), SentAt: now})
+		l.deliverAt(now, Packet{Seq: seq, Payload: l.clone(payload), SentAt: now})
 		return true
 	}
 	r := l.rule
@@ -349,7 +364,7 @@ func (l *Link) Send(payload []byte) bool {
 		return false
 	}
 
-	pkt := Packet{Seq: seq, Payload: clone(payload), SentAt: now}
+	pkt := Packet{Seq: seq, Payload: l.clone(payload), SentAt: now}
 
 	// 3. Corruption: flip one random bit.
 	if r.Corrupt > 0 && len(pkt.Payload) > 0 && l.rng.Float64() < r.Corrupt {
@@ -400,7 +415,7 @@ func (l *Link) Send(payload []byte) bool {
 	// 5. Duplication: the copy takes an independent delay draw.
 	if r.Duplicate > 0 && l.rng.Float64() < r.Duplicate {
 		dup := pkt
-		dup.Payload = clone(pkt.Payload)
+		dup.Payload = l.clone(pkt.Payload)
 		dup.Duplicate = true
 		dupDepart := now + r.Delay + l.jitterSample(r)
 		l.stats.Duplicated++
@@ -417,21 +432,54 @@ func (l *Link) Send(payload []byte) bool {
 // InFlight returns the number of packets currently traversing the link.
 func (l *Link) InFlight() int { return l.inFlight }
 
+// delivery is one scheduled packet hand-off. Entries implement
+// simclock.TimerTask and cycle through the link's freelist, so the
+// per-packet schedule→fire path allocates neither a closure nor a timer.
+type delivery struct {
+	link *Link
+	pkt  Packet
+}
+
+// Fire delivers the packet. The entry is recycled before the receiver
+// runs (the receiver may Send, scheduling new deliveries that reuse this
+// very entry); the payload is recycled after, under the SetBufferPool
+// no-retention contract.
+func (d *delivery) Fire(now time.Duration) {
+	l := d.link
+	pkt := d.pkt
+	d.link = nil
+	d.pkt = Packet{}
+	l.freeDeliveries = append(l.freeDeliveries, d)
+
+	l.inFlight--
+	pkt.DeliveredAt = now
+	l.stats.Delivered++
+	if l.ins != nil {
+		l.ins.Delivered.Inc()
+		l.ins.QueueDepth.Set(int64(l.inFlight))
+	}
+	l.recv(pkt)
+	if l.bufs != nil {
+		l.bufs.Put(pkt.Payload)
+	}
+}
+
 func (l *Link) deliverAt(at time.Duration, pkt Packet) {
 	l.inFlight++
 	if l.ins != nil {
 		l.ins.QueueDepth.Set(int64(l.inFlight))
 	}
-	l.clock.ScheduleAt(at, func(now time.Duration) {
-		l.inFlight--
-		pkt.DeliveredAt = now
-		l.stats.Delivered++
-		if l.ins != nil {
-			l.ins.Delivered.Inc()
-			l.ins.QueueDepth.Set(int64(l.inFlight))
-		}
-		l.recv(pkt)
-	})
+	var d *delivery
+	if n := len(l.freeDeliveries); n > 0 {
+		d = l.freeDeliveries[n-1]
+		l.freeDeliveries[n-1] = nil
+		l.freeDeliveries = l.freeDeliveries[:n-1]
+	} else {
+		d = &delivery{}
+	}
+	d.link = l
+	d.pkt = pkt
+	l.clock.ScheduleTaskAt(at, d)
 }
 
 // dropByLoss runs the configured loss process for one packet.
@@ -505,8 +553,17 @@ func (l *Link) jitterSample(r Rule) time.Duration {
 	return d
 }
 
-func clone(b []byte) []byte {
-	out := make([]byte, len(b))
+// clone copies a payload into a private buffer — pooled when a
+// BufferPool is attached, freshly allocated otherwise. Delivered
+// payloads stay private copies either way; corruption mutates only the
+// copy.
+func (l *Link) clone(b []byte) []byte {
+	var out []byte
+	if l.bufs != nil {
+		out = l.bufs.Get(len(b))
+	} else {
+		out = make([]byte, len(b))
+	}
 	copy(out, b)
 	return out
 }

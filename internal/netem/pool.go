@@ -1,0 +1,72 @@
+package netem
+
+import "math/bits"
+
+// BufferPool recycles packet payload buffers in power-of-two size
+// classes. A campaign cell pushes hundreds of thousands of packets
+// through its two links, and every one of them used to be a fresh
+// payload clone; with a pool attached (Link.SetBufferPool) the link
+// clones into recycled buffers and takes them back as soon as the
+// receiver's callback returns.
+//
+// BufferPool is not safe for concurrent use: the simulation loop is
+// single-threaded, so one pool serves all the links of one run (and,
+// via session.RunScratch, all the sequential runs of one campaign
+// worker).
+type BufferPool struct {
+	// classes[k] holds free buffers with cap exactly 1<<k.
+	classes [bufClasses][][]byte
+}
+
+// bufClasses covers caps up to 1<<20 (transport.MaxPayload).
+const bufClasses = 21
+
+// NewBufferPool returns an empty pool.
+func NewBufferPool() *BufferPool {
+	return &BufferPool{}
+}
+
+// class returns the size class for a requested length: the smallest k
+// with 1<<k >= n. Lengths beyond the largest class return -1 (the
+// caller falls back to a plain allocation).
+func class(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	k := bits.Len(uint(n - 1))
+	if k >= bufClasses {
+		return -1
+	}
+	return k
+}
+
+// Get returns a length-n buffer. The contents are arbitrary; callers
+// must overwrite every byte (the link's clone does).
+func (p *BufferPool) Get(n int) []byte {
+	k := class(n)
+	if k < 0 {
+		return make([]byte, n)
+	}
+	if l := len(p.classes[k]); l > 0 {
+		b := p.classes[k][l-1]
+		p.classes[k][l-1] = nil
+		p.classes[k] = p.classes[k][:l-1]
+		return b[:n]
+	}
+	return make([]byte, n, 1<<k)
+}
+
+// Put returns a buffer to the pool. Buffers whose cap is not an exact
+// class size (grown elsewhere, or beyond the largest class) are dropped
+// for the garbage collector.
+func (p *BufferPool) Put(b []byte) {
+	c := cap(b)
+	if c == 0 || c&(c-1) != 0 {
+		return
+	}
+	k := bits.Len(uint(c)) - 1
+	if k >= bufClasses {
+		return
+	}
+	p.classes[k] = append(p.classes[k], b[:0])
+}

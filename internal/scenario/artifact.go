@@ -1,0 +1,152 @@
+package scenario
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+
+	"teledrive/internal/driver"
+	"teledrive/internal/geom"
+	"teledrive/internal/vehicle"
+	"teledrive/internal/world"
+)
+
+// Artifact is the immutable half of a built scenario: the road map and
+// the blended route path. Both are read-only after construction (paths
+// carry their segment grids; every mutable cursor — projectors, lane
+// locators, rails — lives with the per-run object that owns it), so one
+// Artifact can back any number of concurrent runs of the same scenario.
+// Building it is the expensive part of cell setup — BlendedRoute
+// resamples the whole reference line — which is exactly what a campaign
+// used to redo for every one of its thousands of cells.
+type Artifact struct {
+	Map   *world.RoadMap
+	Route *geom.Path
+}
+
+// BuildArtifact validates the scenario and constructs its shared
+// immutable artifact.
+func (s *Scenario) BuildArtifact() (*Artifact, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	m := s.MapBuilder()
+	route, err := world.BlendedRoute(m.Reference, s.RouteOffsets, s.BlendLen)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: route: %w", s.Name, err)
+	}
+	return &Artifact{Map: m, Route: route}, nil
+}
+
+// artifactKey identifies the immutable artifact a scenario builds. Two
+// Scenario values that agree on it build byte-identical maps and routes:
+// the map comes from MapBuilder (keyed by function identity — the
+// library's builders are deterministic and take no inputs) and the route
+// from (RouteOffsets, BlendLen) over that map's reference line.
+type artifactKey struct {
+	name     string
+	mapFn    uintptr
+	blendLen float64
+	offsets  string
+}
+
+func keyOf(s *Scenario) artifactKey {
+	return artifactKey{
+		name:     s.Name,
+		mapFn:    reflect.ValueOf(s.MapBuilder).Pointer(),
+		blendLen: s.BlendLen,
+		offsets:  fmt.Sprint(s.RouteOffsets),
+	}
+}
+
+// ArtifactCache shares scenario artifacts between runs — and, because
+// artifacts are immutable, between concurrent campaign workers. The
+// campaign plan builds each cell's Scenario value independently (the
+// plan/execute contract requires fresh mutable state per cell, see
+// campaign.checkFreshScenarios); the cache recognizes cells that agree
+// on the immutable half and hands them the same map and route.
+type ArtifactCache struct {
+	mu sync.Mutex
+	m  map[artifactKey]*Artifact
+}
+
+// NewArtifactCache returns an empty cache.
+func NewArtifactCache() *ArtifactCache {
+	return &ArtifactCache{m: make(map[artifactKey]*Artifact)}
+}
+
+// Get returns the artifact for s, building it on first use. Concurrent
+// callers are serialized; a build error is not cached.
+func (c *ArtifactCache) Get(s *Scenario) (*Artifact, error) {
+	k := keyOf(s)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if art, ok := c.m[k]; ok {
+		return art, nil
+	}
+	art, err := s.BuildArtifact()
+	if err != nil {
+		return nil, err
+	}
+	c.m[k] = art
+	return art, nil
+}
+
+// BuildWith instantiates the scenario's mutable half — world, actors,
+// rails, driver task — over a previously built artifact. arena, when
+// non-nil, recycles the world storage of the arena's previous run; the
+// artifact itself is never written to. Build is equivalent to
+// BuildArtifact followed by BuildWith(artifact, nil).
+func (s *Scenario) BuildWith(art *Artifact, arena *world.Arena) (*Built, error) {
+	if art == nil || art.Map == nil || art.Route == nil {
+		return nil, fmt.Errorf("scenario %s: BuildWith needs a built artifact", s.Name)
+	}
+	var w *world.World
+	if arena != nil {
+		w = arena.NewWorld(art.Map)
+	} else {
+		w = world.New(art.Map)
+	}
+	egoSpec := vehicle.Sedan()
+	if s.EgoSpec != nil {
+		egoSpec = *s.EgoSpec
+	}
+	ego, err := w.SpawnEgo(egoSpec, art.Route.PoseAt(s.EgoStartStation))
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	for _, spec := range s.Actors {
+		lane, ok := art.Map.LaneByID(spec.LaneID)
+		if !ok {
+			return nil, fmt.Errorf("scenario %s: actor %s references unknown lane %q", s.Name, spec.Name, spec.LaneID)
+		}
+		maxAccel := spec.MaxAccel
+		if maxAccel <= 0 {
+			maxAccel = 2
+		}
+		rail, err := world.NewRail(lane.Center, spec.StartStation, spec.Profile, maxAccel)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: actor %s: %w", s.Name, spec.Name, err)
+		}
+		rail.SetLoop(spec.Loop)
+		rail.SetMaxDecel(spec.MaxDecel)
+		if len(spec.Stops) > 0 {
+			rail.SetStops(spec.Stops)
+		}
+		if _, err := w.SpawnScripted(spec.Kind, spec.Name, spec.Extent, rail); err != nil {
+			return nil, fmt.Errorf("scenario %s: actor %s: %w", s.Name, spec.Name, err)
+		}
+	}
+	return &Built{
+		World: w,
+		Ego:   ego,
+		Route: art.Route,
+		Task: driver.Task{
+			Route:          art.Route,
+			LaneWidth:      s.LaneWidth,
+			SpeedPlan:      s.SpeedPlan,
+			StopAtEnd:      s.StopAtEnd,
+			PrecisionZones: s.PrecisionZones,
+		},
+	}, nil
+}

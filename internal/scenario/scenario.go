@@ -112,59 +112,15 @@ type Built struct {
 	Task  driver.Task
 }
 
-// Build instantiates the scenario into a fresh world.
+// Build instantiates the scenario into a fresh world. It is
+// BuildArtifact followed by BuildWith — callers that run a scenario many
+// times (the campaign) share the artifact via ArtifactCache instead.
 func (s *Scenario) Build() (*Built, error) {
-	if err := s.Validate(); err != nil {
+	art, err := s.BuildArtifact()
+	if err != nil {
 		return nil, err
 	}
-	m := s.MapBuilder()
-	route, err := world.BlendedRoute(m.Reference, s.RouteOffsets, s.BlendLen)
-	if err != nil {
-		return nil, fmt.Errorf("scenario %s: route: %w", s.Name, err)
-	}
-	w := world.New(m)
-	egoSpec := vehicle.Sedan()
-	if s.EgoSpec != nil {
-		egoSpec = *s.EgoSpec
-	}
-	ego, err := w.SpawnEgo(egoSpec, route.PoseAt(s.EgoStartStation))
-	if err != nil {
-		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
-	}
-	for _, spec := range s.Actors {
-		lane, ok := m.LaneByID(spec.LaneID)
-		if !ok {
-			return nil, fmt.Errorf("scenario %s: actor %s references unknown lane %q", s.Name, spec.Name, spec.LaneID)
-		}
-		maxAccel := spec.MaxAccel
-		if maxAccel <= 0 {
-			maxAccel = 2
-		}
-		rail, err := world.NewRail(lane.Center, spec.StartStation, spec.Profile, maxAccel)
-		if err != nil {
-			return nil, fmt.Errorf("scenario %s: actor %s: %w", s.Name, spec.Name, err)
-		}
-		rail.SetLoop(spec.Loop)
-		rail.SetMaxDecel(spec.MaxDecel)
-		if len(spec.Stops) > 0 {
-			rail.SetStops(spec.Stops)
-		}
-		if _, err := w.SpawnScripted(spec.Kind, spec.Name, spec.Extent, rail); err != nil {
-			return nil, fmt.Errorf("scenario %s: actor %s: %w", s.Name, spec.Name, err)
-		}
-	}
-	return &Built{
-		World: w,
-		Ego:   ego,
-		Route: route,
-		Task: driver.Task{
-			Route:          route,
-			LaneWidth:      s.LaneWidth,
-			SpeedPlan:      s.SpeedPlan,
-			StopAtEnd:      s.StopAtEnd,
-			PrecisionZones: s.PrecisionZones,
-		},
-	}, nil
+	return s.BuildWith(art, nil)
 }
 
 // sedanExtent is the bounding box of the standard traffic sedan.

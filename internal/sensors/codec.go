@@ -67,35 +67,50 @@ func MarshalWorldViewAppend(dst []byte, v WorldView) []byte {
 
 // UnmarshalWorldView decodes a buffer produced by MarshalWorldView.
 func UnmarshalWorldView(buf []byte) (WorldView, error) {
+	var v WorldView
+	if err := UnmarshalWorldViewInto(&v, buf); err != nil {
+		return WorldView{}, err
+	}
+	return v, nil
+}
+
+// UnmarshalWorldViewInto decodes into v, reusing v.Others' backing
+// array — the allocation-free path for the per-frame decode on the
+// operator station. All validation happens before any write, so on
+// error v is left exactly as passed (its backing stays reusable).
+func UnmarshalWorldViewInto(v *WorldView, buf []byte) error {
 	if len(buf) < headerWireLen+actorWireLen {
-		return WorldView{}, fmt.Errorf("%w: %d bytes", ErrBadWorldView, len(buf))
+		return fmt.Errorf("%w: %d bytes", ErrBadWorldView, len(buf))
 	}
 	count := int(binary.BigEndian.Uint16(buf[16:18]))
 	if count > maxWireActors {
-		return WorldView{}, fmt.Errorf("%w: %d actors", ErrBadWorldView, count)
+		return fmt.Errorf("%w: %d actors", ErrBadWorldView, count)
 	}
 	fill := int(binary.BigEndian.Uint32(buf[18:22]))
 	if fill < 0 || fill > maxVideoFill {
-		return WorldView{}, fmt.Errorf("%w: video fill %d", ErrBadWorldView, fill)
+		return fmt.Errorf("%w: video fill %d", ErrBadWorldView, fill)
 	}
 	want := headerWireLen + actorWireLen*(1+count) + fill
 	if len(buf) != want {
-		return WorldView{}, fmt.Errorf("%w: length %d, want %d for %d actors", ErrBadWorldView, len(buf), want, count)
+		return fmt.Errorf("%w: length %d, want %d for %d actors", ErrBadWorldView, len(buf), want, count)
 	}
-	v := WorldView{
+	others := v.Others[:0]
+	*v = WorldView{
 		Frame:     binary.BigEndian.Uint64(buf[0:8]),
 		SimTime:   time.Duration(binary.BigEndian.Uint64(buf[8:16])),
 		VideoFill: fill,
 	}
 	off := headerWireLen
 	v.Ego, off = getActor(buf, off)
-	if count > 0 {
-		v.Others = make([]ActorView, count)
-		for i := 0; i < count; i++ {
-			v.Others[i], off = getActor(buf, off)
-		}
+	for i := 0; i < count; i++ {
+		var a ActorView
+		a, off = getActor(buf, off)
+		others = append(others, a)
 	}
-	return v, nil
+	// Unconditional, so a zero-actor frame keeps (not leaks) the reused
+	// backing; nil stays nil, so UnmarshalWorldView is unchanged.
+	v.Others = others
+	return nil
 }
 
 func putActor(buf []byte, off int, a ActorView) int {

@@ -197,18 +197,20 @@ func (s *Session) Run() (Result, error) {
 	})
 
 	// Operator station loop: poll the operator at the control period
-	// and send its command to the plant.
-	var stationTick func(now time.Duration)
-	stationTick = func(now time.Duration) {
+	// and send its command to the plant. One owned timer re-armed per
+	// tick (Reschedule consumes one sequence number, exactly like the
+	// Schedule-per-tick it replaced, so event order is unchanged).
+	var stationTimer *simclock.Timer
+	stationTimer = s.Clock.NewTimer(func(now time.Duration) {
 		ctrl := s.Operator.Tick(now)
 		// A full send window behaves like a congested socket: this
 		// command is lost (and counted); the next tick retries.
 		if err := s.Sink.SendControl(ctrl); err != nil {
 			res.ControlsDropped++
 		}
-		s.Clock.Schedule(s.ControlPeriod, stationTick)
-	}
-	s.Clock.Schedule(s.ControlPeriod, stationTick)
+		s.Clock.Reschedule(stationTimer, s.ControlPeriod)
+	})
+	s.Clock.Reschedule(stationTimer, s.ControlPeriod)
 
 	if s.Wire != nil {
 		if err := s.Wire(s.Observers); err != nil {

@@ -26,6 +26,12 @@ type Clock struct {
 	now   time.Duration
 	queue timerQueue
 	seq   uint64
+	// free recycles the Timer structs of fired task timers
+	// (ScheduleTask/ScheduleTaskAt). Handle-returning Schedule/ScheduleAt
+	// timers are never recycled: callers may hold the *Timer arbitrarily
+	// long, and a recycled handle would let a stale Cancel hit an
+	// unrelated timer.
+	free []*Timer
 }
 
 // New returns a Clock starting at simulated time 0.
@@ -44,8 +50,20 @@ type Timer struct {
 	at      time.Duration
 	seq     uint64
 	fn      func(now time.Duration)
-	index   int // heap index; -1 once fired or cancelled
+	task    TimerTask // pooled no-handle callback; fn takes precedence
+	index   int       // heap index; -1 once fired or cancelled
 	stopped bool
+	pooled  bool // recycle into Clock.free after firing
+}
+
+// TimerTask is the no-handle form of a timer callback. Tasks scheduled
+// with ScheduleTask/ScheduleTaskAt cannot be cancelled, which is what
+// lets the clock recycle their Timer structs: per-packet schedulers (the
+// netem delivery queue) fire millions of one-shot timers per campaign,
+// and the freelist makes each one allocation-free in steady state.
+type TimerTask interface {
+	// Fire runs at the scheduled instant with the current simulated time.
+	Fire(now time.Duration)
 }
 
 // At returns the simulated time the timer is scheduled to fire.
@@ -83,6 +101,85 @@ func (c *Clock) ScheduleAt(at time.Duration, fn func(now time.Duration)) *Timer 
 	c.seq++
 	heap.Push(&c.queue, t)
 	return t
+}
+
+// ScheduleTask registers task to fire after d, like Schedule but without
+// returning a handle. The underlying timer is recycled after firing.
+func (c *Clock) ScheduleTask(d time.Duration, task TimerTask) {
+	if d < 0 {
+		d = 0
+	}
+	c.ScheduleTaskAt(c.now+d, task)
+}
+
+// ScheduleTaskAt registers task to fire at absolute simulated time at
+// (clamped to the current time when in the past). It is ScheduleAt for
+// callers that never cancel: no handle is returned, and the timer struct
+// comes from (and returns to) an internal freelist, so steady-state
+// scheduling allocates nothing. Ordering is identical to ScheduleAt —
+// each call consumes exactly one sequence number, so task timers and
+// handle timers scheduled for the same instant still fire in scheduling
+// order.
+func (c *Clock) ScheduleTaskAt(at time.Duration, task TimerTask) {
+	if task == nil {
+		panic("simclock: ScheduleTaskAt with nil task")
+	}
+	if at < c.now {
+		at = c.now
+	}
+	var t *Timer
+	if n := len(c.free); n > 0 {
+		t = c.free[n-1]
+		c.free = c.free[:n-1]
+		*t = Timer{at: at, seq: c.seq, task: task, pooled: true}
+	} else {
+		t = &Timer{at: at, seq: c.seq, task: task, pooled: true}
+	}
+	c.seq++
+	heap.Push(&c.queue, t)
+}
+
+// NewTimer returns an unscheduled timer bound to fn, for callers that
+// re-arm one recurring deadline many times (retransmission timers, the
+// physics and camera loops). Arm it with Reschedule; the same struct is
+// reused for every arming, so the steady-state cost of a periodic loop
+// is zero allocations.
+func (c *Clock) NewTimer(fn func(now time.Duration)) *Timer {
+	if fn == nil {
+		panic("simclock: NewTimer with nil callback")
+	}
+	return &Timer{fn: fn, index: -1, stopped: true}
+}
+
+// Reschedule arms an owned timer (NewTimer) to fire after d, consuming
+// one sequence number exactly as Schedule does — an owned timer re-armed
+// every period is indistinguishable, ordering-wise, from a fresh timer
+// per period. Rescheduling a still-pending timer is a bug (cancel it
+// first); Reschedule panics on it.
+func (c *Clock) Reschedule(t *Timer, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	c.RescheduleAt(t, c.now+d)
+}
+
+// RescheduleAt is Reschedule with an absolute deadline (clamped to the
+// current time when in the past).
+func (c *Clock) RescheduleAt(t *Timer, at time.Duration) {
+	if t == nil || t.fn == nil {
+		panic("simclock: RescheduleAt needs a timer from NewTimer")
+	}
+	if t.index >= 0 {
+		panic("simclock: RescheduleAt on a pending timer (cancel it first)")
+	}
+	if at < c.now {
+		at = c.now
+	}
+	t.at = at
+	t.seq = c.seq
+	t.stopped = false
+	c.seq++
+	heap.Push(&c.queue, t)
 }
 
 // Cancel removes the timer from the queue. Cancelling an already-fired or
@@ -129,12 +226,26 @@ func (c *Clock) AdvanceTo(t time.Duration) {
 		panic(fmt.Sprintf("simclock: AdvanceTo(%v) before current time %v", t, c.now))
 	}
 	for c.queue.Len() > 0 && c.queue[0].at <= t {
-		tm := heap.Pop(&c.queue).(*Timer)
-		c.now = tm.at
-		tm.stopped = true
-		tm.fn(c.now)
+		c.fire(heap.Pop(&c.queue).(*Timer))
 	}
 	c.now = t
+}
+
+// fire runs one popped timer's callback at its deadline, recycling
+// pooled task timers. The struct is returned to the freelist before the
+// callback runs, so a task that immediately reschedules reuses the very
+// timer it fired from.
+func (c *Clock) fire(tm *Timer) {
+	c.now = tm.at
+	tm.stopped = true
+	if tm.fn != nil {
+		tm.fn(c.now)
+		return
+	}
+	task := tm.task
+	tm.task = nil
+	c.free = append(c.free, tm)
+	task.Fire(c.now)
 }
 
 // Step fires the earliest pending timer, advancing simulated time to its
@@ -144,10 +255,7 @@ func (c *Clock) Step() bool {
 	if c.queue.Len() == 0 {
 		return false
 	}
-	tm := heap.Pop(&c.queue).(*Timer)
-	c.now = tm.at
-	tm.stopped = true
-	tm.fn(c.now)
+	c.fire(heap.Pop(&c.queue).(*Timer))
 	return true
 }
 

@@ -109,6 +109,36 @@ type RunLog struct {
 	ConditionSpans []ConditionSpan `json:"condition_spans"`
 }
 
+// Reset clears the log for reuse, retaining the capacity of every
+// record slice — a campaign worker drives thousands of cells through
+// one RunLog without reallocating the telemetry arrays.
+func (l *RunLog) Reset() {
+	l.Subject, l.Scenario, l.RunType = "", "", ""
+	l.Seed = 0
+	l.Ego = l.Ego[:0]
+	l.Others = l.Others[:0]
+	l.Collisions = l.Collisions[:0]
+	l.LaneInvasions = l.LaneInvasions[:0]
+	l.Faults = l.Faults[:0]
+	l.ConditionSpans = l.ConditionSpans[:0]
+}
+
+// Clone returns a deep copy of the log with exactly-sized slices. It
+// detaches a result from an arena-owned log (session.RunScratch reuses
+// one RunLog across a worker's cells; anything retained past the next
+// run must be cloned). Records hold no references, so copying the
+// slices is a full deep copy.
+func (l *RunLog) Clone() *RunLog {
+	c := *l
+	c.Ego = append(make([]EgoRecord, 0, len(l.Ego)), l.Ego...)
+	c.Others = append(make([]OtherRecord, 0, len(l.Others)), l.Others...)
+	c.Collisions = append(make([]CollisionRecord, 0, len(l.Collisions)), l.Collisions...)
+	c.LaneInvasions = append(make([]LaneRecord, 0, len(l.LaneInvasions)), l.LaneInvasions...)
+	c.Faults = append(make([]FaultRecord, 0, len(l.Faults)), l.Faults...)
+	c.ConditionSpans = append(make([]ConditionSpan, 0, len(l.ConditionSpans)), l.ConditionSpans...)
+	return &c
+}
+
 // ConditionSpan marks a time interval during which a fault condition
 // was active. Label "NFI" spans are implicit (gaps between spans).
 type ConditionSpan struct {

@@ -78,6 +78,14 @@ type Options struct {
 	// calibrated experiments run with a fixed window; enable this to
 	// study throughput collapse under loss (BenchmarkAblationCongestion).
 	Congestion bool
+	// Pools, when non-nil, makes the endpoint recycle fragment buffers,
+	// segment records, and reassembly state instead of allocating per
+	// packet. It tightens the delivery contract: a Handler must not
+	// retain the payload slice past the callback (copy what it keeps —
+	// every handler in this repo already does). Connect also attaches
+	// Pools.Net to both netem links. Nil keeps the legacy
+	// allocate-per-packet behavior and the laxer contract.
+	Pools *Pools
 }
 
 func (o *Options) fillDefaults() {
@@ -129,6 +137,14 @@ type Endpoint struct {
 	nextMsgID uint32
 	// Reassembly of fragmented messages, keyed by msgID.
 	partials map[uint32]*partialMsg
+
+	// Recycling state (nil/empty without Options.Pools, except the wire
+	// and fragment scratch, which are safe unconditionally: netem clones
+	// every Send and the fragment slice is consumed within Send).
+	pools       *Pools
+	wireBuf     []byte   // EncodeFrameAppend scratch for transmit/sendAck
+	fragScratch [][]byte // fragmentize output slice, reused across Sends
+	asmBuf      []byte   // reassembly scratch (pools mode only)
 }
 
 type partialMsg struct {
@@ -156,7 +172,7 @@ func NewEndpoint(clock *simclock.Clock, opts Options, handler Handler) *Endpoint
 		panic("transport: NewEndpoint requires a clock and a handler")
 	}
 	opts.fillDefaults()
-	return &Endpoint{
+	e := &Endpoint{
 		opts:         opts,
 		clock:        clock,
 		handler:      handler,
@@ -167,7 +183,13 @@ func NewEndpoint(clock *simclock.Clock, opts Options, handler Handler) *Endpoint
 		rto:          opts.RTOMin,
 		cwnd:         10, // RFC 6928 initial window
 		ssthresh:     float64(opts.Window),
+		pools:        opts.Pools,
 	}
+	// One owned retransmission timer, re-armed for the endpoint's whole
+	// life instead of a fresh Timer per arming. It starts stopped, so the
+	// Send-side Stopped() check arms it on first use exactly as before.
+	e.rtxTimer = clock.NewTimer(e.onTimeout)
+	return e
 }
 
 // sendWindow returns the current effective send window in fragments.
@@ -190,13 +212,15 @@ func (e *Endpoint) sendWindow() int {
 func (e *Endpoint) Cwnd() float64 { return e.cwnd }
 
 // fragmentize splits a message into MTU-sized chunks, each prefixed with
-// the fragment header: flags(1) msgID(4) fragIdx(2) fragCount(2).
-func fragmentize(msgID uint32, payload []byte) [][]byte {
+// the fragment header: flags(1) msgID(4) fragIdx(2) fragCount(2). The
+// returned slice is the endpoint's reused scratch, valid until the next
+// Send; the fragment buffers come from the pool when one is attached.
+func (e *Endpoint) fragmentize(msgID uint32, payload []byte) [][]byte {
 	n := (len(payload) + MTU - 1) / MTU
 	if n == 0 {
 		n = 1
 	}
-	out := make([][]byte, 0, n)
+	out := e.fragScratch[:0]
 	for i := 0; i < n; i++ {
 		lo := i * MTU
 		hi := lo + MTU
@@ -204,9 +228,16 @@ func fragmentize(msgID uint32, payload []byte) [][]byte {
 			hi = len(payload)
 		}
 		chunk := payload[lo:hi]
-		buf := make([]byte, fragHeaderLen+len(chunk))
+		var buf []byte
+		if e.pools != nil {
+			buf = e.pools.buf(fragHeaderLen + len(chunk))
+		} else {
+			buf = make([]byte, fragHeaderLen+len(chunk))
+		}
 		if i == n-1 {
 			buf[0] = fragFlagLast
+		} else {
+			buf[0] = 0
 		}
 		buf[1] = byte(msgID >> 24)
 		buf[2] = byte(msgID >> 16)
@@ -219,7 +250,27 @@ func fragmentize(msgID uint32, payload []byte) [][]byte {
 		copy(buf[fragHeaderLen:], chunk)
 		out = append(out, buf)
 	}
+	e.fragScratch = out
 	return out
+}
+
+// cloneFrag copies a fragment-sized buffer into pooled storage when a
+// pool is attached, else into a fresh allocation.
+func (e *Endpoint) cloneFrag(b []byte) []byte {
+	if e.pools != nil && len(b) <= fragBufCap {
+		out := e.pools.buf(len(b))
+		copy(out, b)
+		return out
+	}
+	return cloneBytes(b)
+}
+
+// recycleBuf returns a buffer obtained from the pool; a no-op without
+// one (the garbage collector takes it).
+func (e *Endpoint) recycleBuf(b []byte) {
+	if e.pools != nil {
+		e.pools.putBuf(b)
+	}
 }
 
 // parseFragment splits a fragment header off a wire payload.
@@ -265,17 +316,19 @@ func (e *Endpoint) Send(payload []byte) error {
 	}
 	now := e.clock.Now()
 	e.nextMsgID++
-	frags := fragmentize(e.nextMsgID, payload)
+	frags := e.fragmentize(e.nextMsgID, payload)
 
 	if !e.opts.Reliable {
 		for _, frag := range frags {
-			buf, err := EncodeFrame(Frame{Type: FrameDatagram, Seq: e.nextSeq, Timestamp: now, Payload: frag})
+			wire, err := EncodeFrameAppend(e.wireBuf[:0], Frame{Type: FrameDatagram, Seq: e.nextSeq, Timestamp: now, Payload: frag})
 			if err != nil {
 				return err
 			}
+			e.wireBuf = wire
 			e.nextSeq++
 			e.stats.FragmentsSent++
-			e.out.Send(buf)
+			e.out.Send(wire) // netem clones; wire and frag are free again
+			e.recycleBuf(frag)
 		}
 		e.stats.MsgsSent++
 		return nil
@@ -288,34 +341,53 @@ func (e *Endpoint) Send(payload []byte) error {
 	if e.opts.Congestion {
 		if len(e.unacked) >= e.sendWindow() {
 			e.stats.WindowRejects++
+			e.recycleFrags(frags)
 			return fmt.Errorf("%w (%s: %d in flight, cwnd %d)", ErrWindowFull, e.opts.Name, len(e.unacked), e.sendWindow())
 		}
 	} else if len(e.unacked)+len(frags) > e.opts.Window {
 		e.stats.WindowRejects++
+		e.recycleFrags(frags)
 		return fmt.Errorf("%w (%s: %d in flight, %d new, window %d)", ErrWindowFull, e.opts.Name, len(e.unacked), len(frags), e.opts.Window)
 	}
 	for _, frag := range frags {
-		seg := &segment{seq: e.nextSeq, payload: frag, sentAt: now}
+		var seg *segment
+		if e.pools != nil {
+			seg = e.pools.seg()
+			seg.seq, seg.payload, seg.sentAt = e.nextSeq, frag, now
+		} else {
+			seg = &segment{seq: e.nextSeq, payload: frag, sentAt: now}
+		}
 		e.nextSeq++
 		e.unacked = append(e.unacked, seg)
 		e.stats.FragmentsSent++
 		e.transmit(seg, now)
 	}
 	e.stats.MsgsSent++
-	if e.rtxTimer == nil || e.rtxTimer.Stopped() {
+	if e.rtxTimer.Stopped() {
 		e.armTimer()
 	}
 	return nil
 }
 
+// recycleFrags returns a window-rejected message's fragments to the pool.
+func (e *Endpoint) recycleFrags(frags [][]byte) {
+	if e.pools == nil {
+		return
+	}
+	for _, frag := range frags {
+		e.pools.putBuf(frag)
+	}
+}
+
 func (e *Endpoint) transmit(seg *segment, now time.Duration) {
-	buf, err := EncodeFrame(Frame{Type: FrameData, Seq: seg.seq, Timestamp: now, Payload: seg.payload})
+	wire, err := EncodeFrameAppend(e.wireBuf[:0], Frame{Type: FrameData, Seq: seg.seq, Timestamp: now, Payload: seg.payload})
 	if err != nil {
 		// Payload size is validated once at Send time; failure here is a
 		// programming error worth surfacing loudly in simulation.
 		panic(fmt.Sprintf("transport: %s: encode: %v", e.opts.Name, err))
 	}
-	e.out.Send(buf)
+	e.wireBuf = wire
+	e.out.Send(wire)
 }
 
 // HandlePacket is the netem receiver for the endpoint's ingress link:
@@ -348,7 +420,8 @@ func (e *Endpoint) handleData(f Frame) {
 	case f.Seq == e.nextExpected:
 		e.acceptFragment(f.Payload, f.Timestamp, now)
 		e.nextExpected++
-		// Flush any consecutive held fragments.
+		// Flush any consecutive held fragments. acceptFragment copies
+		// what it keeps, so the held buffer is free afterwards.
 		for {
 			h, ok := e.held[e.nextExpected]
 			if !ok {
@@ -356,11 +429,12 @@ func (e *Endpoint) handleData(f Frame) {
 			}
 			delete(e.held, e.nextExpected)
 			e.acceptFragment(h.payload, h.sentAt, now)
+			e.recycleBuf(h.payload)
 			e.nextExpected++
 		}
 	default: // gap: hold until the missing segment arrives
 		if _, dup := e.held[f.Seq]; !dup {
-			e.held[f.Seq] = heldMsg{payload: cloneBytes(f.Payload), sentAt: f.Timestamp}
+			e.held[f.Seq] = heldMsg{payload: e.cloneFrag(f.Payload), sentAt: f.Timestamp}
 			e.stats.OutOfOrderHeld++
 		} else {
 			e.stats.DuplicateDrops++
@@ -385,18 +459,26 @@ func (e *Endpoint) acceptFragment(buf []byte, ts, now time.Duration) {
 	}
 	p := e.partials[msgID]
 	if p == nil {
-		p = &partialMsg{chunks: make([][]byte, count), firstTS: ts}
+		if e.pools != nil {
+			p = e.pools.partial(count)
+			p.firstTS = ts
+		} else {
+			p = &partialMsg{chunks: make([][]byte, count), firstTS: ts}
+		}
 		e.partials[msgID] = p
 	}
 	if len(p.chunks) != count {
 		// Inconsistent duplicate with a different count: drop the whole
 		// message rather than deliver garbage.
 		delete(e.partials, msgID)
+		if e.pools != nil {
+			e.pools.putPartial(p)
+		}
 		e.stats.CorruptDropped++
 		return
 	}
 	if p.chunks[idx] == nil {
-		p.chunks[idx] = cloneBytes(chunk)
+		p.chunks[idx] = e.cloneFrag(chunk)
 		p.have++
 	}
 	if ts < p.firstTS {
@@ -409,11 +491,29 @@ func (e *Endpoint) acceptFragment(buf []byte, ts, now time.Duration) {
 	for _, c := range p.chunks {
 		total += len(c)
 	}
-	full := make([]byte, 0, total)
+	var full []byte
+	if e.pools != nil {
+		// Reused assembly scratch: the delivery contract under pooling
+		// says the handler must not retain the payload, so one buffer
+		// serves every delivery on this endpoint.
+		if cap(e.asmBuf) < total {
+			e.asmBuf = make([]byte, 0, total)
+		}
+		full = e.asmBuf[:0]
+	} else {
+		full = make([]byte, 0, total)
+	}
 	for _, c := range p.chunks {
 		full = append(full, c...)
 	}
+	if e.pools != nil {
+		e.asmBuf = full
+	}
 	delete(e.partials, msgID)
+	firstTS := p.firstTS
+	if e.pools != nil {
+		e.pools.putPartial(p) // also recycles the chunk buffers
+	}
 
 	if !e.opts.Reliable {
 		if msgID <= uint32(e.lastDatagram) && e.lastDatagram != 0 {
@@ -424,13 +524,16 @@ func (e *Endpoint) acceptFragment(buf []byte, ts, now time.Duration) {
 			e.lastDatagram = uint64(msgID)
 		}
 		// Garbage-collect partials that can no longer complete sensibly.
-		for id := range e.partials {
+		for id, pm := range e.partials {
 			if id+32 < msgID {
 				delete(e.partials, id)
+				if e.pools != nil {
+					e.pools.putPartial(pm)
+				}
 			}
 		}
 	}
-	e.deliver(full, uint64(msgID), now-p.firstTS)
+	e.deliver(full, uint64(msgID), now-firstTS)
 }
 
 func (e *Endpoint) deliver(payload []byte, seq uint64, latency time.Duration) {
@@ -440,42 +543,46 @@ func (e *Endpoint) deliver(payload []byte, seq uint64, latency time.Duration) {
 
 func (e *Endpoint) sendAck() {
 	// Cumulative ACK: everything below nextExpected has been delivered.
-	buf, err := EncodeFrame(Frame{Type: FrameAck, Seq: e.nextExpected - 1, Timestamp: e.clock.Now()})
+	wire, err := EncodeFrameAppend(e.wireBuf[:0], Frame{Type: FrameAck, Seq: e.nextExpected - 1, Timestamp: e.clock.Now()})
 	if err != nil {
 		panic(fmt.Sprintf("transport: %s: encode ack: %v", e.opts.Name, err))
 	}
+	e.wireBuf = wire
 	e.stats.AcksSent++
-	e.out.Send(buf)
+	e.out.Send(wire)
 }
 
 func (e *Endpoint) handleAck(f Frame) {
 	e.stats.AcksReceived++
 	acked := f.Seq
 	now := e.clock.Now()
-	n := 0
-	var sample *segment
+	// unacked is ordered by seq and ACKs are cumulative, so the acked
+	// segments are exactly the prefix with seq <= acked.
+	m := 0
 	hadRtx := false
-	for _, seg := range e.unacked {
-		if seg.seq > acked {
-			e.unacked[n] = seg
-			n++
-			continue
-		}
-		if seg.rtx {
+	for m < len(e.unacked) && e.unacked[m].seq <= acked {
+		if e.unacked[m].rtx {
 			hadRtx = true
 		}
-		sample = seg
+		m++
 	}
 	// RTT sampling: Karn's algorithm, extended to cumulative ACKs — a
 	// run that includes any retransmitted segment yields no sample,
 	// because the older segments in it were acknowledged late due to
 	// head-of-line blocking, not network delay. Otherwise sample the
 	// highest (most recently sent) segment.
-	if sample != nil && !hadRtx {
-		e.updateRTT(now - sample.sentAt)
+	if m > 0 && !hadRtx {
+		e.updateRTT(now - e.unacked[m-1].sentAt)
 	}
-	if n < len(e.unacked) {
-		newlyAcked := len(e.unacked) - n
+	if m > 0 {
+		newlyAcked := m
+		if e.pools != nil {
+			for _, seg := range e.unacked[:m] {
+				e.pools.putBuf(seg.payload)
+				e.pools.putSeg(seg)
+			}
+		}
+		n := copy(e.unacked, e.unacked[m:])
 		clear(e.unacked[n:])
 		e.unacked = e.unacked[:n]
 		e.backoff = 0
@@ -542,19 +649,19 @@ func (e *Endpoint) updateRTT(sample time.Duration) {
 	e.rto = clampDur(e.srtt+4*e.rttvar, e.opts.RTOMin, e.opts.RTOMax)
 }
 
+// armTimer arms the owned retransmission timer. Reschedule consumes one
+// clock sequence number, exactly like the fresh Schedule it replaced, so
+// timer ordering — and therefore every trace — is unchanged.
 func (e *Endpoint) armTimer() {
 	d := e.rto << e.backoff
 	if d > e.opts.RTOMax {
 		d = e.opts.RTOMax
 	}
-	e.rtxTimer = e.clock.Schedule(d, e.onTimeout)
+	e.clock.Reschedule(e.rtxTimer, d)
 }
 
 func (e *Endpoint) rearmTimer() {
-	if e.rtxTimer != nil {
-		e.clock.Cancel(e.rtxTimer)
-		e.rtxTimer = nil
-	}
+	e.clock.Cancel(e.rtxTimer)
 	if len(e.unacked) > 0 {
 		e.armTimer()
 	}
@@ -625,6 +732,13 @@ func Connect(clock *simclock.Clock, seed int64, opts Options, aHandler, bHandler
 	a := NewEndpoint(clock, optsA, aHandler)
 	b := NewEndpoint(clock, optsB, bHandler)
 	links := netem.NewDuplex(clock, seed, b.HandlePacket, a.HandlePacket)
+	if opts.Pools != nil {
+		// One payload pool serves both directions: the simulation loop is
+		// single-threaded, and an endpoint's received buffers recycle into
+		// its own next sends.
+		links.Down.SetBufferPool(opts.Pools.Net)
+		links.Up.SetBufferPool(opts.Pools.Net)
+	}
 	a.AttachLink(links.Down)
 	b.AttachLink(links.Up)
 	return &Conn{A: a, B: b, Links: links}

@@ -81,10 +81,25 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 //
 // with all integers big-endian.
 func EncodeFrame(f Frame) ([]byte, error) {
+	return EncodeFrameAppend(nil, f)
+}
+
+// EncodeFrameAppend serializes f appended to dst (usually dst[:0] of a
+// reused scratch buffer) and returns the extended slice. It is the
+// allocation-free form of EncodeFrame for hot paths whose consumer
+// copies the wire bytes before the next encode — netem's Send clones
+// every payload, so the endpoint reuses one scratch buffer for every
+// frame it puts on a link.
+func EncodeFrameAppend(dst []byte, f Frame) ([]byte, error) {
 	if len(f.Payload) > MaxPayload {
 		return nil, fmt.Errorf("%w: %d bytes", ErrPayloadTooBig, len(f.Payload))
 	}
-	buf := make([]byte, headerLen+len(f.Payload)+trailerLen)
+	start := len(dst)
+	need := headerLen + len(f.Payload) + trailerLen
+	for cap(dst)-start < need {
+		dst = append(dst[:cap(dst)], 0)
+	}
+	buf := dst[start : start+need]
 	binary.BigEndian.PutUint16(buf[0:2], frameMagic)
 	buf[2] = uint8(f.Type)
 	binary.BigEndian.PutUint64(buf[3:11], f.Seq)
@@ -93,7 +108,7 @@ func EncodeFrame(f Frame) ([]byte, error) {
 	copy(buf[headerLen:], f.Payload)
 	sum := crc32.Checksum(buf[:headerLen+len(f.Payload)], crcTable)
 	binary.BigEndian.PutUint32(buf[headerLen+len(f.Payload):], sum)
-	return buf, nil
+	return dst[:start+need], nil
 }
 
 // DecodeFrame parses a wire buffer produced by EncodeFrame. The returned

@@ -61,6 +61,12 @@ type Actor struct {
 	Plant *vehicle.Vehicle
 	// rail is the scripted motion (traffic only).
 	rail *Rail
+
+	// Lane-invasion tracking, owned by World.detectLaneInvasions: dense
+	// per-actor state instead of side maps keyed by ActorID.
+	laneWatch bool   // actor is watched for lane events
+	laneSeen  bool   // baseline lane has been observed
+	laneID    string // current lane ("" = off-road)
 }
 
 // Pose returns the actor's current pose.

@@ -67,17 +67,21 @@ type World struct {
 	OnCollision    func(CollisionEvent)
 	OnLaneInvasion func(LaneInvasionEvent)
 
+	// actors is the iteration list; dense maps ActorID n to its actor at
+	// index n-1 (IDs are sequential and never deleted, so the lookup is a
+	// slice index, not a map probe). The Actor structs themselves live in
+	// slab — chunked arrays that keep actors contiguous in memory and
+	// stable in address, and that an Arena recycles across runs.
 	actors []*Actor
-	byID   map[ActorID]*Actor
+	dense  []*Actor
 	ego    *Actor
+	slab   actorSlab
 
 	nextID  ActorID
 	frame   uint64
 	simTime time.Duration
 
 	colliding map[[2]ActorID]bool
-	laneState map[ActorID]string // current lane per lane-watched actor ("" = off-road)
-	laneWatch map[ActorID]bool
 	laneLoc   *LaneLocator // warm-start lane queries for detectLaneInvasions
 
 	// Collision-detection scratch, reused across steps so Step is
@@ -97,13 +101,84 @@ type actorBox struct {
 func New(m *RoadMap) *World {
 	return &World{
 		Map:       m,
-		byID:      make(map[ActorID]*Actor),
 		nextID:    1,
 		colliding: make(map[[2]ActorID]bool),
-		laneState: make(map[ActorID]string),
-		laneWatch: make(map[ActorID]bool),
 		cseen:     make(map[[2]ActorID]bool),
 	}
+}
+
+// reset returns the world to its post-New state on a (possibly new) map,
+// retaining every allocation: the actor slab, the id index, the
+// collision scratch, and the event-set maps. Arena.NewWorld calls it so
+// a campaign worker re-drives world construction without reallocating.
+func (w *World) reset(m *RoadMap) {
+	w.Map = m
+	w.OnCollision = nil
+	w.OnLaneInvasion = nil
+	w.actors = w.actors[:0]
+	w.dense = w.dense[:0]
+	w.ego = nil
+	w.slab.reset()
+	w.nextID = 1
+	w.frame = 0
+	w.simTime = 0
+	clear(w.colliding)
+	// The locator holds warm per-lane cursors tied to the previous run's
+	// trajectories; rebuild it lazily so every run starts cold, exactly
+	// like a fresh world.
+	w.laneLoc = nil
+	w.cboxes = w.cboxes[:0]
+	w.corder = w.corder[:0]
+	w.cnew = w.cnew[:0]
+	clear(w.cseen)
+}
+
+// slabChunkSize is the actor count per slab chunk; scenarios run 2–10
+// actors, so one chunk is the common case.
+const slabChunkSize = 16
+
+// actorSlab stores Actor structs in chunked arrays: addresses are stable
+// (chunks never move or grow), actors are contiguous within a chunk, and
+// reset makes every slot reusable without freeing the chunks.
+type actorSlab struct {
+	chunks []*[slabChunkSize]Actor
+	used   int
+}
+
+// alloc returns a zeroed slot.
+func (s *actorSlab) alloc() *Actor {
+	ci, si := s.used/slabChunkSize, s.used%slabChunkSize
+	if ci == len(s.chunks) {
+		s.chunks = append(s.chunks, new([slabChunkSize]Actor))
+	}
+	s.used++
+	a := &s.chunks[ci][si]
+	*a = Actor{}
+	return a
+}
+
+func (s *actorSlab) reset() { s.used = 0 }
+
+// Arena recycles one World — actor slab, index slices, detection
+// scratch — across sequential runs. It is not safe for concurrent use;
+// each campaign worker owns one (via session.RunScratch).
+type Arena struct {
+	w *World
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena { return &Arena{} }
+
+// NewWorld returns a world on m: freshly built on first use, reset in
+// place afterwards. The returned world is only valid until the next
+// NewWorld call on the same arena.
+func (ar *Arena) NewWorld(m *RoadMap) *World {
+	if ar.w == nil {
+		ar.w = New(m)
+	} else {
+		ar.w.reset(m)
+	}
+	return ar.w
 }
 
 // Frame returns the current tick counter.
@@ -117,8 +192,10 @@ func (w *World) Actors() []*Actor { return w.actors }
 
 // Actor returns the actor with the given ID.
 func (w *World) Actor(id ActorID) (*Actor, bool) {
-	a, ok := w.byID[id]
-	return a, ok
+	if id < 1 || int(id) > len(w.dense) {
+		return nil, false
+	}
+	return w.dense[id-1], true
 }
 
 // SpawnEgo creates the dynamic remotely-driven vehicle. There can be at
@@ -131,15 +208,14 @@ func (w *World) SpawnEgo(spec vehicle.Spec, pose geom.Pose) (*Actor, error) {
 	if err != nil {
 		return nil, fmt.Errorf("world: spawn ego: %w", err)
 	}
-	a := &Actor{
-		ID:     w.allocID(),
-		Kind:   KindEgo,
-		Name:   spec.Name,
-		Extent: geom.V(spec.Length, spec.Width),
-		Plant:  plant,
-	}
+	a := w.slab.alloc()
+	a.ID = w.allocID()
+	a.Kind = KindEgo
+	a.Name = spec.Name
+	a.Extent = geom.V(spec.Length, spec.Width)
+	a.Plant = plant
 	w.actors = append(w.actors, a)
-	w.byID[a.ID] = a
+	w.dense = append(w.dense, a)
 	w.ego = a
 	w.WatchLane(a.ID, true)
 	return a, nil
@@ -153,15 +229,14 @@ func (w *World) SpawnScripted(kind ActorKind, name string, extent geom.Vec2, rai
 	if kind == KindEgo {
 		return nil, fmt.Errorf("world: ego cannot be scripted")
 	}
-	a := &Actor{
-		ID:     w.allocID(),
-		Kind:   kind,
-		Name:   name,
-		Extent: extent,
-		rail:   rail,
-	}
+	a := w.slab.alloc()
+	a.ID = w.allocID()
+	a.Kind = kind
+	a.Name = name
+	a.Extent = extent
+	a.rail = rail
 	w.actors = append(w.actors, a)
-	w.byID[a.ID] = a
+	w.dense = append(w.dense, a)
 	return a, nil
 }
 
@@ -169,12 +244,11 @@ func (w *World) SpawnScripted(kind ActorKind, name string, extent geom.Vec2, rai
 func (w *World) Ego() *Actor { return w.ego }
 
 // WatchLane enables or disables lane-invasion events for the actor.
-// The ego is watched by default.
+// The ego is watched by default. The lane baseline survives an
+// unwatch/rewatch cycle, matching the former map-backed implementation.
 func (w *World) WatchLane(id ActorID, watch bool) {
-	if watch {
-		w.laneWatch[id] = true
-	} else {
-		delete(w.laneWatch, id)
+	if a, ok := w.Actor(id); ok {
+		a.laneWatch = watch
 	}
 }
 
@@ -322,11 +396,11 @@ func (w *World) detectLaneInvasions() {
 		w.laneLoc = w.Map.NewLaneLocator()
 	}
 	for _, a := range w.actors {
-		if !w.laneWatch[a.ID] {
+		if !a.laneWatch {
 			continue
 		}
 		pos := a.Pose().Pos
-		prev, seen := w.laneState[a.ID]
+		prev, seen := a.laneID, a.laneSeen
 		if seen && prev == "" && w.laneLoc.FarFromAllLanes(pos) {
 			// Already off-lane and provably outside every lane: cur
 			// would be "" again, so no transition can fire and no state
@@ -342,13 +416,13 @@ func (w *World) detectLaneInvasions() {
 		}
 		if !seen {
 			// First observation sets the baseline without an event.
-			w.laneState[a.ID] = cur
+			a.laneID, a.laneSeen = cur, true
 			continue
 		}
 		if cur == prev {
 			continue
 		}
-		w.laneState[a.ID] = cur
+		a.laneID = cur
 		if w.OnLaneInvasion == nil {
 			continue
 		}

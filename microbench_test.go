@@ -194,6 +194,43 @@ type staticPerception struct{ view sensors.WorldView }
 func (p staticPerception) Frame() (sensors.WorldView, bool) { return p.view, true }
 func (p staticPerception) FrameAge() time.Duration          { return 36 * time.Millisecond }
 
+// BenchmarkCellSetup pins the per-cell construction cost that the
+// artifact cache + run arena eliminate. "cold" is the legacy full
+// Build: road map, blended route, and world all from scratch. "shared"
+// is the batched-execution path the campaign runner uses per cell: the
+// immutable artifact (map + route) comes from the cache, the world is
+// rebuilt out of a recycled arena, and only the cheap mutable half
+// (actors, rails, task state) is constructed fresh.
+func BenchmarkCellSetup(b *testing.B) {
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := scenario.LaneChangeSlalom().Build(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("shared", func(b *testing.B) {
+		arts := scenario.NewArtifactCache()
+		arena := world.NewArena()
+		if _, err := arts.Get(scenario.LaneChangeSlalom()); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			scn := scenario.LaneChangeSlalom()
+			art, err := arts.Get(scn)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := scn.BuildWith(art, arena); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 func BenchmarkFullScenarioRun(b *testing.B) {
 	prof, _ := driver.SubjectByName("T5")
 	b.ReportAllocs()

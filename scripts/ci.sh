@@ -1,7 +1,7 @@
 #!/bin/sh
 # ci.sh — the one-command verification gate for a PR branch:
-# build + vet + lint + race + fingerprint, in order, stopping at the
-# first failure. Slower batteries are separate opt-ins: `make fuzz`
+# build + vet + lint + race + fingerprint + fingerprint-pooled, in
+# order, stopping at the first failure. Slower batteries are separate opt-ins: `make fuzz`
 # (hostile-input budget), `make race-dist` (full distributed campaign
 # battery over localhost TCP), `make bench` (paper tables).
 #
@@ -24,5 +24,7 @@ stage make race
 make race
 stage make fingerprint
 make fingerprint
+stage make fingerprint-pooled
+make fingerprint-pooled
 
 stage "ci: all gates passed"
