@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint lint-json race race-dist fuzz check ci bench fingerprint fingerprint-pooled fingerprint-update
+.PHONY: build test vet lint lint-json race race-dist race-hub fuzz check ci bench fingerprint fingerprint-pooled fingerprint-update
 
 # Tier-1 verification: everything must build, vet clean, lint clean,
 # and pass.
@@ -40,6 +40,13 @@ race:
 	$(GO) test -race $$($(GO) list ./... | grep -v internal/campaignd)
 	$(GO) test -race -short ./internal/campaignd
 
+# Multi-tenant hub chaos battery under the race detector: served
+# sessions over real localhost TCP with mid-frame connection kills,
+# lossy-datagram delta resyncs, and concurrent join/leave churn. Runs
+# in CI (scripts/ci.sh) after the package race stage.
+race-hub:
+	$(GO) test -race -run 'TestHubServe|TestHubChaos|TestHubChurn|TestHubHostileBytes' -count=1 ./internal/hub
+
 # Distributed-campaign battery under the race detector: the campaignd
 # coordinator/worker protocol, the chaos suite (worker kill, coordinator
 # kill + journal resume, dropped/duplicated result frames), and the
@@ -62,6 +69,8 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzProjectEquivalence -fuzztime=5s ./internal/geom
 	$(GO) test -run='^$$' -fuzz=FuzzExposition -fuzztime=5s ./internal/telemetry
 	$(GO) test -run='^$$' -fuzz=FuzzWireProtocol -fuzztime=5s ./internal/campaignd
+	$(GO) test -run='^$$' -fuzz=FuzzApplyWorldViewDelta -fuzztime=5s ./internal/sensors
+	$(GO) test -run='^$$' -fuzz=FuzzHubWire -fuzztime=5s ./internal/hub
 
 # Everything a PR must survive: compile, static checks, determinism
 # lint, race-clean tests, and the short fuzz budget.
@@ -82,7 +91,7 @@ ci:
 # benches runs once per invocation (sync.Once), so -count=5 only
 # repeats the cheap measurement loops.
 BENCHCOUNT ?= 5
-BENCHOUT ?= BENCH_PR5.json
+BENCHOUT ?= BENCH_PR9.json
 bench:
 	$(GO) test -run='^$$' -bench . -benchmem -count $(BENCHCOUNT) . | tee /dev/stderr | $(GO) run ./cmd/benchjson -o $(BENCHOUT)
 

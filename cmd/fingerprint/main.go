@@ -18,18 +18,27 @@
 // arena's pools, the second proves that executing out of a recycled
 // arena — reused buffers, timers, world slabs, and cached immutable
 // scenario artifacts — is bit-identical to fresh allocation.
+//
+// With -hub every cell runs as a tenant of one multi-tenant session
+// hub (internal/hub) — all cells concurrently, sharing the hub's
+// artifact cache, arena freelist, and telemetry registry — and each
+// digest must still match the golden recorded when cells ran alone:
+// the tenancy-isolation proof from the command line.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
+	"teledrive/internal/hub"
 	"teledrive/internal/rds"
 	"teledrive/internal/scenario"
 	"teledrive/internal/session"
+	"teledrive/internal/telemetry"
 )
 
 func main() {
@@ -45,9 +54,13 @@ func run(args []string) error {
 		golden = fs.String("golden", "internal/session/testdata/fingerprints.json", "golden fingerprint file")
 		update = fs.Bool("update", false, "rewrite the golden file instead of diffing against it")
 		pooled = fs.Bool("pooled", false, "drive each cell twice through one shared run arena; both passes must match")
+		hubbed = fs.Bool("hub", false, "drive all cells concurrently as tenants of one session hub")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *pooled && *hubbed {
+		return fmt.Errorf("-pooled and -hub are mutually exclusive")
 	}
 
 	var (
@@ -59,6 +72,13 @@ func run(args []string) error {
 		arts = scenario.NewArtifactCache()
 	}
 
+	if *hubbed {
+		fresh, err := runHubbed()
+		if err != nil {
+			return err
+		}
+		return settle(fresh, *golden, *update)
+	}
 	fresh := make(map[string]string)
 	for _, cell := range rds.FingerprintCells() {
 		fp, err := rds.RunFingerprintPooled(cell, scratch, arts)
@@ -80,27 +100,31 @@ func run(args []string) error {
 		fresh[cell.Name] = fp
 		fmt.Printf("ran  %-40s %.16s…\n", cell.Name, fp)
 	}
+	return settle(fresh, *golden, *update)
+}
 
-	if *update {
+// settle writes or diffs the computed digests against the golden file.
+func settle(fresh map[string]string, golden string, update bool) error {
+	if update {
 		// json.Marshal sorts map keys: the golden file is deterministic.
 		buf, err := json.MarshalIndent(fresh, "", "  ")
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(*golden, append(buf, '\n'), 0o644); err != nil {
+		if err := os.WriteFile(golden, append(buf, '\n'), 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %d fingerprints to %s\n", len(fresh), *golden)
+		fmt.Printf("wrote %d fingerprints to %s\n", len(fresh), golden)
 		return nil
 	}
 
-	buf, err := os.ReadFile(*golden)
+	buf, err := os.ReadFile(golden)
 	if err != nil {
 		return fmt.Errorf("reading golden file (run with -update to create it): %w", err)
 	}
 	var want map[string]string
 	if err := json.Unmarshal(buf, &want); err != nil {
-		return fmt.Errorf("golden file %s: %w", *golden, err)
+		return fmt.Errorf("golden file %s: %w", golden, err)
 	}
 
 	bad := 0
@@ -124,10 +148,32 @@ func run(args []string) error {
 		}
 	}
 	if bad > 0 {
-		return fmt.Errorf("%d fingerprint(s) diverge from %s", bad, *golden)
+		return fmt.Errorf("%d fingerprint(s) diverge from %s", bad, golden)
 	}
-	fmt.Printf("all %d fingerprints match %s\n", len(want), *golden)
+	fmt.Printf("all %d fingerprints match %s\n", len(want), golden)
 	return nil
+}
+
+// runHubbed computes every cell's digest as a hub tenant: one shared
+// hub, all cells in flight at once.
+func runHubbed() (map[string]string, error) {
+	cells := rds.FingerprintCells()
+	h := hub.New(hub.Config{Workers: len(cells), Metrics: telemetry.NewRegistry()})
+	specs := make([]hub.SessionSpec, len(cells))
+	for i, cell := range cells {
+		cfg := cell.Build()
+		cfg.Events = telemetry.NewEventSink(io.Discard)
+		specs[i] = hub.SessionSpec{BenchConfig: cfg, Name: cell.Name}
+	}
+	fresh := make(map[string]string, len(cells))
+	for i, res := range h.RunMany(specs) {
+		if res.Err != nil {
+			return nil, fmt.Errorf("hub cell %s: %w", cells[i].Name, res.Err)
+		}
+		fresh[cells[i].Name] = res.Digest
+		fmt.Printf("ran  %-40s %.16s… (hub tenant)\n", cells[i].Name, res.Digest)
+	}
+	return fresh, nil
 }
 
 func keys(m map[string]string) []string {

@@ -13,6 +13,14 @@
 //
 //	teleop [-duration 30s] [-subject T5] [-delay 50ms] [-drop 0.05] [-addr 127.0.0.1:0]
 //	       [-telemetry-addr localhost:9090]
+//
+// With -connect the station half dials a teleopd hub instead of
+// spawning a local vehicle: the hub hosts the world and streams
+// (optionally delta-coded) world views down one multiplexed TCP
+// connection, and the same driver model steers over it.
+//
+//	teleop -connect 127.0.0.1:7340 [-scenario follow-vehicle] [-session lab-7]
+//	       [-seed 42] [-delta] [-duration 30s] [-subject T5] [-delay 50ms] [-drop 0.05]
 package main
 
 import (
@@ -54,6 +62,11 @@ func run(args []string) error {
 		drop      = fs.Float64("drop", 0, "message drop probability [0,1)")
 		addr      = fs.String("addr", "127.0.0.1:0", "TCP listen address")
 		telemAddr = fs.String("telemetry-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. localhost:9090); empty = off")
+		connect   = fs.String("connect", "", "dial a teleopd hub at this address instead of hosting a local vehicle")
+		scnName   = fs.String("scenario", "follow-vehicle", "hub scenario to join (-connect mode)")
+		sessName  = fs.String("session", "", "session label in hub telemetry (-connect mode; empty = scenario name)")
+		seed      = fs.Int64("seed", 42, "session network seed (-connect mode)")
+		delta     = fs.Bool("delta", false, "request keyframe+diff world-view streaming (-connect mode)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,6 +74,14 @@ func run(args []string) error {
 	prof, ok := driver.SubjectByName(*subject)
 	if !ok {
 		return fmt.Errorf("unknown subject %q", *subject)
+	}
+
+	if *connect != "" {
+		return connectHub(hubSessionParams{
+			addr: *connect, scenario: *scnName, session: *sessName,
+			seed: *seed, delta: *delta, duration: *duration,
+			delay: *delay, drop: *drop, profile: prof,
+		})
 	}
 
 	// Live-demo telemetry: the egress shims count messages per role.

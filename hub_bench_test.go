@@ -1,0 +1,70 @@
+package teledrive_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"teledrive/internal/driver"
+	"teledrive/internal/hub"
+	"teledrive/internal/rds"
+	"teledrive/internal/scenario"
+)
+
+// hubBenchSimTime bounds each tenant session's simulated lifetime: long
+// enough to exercise steady-state delta streaming past several keyframe
+// cycles, short enough that the 256-tenant point stays benchable.
+const hubBenchSimTime = 20 * time.Second
+
+// BenchmarkHubSessions measures multi-tenant hosting capacity: N
+// concurrent operator↔plant sessions (delta-streamed follow-vehicle
+// drives, decorrelated seeds) through one hub sharing immutable
+// scenario artifacts and a bounded arena freelist. Reported metrics:
+// sessions_per_core_s (tenant throughput normalized by GOMAXPROCS) and
+// frames_per_s (aggregate camera frames produced across all tenants).
+func BenchmarkHubSessions(b *testing.B) {
+	prof, ok := driver.SubjectByName("T5")
+	if !ok {
+		b.Fatal("unknown subject T5")
+	}
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprint(n), func(b *testing.B) {
+			h := hub.New(hub.Config{})
+			var frames uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Fresh specs every iteration: scenarios hold single-use
+				// worlds. The shared artifact behind them is cached.
+				specs := make([]hub.SessionSpec, n)
+				for j := range specs {
+					scn := scenario.FollowVehicle()
+					scn.Timeout = hubBenchSimTime
+					specs[j] = hub.SessionSpec{BenchConfig: rds.BenchConfig{
+						Scenario:       scn,
+						Profile:        prof,
+						Seed:           int64(1000 + j),
+						DeltaStreaming: true,
+					}}
+				}
+				results := h.RunMany(specs)
+				var art *scenario.Artifact
+				for j, res := range results {
+					if res.Err != nil {
+						b.Fatalf("session %d: %v", j, res.Err)
+					}
+					if art == nil {
+						art = res.Artifact
+					} else if res.Artifact != art {
+						b.Fatalf("session %d built from a different artifact pointer — sharing broke", j)
+					}
+					frames += res.Outcome.ServerStats.FramesSent
+				}
+			}
+			elapsed := b.Elapsed().Seconds()
+			sessions := float64(n * b.N)
+			b.ReportMetric(sessions/elapsed/float64(runtime.GOMAXPROCS(0)), "sessions_per_core_s")
+			b.ReportMetric(float64(frames)/elapsed, "frames_per_s")
+		})
+	}
+}

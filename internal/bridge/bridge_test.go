@@ -288,6 +288,7 @@ func TestMsgTypeString(t *testing.T) {
 	names := map[MsgType]string{
 		MsgFrame: "frame", MsgCollision: "collision", MsgLaneInvasion: "lane-invasion",
 		MsgControl: "control", MsgMeta: "meta", MsgMetaReply: "meta-reply",
+		MsgDeltaFrame: "delta-frame",
 	}
 	for typ, want := range names {
 		if got := typ.String(); got != want {

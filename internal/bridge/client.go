@@ -2,6 +2,7 @@ package bridge
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"time"
 
@@ -16,6 +17,8 @@ import (
 type ClientStats struct {
 	FramesReceived    uint64
 	FramesStale       uint64 // frames older than the one already displayed
+	DeltasApplied     uint64 // frames reconstructed from diffs (subset of FramesReceived)
+	DeltaResyncs      uint64 // diffs whose base the station no longer held
 	ControlsSent      uint64
 	ControlsDropped   uint64 // send-window full
 	CollisionsSeen    uint64
@@ -48,6 +51,10 @@ type Client struct {
 	metaSeq     uint64
 	stats       ClientStats
 	ins         *ClientInstruments // optional telemetry handles; nil = uninstrumented
+
+	// resyncStreak spaces out keyframe requests while the diff chain is
+	// broken; it resets whenever a frame is accepted.
+	resyncStreak int
 
 	// decodeView double-buffers the frame decode: each MsgFrame is
 	// decoded into it, and on acceptance it is swapped with latest, so
@@ -150,23 +157,31 @@ func (c *Client) handleMessage(payload []byte, latency time.Duration) {
 		if c.ins != nil {
 			c.ins.FramesReceived.Inc()
 		}
-		// Display only monotonically newer frames; an older frame that
-		// arrives late (reordering, duplication) is discarded — its
-		// decode target is simply reused by the next frame.
-		if c.latestValid && c.decodeView.Frame <= c.latest.Frame {
-			c.stats.FramesStale++
-			if c.ins != nil {
-				c.ins.FramesStale.Inc()
+		c.acceptDecoded(latency)
+	case MsgDeltaFrame:
+		// A diff applies against the displayed view; a chain break —
+		// nothing displayed yet, or the base frame was lost on the way —
+		// asks the server to restart with a keyframe.
+		if !c.latestValid {
+			c.stats.DeltaResyncs++
+			c.requestKeyframe()
+			return
+		}
+		if err := sensors.ApplyWorldViewDelta(&c.decodeView, c.latest, body); err != nil {
+			if errors.Is(err, sensors.ErrDeltaBaseMismatch) {
+				c.stats.DeltaResyncs++
+				c.requestKeyframe()
+			} else {
+				c.stats.ProtocolErrors++
 			}
 			return
 		}
-		c.latest, c.decodeView = c.decodeView, c.latest
-		c.latestValid = true
-		c.latestLat = latency
-		c.receivedAt = c.clock.Now()
-		if c.OnFrame != nil {
-			c.OnFrame(c.latest, latency)
+		c.stats.FramesReceived++
+		c.stats.DeltasApplied++
+		if c.ins != nil {
+			c.ins.FramesReceived.Inc()
 		}
+		c.acceptDecoded(latency)
 	case MsgCollision:
 		var ev CollisionWire
 		if json.Unmarshal(body, &ev) == nil {
@@ -196,6 +211,41 @@ func (c *Client) handleMessage(payload []byte, latency time.Duration) {
 		// here — or a kind this build does not know — is peer confusion
 		// to count, not traffic to ignore.
 		c.stats.ProtocolErrors++
+	}
+}
+
+// acceptDecoded promotes decodeView to the display if it is newer than
+// what is shown. Only monotonically newer frames display; an older
+// frame that arrives late (reordering, duplication) is discarded — its
+// decode target is simply reused by the next frame.
+func (c *Client) acceptDecoded(latency time.Duration) {
+	if c.latestValid && c.decodeView.Frame <= c.latest.Frame {
+		c.stats.FramesStale++
+		if c.ins != nil {
+			c.ins.FramesStale.Inc()
+		}
+		return
+	}
+	c.latest, c.decodeView = c.decodeView, c.latest
+	c.latestValid = true
+	c.latestLat = latency
+	c.receivedAt = c.clock.Now()
+	c.resyncStreak = 0
+	if c.OnFrame != nil {
+		c.OnFrame(c.latest, latency)
+	}
+}
+
+// requestKeyframe asks the server to restart the diff chain. Spaced
+// out: under sustained loss every broken diff would otherwise emit a
+// meta-command, and the requests ride the same lossy uplink — so the
+// first break asks immediately and persistence retries every eighth.
+func (c *Client) requestKeyframe() {
+	c.resyncStreak++
+	if c.resyncStreak == 1 || c.resyncStreak%8 == 0 {
+		// Best-effort: a lost request is retried by the streak above,
+		// and the server's keyframe cadence recovers the chain anyway.
+		_, _ = c.SendMeta("request_keyframe", nil)
 	}
 }
 

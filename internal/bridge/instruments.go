@@ -11,9 +11,11 @@ import (
 type ServerInstruments struct {
 	FramesSent      *telemetry.Counter
 	FramesDropped   *telemetry.Counter
+	DeltasSent      *telemetry.Counter
 	PayloadBytes    *telemetry.Counter
 	ControlsApplied *telemetry.Counter
 	EventsSent      *telemetry.Counter
+	EventsDropped   *telemetry.Counter
 }
 
 // NewServerInstruments binds the server instrument set in reg.
@@ -23,12 +25,42 @@ func NewServerInstruments(reg *telemetry.Registry) *ServerInstruments {
 	return &ServerInstruments{
 		FramesSent:    frames.With("sent"),
 		FramesDropped: frames.With("dropped"),
+		DeltasSent: reg.Counter("teledrive_bridge_frames_delta_total",
+			"Frames shipped as keyframe-relative diffs (subset of sent)."),
 		PayloadBytes: reg.Counter("teledrive_bridge_frame_payload_bytes_total",
 			"Serialized frame payload bytes handed to the transport."),
 		ControlsApplied: reg.Counter("teledrive_bridge_controls_applied_total",
 			"Driving commands applied to the ego plant."),
 		EventsSent: reg.Counter("teledrive_bridge_events_sent_total",
 			"Collision/lane-invasion sensor events streamed to the station."),
+		EventsDropped: reg.Counter("teledrive_bridge_events_dropped_total",
+			"Sensor events lost to a full send window or a marshal failure."),
+	}
+}
+
+// NewServerInstrumentsSession binds a hub-hosted server's instrument
+// set under per-session labels. The metric names are distinct from the
+// unlabeled teledrive_bridge_* family — the registry pins one label
+// schema per name, and the in-process run path binds the unlabeled
+// family in the same registry. Label cardinality is the caller's
+// problem: hubs label by session *name* (scenario or operator handle),
+// not by unbounded numeric id.
+func NewServerInstrumentsSession(reg *telemetry.Registry, session string) *ServerInstruments {
+	frames := reg.CounterVec("teledrive_hub_frames_total",
+		"Hub session camera frames at the sender, by session and outcome.", "session", "outcome")
+	events := reg.CounterVec("teledrive_hub_events_total",
+		"Hub session sensor events, by session and outcome.", "session", "outcome")
+	return &ServerInstruments{
+		FramesSent:    frames.With(session, "sent"),
+		FramesDropped: frames.With(session, "dropped"),
+		DeltasSent: reg.CounterVec("teledrive_hub_frames_delta_total",
+			"Hub session frames shipped as diffs.", "session").With(session),
+		PayloadBytes: reg.CounterVec("teledrive_hub_frame_payload_bytes_total",
+			"Hub session frame payload bytes handed to the transport.", "session").With(session),
+		ControlsApplied: reg.CounterVec("teledrive_hub_controls_applied_total",
+			"Hub session driving commands applied to the ego plant.", "session").With(session),
+		EventsSent:    events.With(session, "sent"),
+		EventsDropped: events.With(session, "dropped"),
 	}
 }
 

@@ -33,6 +33,7 @@ const (
 	MsgControl // client→server: vehicle control
 	MsgMeta    // client→server: meta-command
 	MsgMetaReply
+	MsgDeltaFrame // server→client: world view as a diff against a prior frame
 )
 
 // String returns a short message-type name.
@@ -50,6 +51,8 @@ func (t MsgType) String() string {
 		return "meta"
 	case MsgMetaReply:
 		return "meta-reply"
+	case MsgDeltaFrame:
+		return "delta-frame"
 	default:
 		return fmt.Sprintf("msg(%d)", uint8(t))
 	}

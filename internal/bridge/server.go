@@ -22,8 +22,10 @@ const PhysicsTick = 20 * time.Millisecond
 type ServerStats struct {
 	FramesSent      uint64
 	FramesDropped   uint64 // send-window full → frame skipped at the sender
+	DeltasSent      uint64 // frames shipped as diffs (subset of FramesSent)
 	ControlsApplied uint64
 	EventsSent      uint64
+	EventsDropped   uint64 // sensor events lost to a full window or a marshal failure
 	MetasHandled    uint64
 	ProtocolErrors  uint64 // malformed envelopes/bodies or kinds a server must never receive
 }
@@ -59,6 +61,18 @@ type Server struct {
 	// transport.Endpoint.Send copies the payload into its fragments.
 	view    sensors.WorldView
 	sendBuf []byte
+
+	// Delta-streaming state (DESIGN.md §14). baseView is a copy of the
+	// last successfully sent view — the diff base both peers hold. It
+	// only advances on successful sends, so a window-full drop never
+	// breaks the chain; on a lossy datagram link the client detects the
+	// break (ErrDeltaBaseMismatch) and requests a keyframe.
+	deltaStream   bool
+	keyframeEvery int
+	sinceKey      int
+	forceKey      bool
+	baseValid     bool
+	baseView      sensors.WorldView
 
 	// Owned tick timers (simclock.NewTimer): one struct per loop for the
 	// server's whole life instead of a fresh Timer per tick.
@@ -128,11 +142,43 @@ func (s *Server) SetOnTick(fn func(now time.Duration)) { s.OnTick = fn }
 
 // SetFrameInterval changes the camera frame period (effective from the
 // next scheduled frame). Non-positive values are ignored.
-func (s *Server) SetFrameInterval(d time.Duration) {
-	if d > 0 {
-		s.frameInterval = d
+func (s *Server) SetFrameInterval(d time.Duration) { s.trySetFrameInterval(d) }
+
+// trySetFrameInterval is the single validation path for frame-interval
+// changes: SetFrameInterval and the set_frame_interval meta-command
+// both go through it, so the guard cannot be bypassed.
+func (s *Server) trySetFrameInterval(d time.Duration) bool {
+	if d <= 0 {
+		return false
 	}
+	s.frameInterval = d
+	return true
 }
+
+// DefaultKeyframeEvery is the delta-streaming keyframe cadence in
+// frames: one keyframe per second at the default frame interval, so a
+// station that missed a resync round-trip still recovers on its own.
+const DefaultKeyframeEvery = 28
+
+// SetDeltaStreaming switches the downlink between full-frame and
+// keyframe+diff world-view streaming. keyframeEvery bounds the diff
+// chain length (non-positive = DefaultKeyframeEvery). Enabling always
+// restarts the chain with a keyframe. Delta streaming changes wire
+// sizes — and therefore trajectories on an impaired link — so the
+// canonical fingerprint cells run with it off.
+func (s *Server) SetDeltaStreaming(on bool, keyframeEvery int) {
+	s.deltaStream = on
+	if keyframeEvery <= 0 {
+		keyframeEvery = DefaultKeyframeEvery
+	}
+	s.keyframeEvery = keyframeEvery
+	s.baseValid = false
+	s.sinceKey = 0
+	s.forceKey = false
+}
+
+// DeltaStreaming reports whether the downlink ships diffs.
+func (s *Server) DeltaStreaming() bool { return s.deltaStream }
 
 // Start schedules the physics and camera loops on the simulated clock.
 // It is idempotent.
@@ -174,11 +220,25 @@ func (s *Server) cameraTick(now time.Duration) {
 		return
 	}
 	s.cam.CaptureInto(&s.view)
-	s.sendBuf = append(s.sendBuf[:0], byte(MsgFrame))
-	s.sendBuf = sensors.MarshalWorldViewAppend(s.sendBuf, s.view)
+	keyframe := true
+	if s.deltaStream && s.baseValid && !s.forceKey && s.sinceKey < s.keyframeEvery {
+		s.sendBuf = append(s.sendBuf[:0], byte(MsgDeltaFrame))
+		s.sendBuf = sensors.MarshalWorldViewDeltaAppend(s.sendBuf, s.baseView, s.view, s.cam.VideoDeltaBytes)
+		// A diff that does not beat the keyframe (mass actor turnover)
+		// is pure downside — fall back to the self-contained form.
+		if len(s.sendBuf) < 1+sensors.WorldViewWireSize(s.view) {
+			keyframe = false
+		}
+	}
+	if keyframe {
+		s.sendBuf = append(s.sendBuf[:0], byte(MsgFrame))
+		s.sendBuf = sensors.MarshalWorldViewAppend(s.sendBuf, s.view)
+	}
 	if err := s.ep.Send(s.sendBuf); err != nil {
 		// Send window full: the sender-side socket buffer is congested;
 		// drop this frame like a saturated video encoder queue would.
+		// baseView stays at the last accepted send, keeping the diff
+		// chain intact on a reliable link.
 		s.stats.FramesDropped++
 		if s.ins != nil {
 			s.ins.FramesDropped.Inc()
@@ -189,31 +249,61 @@ func (s *Server) cameraTick(now time.Duration) {
 			s.ins.FramesSent.Inc()
 			s.ins.PayloadBytes.Add(uint64(len(s.sendBuf)))
 		}
+		if s.deltaStream {
+			s.rememberBase(keyframe)
+		}
 	}
 	s.clock.Reschedule(s.camTimer, s.frameInterval)
+}
+
+// rememberBase records the just-sent view as the next diff base.
+func (s *Server) rememberBase(keyframe bool) {
+	s.baseView.Frame = s.view.Frame
+	s.baseView.SimTime = s.view.SimTime
+	s.baseView.VideoFill = s.view.VideoFill
+	s.baseView.Ego = s.view.Ego
+	s.baseView.Others = append(s.baseView.Others[:0], s.view.Others...)
+	s.baseValid = true
+	if keyframe {
+		s.sinceKey = 0
+		s.forceKey = false
+		return
+	}
+	s.sinceKey++
+	s.stats.DeltasSent++
+	if s.ins != nil {
+		s.ins.DeltasSent.Inc()
+	}
 }
 
 // flushEvents streams buffered sensor events to the client.
 func (s *Server) flushEvents() {
 	for _, ev := range s.colSen.Drain() {
-		if buf, err := marshalJSONMsg(MsgCollision, collisionToWire(ev)); err == nil {
-			if s.ep.Send(buf) == nil {
-				s.stats.EventsSent++
-				if s.ins != nil {
-					s.ins.EventsSent.Inc()
-				}
-			}
-		}
+		s.sendEvent(MsgCollision, collisionToWire(ev))
 	}
 	for _, ev := range s.lanSen.Drain() {
-		if buf, err := marshalJSONMsg(MsgLaneInvasion, laneInvasionToWire(ev)); err == nil {
-			if s.ep.Send(buf) == nil {
-				s.stats.EventsSent++
-				if s.ins != nil {
-					s.ins.EventsSent.Inc()
-				}
-			}
+		s.sendEvent(MsgLaneInvasion, laneInvasionToWire(ev))
+	}
+}
+
+// sendEvent streams one sensor event. A marshal failure or a full send
+// window loses the event — a collision the operator never learns about
+// — so every loss is counted instead of vanishing silently.
+func (s *Server) sendEvent(t MsgType, v any) {
+	buf, err := marshalJSONMsg(t, v)
+	if err == nil {
+		err = s.ep.Send(buf)
+	}
+	if err != nil {
+		s.stats.EventsDropped++
+		if s.ins != nil {
+			s.ins.EventsDropped.Inc()
 		}
+		return
+	}
+	s.stats.EventsSent++
+	if s.ins != nil {
+		s.ins.EventsSent.Inc()
 	}
 }
 
@@ -244,10 +334,10 @@ func (s *Server) handleMessage(payload []byte) {
 		}
 		s.handleMeta(cmd)
 	default:
-		// MsgFrame, MsgCollision, MsgLaneInvasion, and MsgMetaReply flow
-		// server→client only; receiving one here — or a kind this build
-		// does not know — is peer confusion to count, not traffic to
-		// ignore.
+		// MsgFrame, MsgDeltaFrame, MsgCollision, MsgLaneInvasion, and
+		// MsgMetaReply flow server→client only; receiving one here — or
+		// a kind this build does not know — is peer confusion to count,
+		// not traffic to ignore.
 		s.stats.ProtocolErrors++
 	}
 }
@@ -275,17 +365,25 @@ func (s *Server) handleMeta(cmd MetaCommand) {
 			s.cam.Range = 150
 		}
 	case "set_frame_interval":
+		// One validation path: the same guard SetFrameInterval uses, so
+		// the meta-command can never smuggle in an interval the API
+		// rejects.
 		d, err := time.ParseDuration(cmd.Args["interval"])
-		if err != nil || d <= 0 {
+		if err != nil || !s.trySetFrameInterval(d) {
 			reply.OK = false
 			reply.Error = fmt.Sprintf("set_frame_interval: bad interval %q", cmd.Args["interval"])
-			break
 		}
-		s.frameInterval = d
+	case "request_keyframe":
+		// Station lost the diff chain (or just joined): restart it with
+		// a self-contained frame on the next camera tick.
+		s.forceKey = true
 	case "get_stats":
 		reply.Data = map[string]string{
 			"frames_sent":    strconv.FormatUint(s.stats.FramesSent, 10),
 			"frames_dropped": strconv.FormatUint(s.stats.FramesDropped, 10),
+			"deltas_sent":    strconv.FormatUint(s.stats.DeltasSent, 10),
+			"events_sent":    strconv.FormatUint(s.stats.EventsSent, 10),
+			"events_dropped": strconv.FormatUint(s.stats.EventsDropped, 10),
 			"weather":        s.weather,
 		}
 	default:

@@ -1,0 +1,120 @@
+package hub_test
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"testing"
+
+	"teledrive/internal/hub"
+	"teledrive/internal/rds"
+	"teledrive/internal/scenario"
+	"teledrive/internal/telemetry"
+)
+
+// goldenDigests loads the canonical fingerprints recorded long before
+// the hub existed.
+func goldenDigests(t *testing.T) map[string]string {
+	t.Helper()
+	buf, err := os.ReadFile("../session/testdata/fingerprints.json")
+	if err != nil {
+		t.Fatalf("golden fingerprints: %v", err)
+	}
+	var want map[string]string
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// TestHubSessionsBitIdentical is the tenancy-isolation proof: every
+// canonical fingerprint cell, hosted concurrently in ONE hub — shared
+// artifact cache, recycled arenas, shared telemetry registry — must
+// reproduce the exact digest recorded when each cell ran alone in a
+// fresh process. Any cross-session leak (clock, RNG, arena, artifact
+// mutation) shows up as a digest mismatch.
+func TestHubSessionsBitIdentical(t *testing.T) {
+	want := goldenDigests(t)
+	h := hub.New(hub.Config{Workers: 3, Metrics: telemetry.NewRegistry()})
+
+	cells := rds.FingerprintCells()
+	specs := make([]hub.SessionSpec, len(cells))
+	for i, cell := range cells {
+		cfg := cell.Build()
+		cfg.Events = telemetry.NewEventSink(io.Discard)
+		specs[i] = hub.SessionSpec{BenchConfig: cfg, Name: cell.Name}
+	}
+	// Twice through the same hub: the second pass runs entirely on
+	// recycled arenas.
+	for pass := 0; pass < 2; pass++ {
+		results := h.RunMany(specs)
+		for i, res := range results {
+			if res.Err != nil {
+				t.Fatalf("pass %d cell %s: %v", pass, cells[i].Name, res.Err)
+			}
+			if w := want[cells[i].Name]; w == "" {
+				t.Errorf("cell %s has no golden digest", cells[i].Name)
+			} else if res.Digest != w {
+				t.Errorf("pass %d cell %s diverged under multi-tenant hosting\n golden %s\n got    %s",
+					pass, cells[i].Name, w, res.Digest)
+			}
+		}
+	}
+	if got := h.ActiveSessions(); got != 0 {
+		t.Errorf("ActiveSessions after drain = %d, want 0", got)
+	}
+}
+
+// TestRunManySharesArtifacts pins the memory model: N sessions on the
+// same scenario share one immutable artifact (pointer identity), and
+// the hub's cache hands back that same pointer.
+func TestRunManySharesArtifacts(t *testing.T) {
+	h := hub.New(hub.Config{Workers: 4})
+	const n = 8
+	specs := make([]hub.SessionSpec, n)
+	for i := range specs {
+		cfg := rds.FingerprintCells()[0].Build() // follow/T5/golden
+		cfg.Seed = int64(100 + i)
+		specs[i] = hub.SessionSpec{BenchConfig: cfg}
+	}
+	results := h.RunMany(specs)
+
+	first := results[0].Artifact
+	if first == nil {
+		t.Fatal("no artifact on first result")
+	}
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("session %d: %v", i, res.Err)
+		}
+		if res.Artifact != first {
+			t.Errorf("session %d built from a different artifact pointer", i)
+		}
+		if res.Outcome == nil || res.Outcome.WallTicks == 0 {
+			t.Errorf("session %d did not run", i)
+		}
+	}
+	cached, err := h.Artifacts().Get(scenario.FollowVehicle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached != first {
+		t.Error("hub artifact cache returned a different pointer than the sessions used")
+	}
+	if results[0].Digest == results[1].Digest {
+		t.Error("different seeds produced identical digests — seeds not decorrelating")
+	}
+}
+
+// TestRunReportsErrors exercises the error paths: no scenario, and a
+// spec whose config is rejected downstream.
+func TestRunReportsErrors(t *testing.T) {
+	h := hub.New(hub.Config{Workers: 1, Metrics: telemetry.NewRegistry()})
+	res := h.Run(hub.SessionSpec{Name: "empty"})
+	if res.Err == nil {
+		t.Fatal("nil-scenario spec did not error")
+	}
+	if res.Name != "empty" {
+		t.Errorf("Name = %q, want empty label preserved", res.Name)
+	}
+}

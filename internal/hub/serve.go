@@ -1,0 +1,425 @@
+package hub
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"teledrive/internal/bridge"
+	"teledrive/internal/scenario"
+	"teledrive/internal/session"
+	"teledrive/internal/simclock"
+	"teledrive/internal/transport"
+)
+
+// Serve accepts station connections on ln until the listener closes (or
+// Close is called) and hosts one live session per join. Every session
+// runs on its own goroutine with its own simulated clock; the shared
+// TCP stream routes frames by session id.
+func (h *Hub) Serve(ln net.Listener) error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return fmt.Errorf("hub: serve on closed hub")
+	}
+	h.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			h.mu.Lock()
+			closed := h.closed
+			h.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		hc := &hubConn{h: h, c: c, ww: newWireWriter(c), sessions: make(map[uint64]*liveSession)}
+		h.mu.Lock()
+		if h.closed {
+			h.mu.Unlock()
+			_ = c.Close()
+			return nil
+		}
+		h.conns[hc] = struct{}{}
+		h.mu.Unlock()
+		go hc.readLoop()
+	}
+}
+
+// Close tears the hub down: every served connection closes and every
+// live session is killed. Batch runs in flight finish normally.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	h.closed = true
+	conns := make([]*hubConn, 0, len(h.conns))
+	for hc := range h.conns {
+		conns = append(conns, hc)
+	}
+	h.mu.Unlock()
+	for _, hc := range conns {
+		_ = hc.c.Close() // readLoop unwinds and kills its sessions
+	}
+}
+
+// hubConn is one station connection: a read goroutine that demuxes
+// incoming messages to its sessions, and a mutex-serialized writer the
+// sessions share for the downlink.
+type hubConn struct {
+	h *Hub
+	c net.Conn
+
+	wmu sync.Mutex
+	ww  *wireWriter
+
+	mu       sync.Mutex
+	sessions map[uint64]*liveSession
+}
+
+// write frames one message onto the shared stream.
+func (hc *hubConn) write(session uint64, kind byte, body []byte) error {
+	hc.wmu.Lock()
+	defer hc.wmu.Unlock()
+	return hc.ww.writeMsg(session, kind, body)
+}
+
+func (hc *hubConn) writeJSON(session uint64, kind byte, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return hc.write(session, kind, body)
+}
+
+func (hc *hubConn) lookup(id uint64) *liveSession {
+	hc.mu.Lock()
+	defer hc.mu.Unlock()
+	return hc.sessions[id]
+}
+
+func (hc *hubConn) remove(id uint64) {
+	hc.mu.Lock()
+	delete(hc.sessions, id)
+	hc.mu.Unlock()
+}
+
+// readLoop demuxes the station's uplink until the connection dies, then
+// kills every session it spawned.
+func (hc *hubConn) readLoop() {
+	defer func() {
+		hc.mu.Lock()
+		live := make([]*liveSession, 0, len(hc.sessions))
+		for _, ls := range hc.sessions {
+			live = append(live, ls)
+		}
+		hc.mu.Unlock()
+		for _, ls := range live {
+			ls.kill("killed")
+		}
+		_ = hc.c.Close()
+		hc.h.mu.Lock()
+		delete(hc.h.conns, hc)
+		hc.h.mu.Unlock()
+	}()
+
+	br := newReader(hc.c)
+	for {
+		m, err := readMsg(br)
+		if err != nil {
+			// Clean EOF and hostile garbage end the same way — the
+			// connection is done — but garbage is counted first.
+			if h := hc.h; h.ins != nil && !isEOF(err) {
+				h.ins.ProtocolErrors.Inc()
+			}
+			if !isEOF(err) {
+				//lint:allow errswallow best-effort farewell: the connection is already being torn down
+				_ = hc.writeJSON(0, kindError, WireError{Error: err.Error()})
+			}
+			return
+		}
+		switch m.Kind {
+		case kindJoin:
+			var req JoinRequest
+			if err := json.Unmarshal(m.Body, &req); err != nil {
+				if hc.h.ins != nil {
+					hc.h.ins.ProtocolErrors.Inc()
+				}
+				//lint:allow errswallow best-effort reject: a dead connection surfaces at the next read
+				_ = hc.writeJSON(0, kindJoined, JoinReply{Error: "bad join request: " + err.Error()})
+				continue
+			}
+			hc.handleJoin(req)
+		case kindBridge:
+			ls := hc.lookup(m.Session)
+			if ls == nil {
+				// A message for a session that already ended races its
+				// kindEnd — not an error, just late traffic.
+				continue
+			}
+			select {
+			case ls.inbox <- m.Body:
+			default:
+				// Inbox full: the session is falling behind its station.
+				// Shedding uplink load here mirrors a congested socket.
+				if hc.h.ins != nil {
+					hc.h.ins.UplinkDropped.Inc()
+				}
+			}
+		case kindLeave:
+			if ls := hc.lookup(m.Session); ls != nil {
+				ls.kill("left")
+			}
+		default:
+			if hc.h.ins != nil {
+				hc.h.ins.ProtocolErrors.Inc()
+			}
+		}
+	}
+}
+
+// handleJoin builds a live session and answers the join. Joins on one
+// connection are answered in request order because one goroutine (this
+// read loop) processes them.
+func (hc *hubConn) handleJoin(req JoinRequest) {
+	ls, err := hc.h.newLiveSession(hc, req)
+	if err != nil {
+		//lint:allow errswallow best-effort reject: a dead connection surfaces at the next read
+		_ = hc.writeJSON(0, kindJoined, JoinReply{Error: err.Error()})
+		return
+	}
+	hc.mu.Lock()
+	hc.sessions[ls.id] = ls
+	hc.mu.Unlock()
+	if err := hc.writeJSON(ls.id, kindJoined, JoinReply{SessionID: ls.id, Scenario: ls.scenarioName}); err != nil {
+		// Station unreachable: abandon before the first tick.
+		hc.remove(ls.id)
+		ls.release()
+		return
+	}
+	go ls.run()
+}
+
+// liveSession is one served operator↔plant session. The run goroutine
+// owns the simulated clock, the world, and the bridge server; the only
+// cross-goroutine surfaces are the inbox channel, the quit channel, and
+// the shared connection writer.
+type liveSession struct {
+	id           uint64
+	name         string
+	scenarioName string
+	h            *Hub
+	conn         *hubConn
+
+	clock    *simclock.Clock
+	srv      *bridge.Server
+	station  *transport.Endpoint // session-internal endpoint the relay feeds
+	scratch  *session.RunScratch
+	duration time.Duration
+	turbo    bool
+
+	inbox chan []byte // station→plant bridge messages
+
+	quitOnce sync.Once
+	reason   string // written once, before quit closes
+	quit     chan struct{}
+	done     chan struct{}
+}
+
+// newLiveSession builds the session world and stack. The caller
+// registers it and starts run().
+func (h *Hub) newLiveSession(hc *hubConn, req JoinRequest) (*liveSession, error) {
+	scn, ok := scenario.ByName(req.Scenario)
+	if !ok {
+		return nil, fmt.Errorf("hub: unknown scenario %q", req.Scenario)
+	}
+	if req.Rule != nil {
+		if err := req.Rule.Validate(); err != nil {
+			return nil, fmt.Errorf("hub: join rule: %w", err)
+		}
+	}
+	art, err := h.arts.Get(scn)
+	if err != nil {
+		return nil, err
+	}
+	scr := h.getScratch()
+	fail := func(err error) (*liveSession, error) {
+		h.putScratch(scr)
+		return nil, err
+	}
+	scr.Reset()
+	built, err := scn.BuildWith(art, scr.World)
+	if err != nil {
+		return fail(err)
+	}
+
+	name := req.Name
+	if name == "" {
+		name = scn.Name
+	}
+	ls := &liveSession{
+		id:           h.nextID.Add(1),
+		name:         name,
+		scenarioName: scn.Name,
+		h:            h,
+		conn:         hc,
+		clock:        simclock.New(),
+		scratch:      scr,
+		turbo:        h.cfg.Turbo,
+		inbox:        make(chan []byte, 256),
+		quit:         make(chan struct{}),
+		done:         make(chan struct{}),
+	}
+
+	topts := transport.Options{Name: "hub", Reliable: !req.Datagram, Pools: scr.Pools}
+	// Server handler late-binds (the endpoint exists before the server);
+	// the station-side handler relays every delivered bridge message onto
+	// the shared TCP stream under this session's id. writeMsg does not
+	// retain the payload, honoring the pooled-delivery contract.
+	var srv *bridge.Server
+	conn := transport.Connect(ls.clock, req.Seed, topts,
+		func(payload []byte, seq uint64, lat time.Duration) {
+			if srv != nil {
+				srv.Handler()(payload, seq, lat)
+			}
+		},
+		func(payload []byte, _ uint64, _ time.Duration) {
+			//lint:allow errswallow best-effort downlink relay: a dead connection is detected (and the session killed) by its read loop
+			_ = ls.conn.write(ls.id, kindBridge, payload)
+		},
+	)
+	srv, err = bridge.NewServer(ls.clock, built.World, built.Ego, conn.A)
+	if err != nil {
+		return fail(err)
+	}
+	ls.srv = srv
+	ls.station = conn.B
+	if h.cfg.Metrics != nil {
+		srv.SetInstruments(bridge.NewServerInstrumentsSession(h.cfg.Metrics, name))
+	}
+	if req.Rule != nil {
+		if err := conn.Links.ApplyBoth(*req.Rule); err != nil {
+			return fail(err)
+		}
+	}
+	if req.FrameIntervalNS > 0 {
+		srv.SetFrameInterval(time.Duration(req.FrameIntervalNS))
+	}
+	if req.VideoBytes > 0 {
+		srv.Camera().VideoFrameBytes = req.VideoBytes
+	}
+	if req.VideoDeltaBytes > 0 {
+		srv.Camera().VideoDeltaBytes = req.VideoDeltaBytes
+	}
+	if req.Delta {
+		srv.SetDeltaStreaming(true, req.KeyframeEvery)
+	}
+	if scn.Weather != "" {
+		// Scenario weather applies through the same meta path a station
+		// would use; the reply rides the downlink like any other.
+		body, err := json.Marshal(bridge.MetaCommand{Cmd: "set_weather", Args: map[string]string{"weather": scn.Weather}})
+		if err != nil {
+			return fail(err)
+		}
+		srv.Handler()(append([]byte{byte(bridge.MsgMeta)}, body...), 0, 0)
+	}
+	ls.duration = scn.Timeout
+	if req.DurationNS > 0 {
+		ls.duration = time.Duration(req.DurationNS)
+	}
+	return ls, nil
+}
+
+// kill requests asynchronous teardown with the given reason. The first
+// caller wins; run() observes the closed quit channel and finishes.
+func (ls *liveSession) kill(reason string) {
+	ls.quitOnce.Do(func() {
+		ls.reason = reason
+		close(ls.quit)
+	})
+}
+
+// release returns the session's arena without having run (join-reply
+// write failure). Sessions that ran release through finish.
+func (ls *liveSession) release() {
+	ls.h.putScratch(ls.scratch)
+	close(ls.done)
+}
+
+// run drives the session: simulated time advances in physics-tick
+// steps, paced to the wall clock unless the hub is in turbo mode, with
+// station uplink drained between steps. It exits at the session
+// duration or on kill.
+func (ls *liveSession) run() {
+	h := ls.h
+	h.active.Add(1)
+	if h.ins != nil {
+		h.ins.SessionsActive.Inc()
+	}
+	ls.srv.Start()
+	//lint:allow wallclock live serving: remote stations run in real time, so sim time is paced to (slaved under) the wall clock
+	start := time.Now()
+	next := time.Duration(0)
+	for {
+		// Drain whatever the station sent, then take one step.
+		select {
+		case <-ls.quit:
+			ls.finish()
+			return
+		case buf := <-ls.inbox:
+			// A full uplink window sheds like a congested socket.
+			_ = ls.station.Send(buf)
+			continue
+		default:
+		}
+		if !ls.turbo {
+			//lint:allow wallclock live serving: pacing each tick to real time keeps remote operators in sync
+			if wait := time.Until(start.Add(next)); wait > 0 {
+				select {
+				case <-ls.quit:
+					ls.finish()
+					return
+				case buf := <-ls.inbox:
+					_ = ls.station.Send(buf)
+					continue
+				//lint:allow wallclock live serving: pacing each tick to real time keeps remote operators in sync
+				case <-time.After(wait):
+				}
+			}
+		}
+		next += bridge.PhysicsTick
+		ls.clock.AdvanceTo(next)
+		if next >= ls.duration {
+			ls.kill("completed")
+			ls.finish()
+			return
+		}
+	}
+}
+
+// finish tears the session down: stop the loops, report terminal state,
+// release the arena. Only run() calls it, exactly once.
+func (ls *liveSession) finish() {
+	ls.srv.Stop()
+	st := ls.srv.Stats()
+	end := SessionEnd{
+		SessionID: ls.id, Reason: ls.reason,
+		SimTimeNS:  int64(ls.clock.Now()),
+		FramesSent: st.FramesSent, FramesDropped: st.FramesDropped,
+		DeltasSent: st.DeltasSent, EventsSent: st.EventsSent,
+		EventsDropped: st.EventsDropped, Controls: st.ControlsApplied,
+	}
+	// Best-effort: the connection may already be gone.
+	//lint:allow errswallow terminal report on a possibly-dead connection
+	_ = ls.conn.writeJSON(ls.id, kindEnd, end)
+	ls.conn.remove(ls.id)
+	h := ls.h
+	h.putScratch(ls.scratch)
+	h.active.Add(-1)
+	if h.ins != nil {
+		h.ins.SessionsActive.Dec()
+		h.ins.servedDone(ls.reason)
+	}
+	close(ls.done)
+}

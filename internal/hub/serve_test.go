@@ -1,0 +1,309 @@
+package hub_test
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"teledrive/internal/hub"
+	"teledrive/internal/netem"
+	"teledrive/internal/sensors"
+	"teledrive/internal/telemetry"
+	"teledrive/internal/vehicle"
+)
+
+// startHub serves a hub on a loopback listener and tears it down with
+// the test.
+func startHub(t *testing.T, cfg hub.Config) (*hub.Hub, string) {
+	t.Helper()
+	h := hub.New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = h.Serve(ln) }()
+	t.Cleanup(func() {
+		h.Close()
+		_ = ln.Close()
+	})
+	return h, ln.Addr().String()
+}
+
+// waitDrained polls until the hub has no active sessions.
+func waitDrained(t *testing.T, h *hub.Hub, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for h.ActiveSessions() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("hub still has %d active sessions after %v", h.ActiveSessions(), within)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestHubServeLifecycle drives two concurrent sessions over one
+// station connection end to end: join by name, stream delta-coded
+// frames, send controls, and observe a clean "completed" end for both.
+func TestHubServeLifecycle(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	h, addr := startHub(t, hub.Config{Turbo: true, Metrics: reg})
+
+	st, err := hub.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	// Unknown scenarios are rejected before any session spins up.
+	if _, err := st.Join(hub.JoinRequest{Scenario: "no-such-road"}); err == nil {
+		t.Fatal("join of unknown scenario succeeded")
+	}
+
+	join := func(scn string, seed int64) *hub.StationSession {
+		ss, err := st.Join(hub.JoinRequest{
+			Scenario:   scn,
+			Seed:       seed,
+			Delta:      true,
+			DurationNS: (4 * time.Second).Nanoseconds(),
+		})
+		if err != nil {
+			t.Fatalf("join %s: %v", scn, err)
+		}
+		return ss
+	}
+	a := join("follow-vehicle", 11)
+	b := join("training", 22)
+	if a.ID == b.ID {
+		t.Fatalf("both sessions got id %d", a.ID)
+	}
+
+	// Throttle on every displayed frame: exercises the uplink relay.
+	a.SetOnFrame(func(_ sensors.WorldView) {
+		_ = a.SendControl(vehicle.Control{Throttle: 0.3})
+	})
+	for _, ss := range []*hub.StationSession{a, b} {
+		end, ok := ss.Wait(30 * time.Second)
+		if !ok {
+			t.Fatalf("session %d never ended", ss.ID)
+		}
+		if end.Reason != "completed" {
+			t.Fatalf("session %d ended %q, want completed", ss.ID, end.Reason)
+		}
+		if end.FramesSent == 0 || end.DeltasSent == 0 {
+			t.Errorf("session %d sent frames=%d deltas=%d, want both > 0",
+				ss.ID, end.FramesSent, end.DeltasSent)
+		}
+		stats := ss.Stats()
+		if stats.FramesReceived == 0 {
+			t.Errorf("session %d station displayed no frames", ss.ID)
+		}
+		if stats.DeltasApplied == 0 {
+			t.Errorf("session %d station applied no deltas", ss.ID)
+		}
+		if _, ok := ss.Frame(); !ok {
+			t.Errorf("session %d has no displayed frame", ss.ID)
+		}
+	}
+	waitDrained(t, h, 5*time.Second)
+}
+
+// TestHubChaosMidFrameKill cuts the station connection while frames are
+// mid-flight; the hub must reap the session without deadlock or leak.
+func TestHubChaosMidFrameKill(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	h, addr := startHub(t, hub.Config{Metrics: reg}) // paced: session outlives the kill
+
+	st, err := hub.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := st.Join(hub.JoinRequest{
+		Scenario:   "follow-vehicle",
+		Seed:       7,
+		Delta:      true,
+		DurationNS: (2 * time.Minute).Nanoseconds(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for live traffic, then yank the socket mid-stream.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, ok := ss.Frame(); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no frame before kill")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := ss.SendControl(vehicle.Control{Throttle: 0.5}); err != nil {
+		t.Fatalf("control before kill: %v", err)
+	}
+	_ = st.Close()
+
+	// The station sees a local "killed" end; the hub reaps the session.
+	end, ok := ss.Wait(5 * time.Second)
+	if !ok {
+		t.Fatal("session never ended locally after connection kill")
+	}
+	if end.Reason != "killed" {
+		t.Errorf("end reason %q, want killed", end.Reason)
+	}
+	waitDrained(t, h, 10*time.Second)
+}
+
+// TestHubChaosDeltaResync runs a lossy datagram downlink under delta
+// streaming: dropped frames break the diff chain, the station requests
+// keyframes, and the stream keeps healing for the session's lifetime.
+func TestHubChaosDeltaResync(t *testing.T) {
+	h, addr := startHub(t, hub.Config{}) // paced: resync round-trips in real time
+
+	st, err := hub.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ss, err := st.Join(hub.JoinRequest{
+		Scenario:      "follow-vehicle",
+		Seed:          99,
+		Delta:         true,
+		KeyframeEvery: 12,
+		Datagram:      true,
+		Rule:          &netem.Rule{Loss: 0.15},
+		// Small video keeps frames near one MTU each; with the 24 KB
+		// default a keyframe is ~18 fragments and almost never survives
+		// the lossy link intact.
+		VideoBytes:      900,
+		VideoDeltaBytes: 200,
+		DurationNS:      (6 * time.Second).Nanoseconds(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	end, ok := ss.Wait(60 * time.Second)
+	if !ok {
+		t.Fatal("session never ended")
+	}
+	if end.Reason != "completed" {
+		t.Fatalf("end reason %q, want completed", end.Reason)
+	}
+	stats := ss.Stats()
+	if stats.DeltaResyncs == 0 {
+		t.Error("15% datagram loss under delta streaming produced no resyncs")
+	}
+	if stats.FramesReceived < 20 {
+		t.Errorf("station displayed only %d frames over 6s — stream did not heal", stats.FramesReceived)
+	}
+	if stats.DeltasApplied == 0 {
+		t.Error("no deltas applied despite delta streaming")
+	}
+	waitDrained(t, h, 5*time.Second)
+}
+
+// TestHubChurnConcurrentJoinLeave hammers one hub with stations that
+// join, drive briefly, and leave (or just vanish) concurrently. All
+// session ids stay unique and everything drains.
+func TestHubChurnConcurrentJoinLeave(t *testing.T) {
+	h, addr := startHub(t, hub.Config{Turbo: true, Metrics: telemetry.NewRegistry()})
+
+	const stations = 3
+	const perStation = 4
+	var mu sync.Mutex
+	ids := make(map[uint64]string)
+
+	var wg sync.WaitGroup
+	for s := 0; s < stations; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			st, err := hub.Dial(addr)
+			if err != nil {
+				t.Errorf("station %d: %v", s, err)
+				return
+			}
+			defer st.Close()
+			var sw sync.WaitGroup
+			for j := 0; j < perStation; j++ {
+				sw.Add(1)
+				go func(j int) {
+					defer sw.Done()
+					ss, err := st.Join(hub.JoinRequest{
+						Scenario:   "training",
+						Seed:       int64(s*100 + j),
+						Delta:      j%2 == 0,
+						DurationNS: (3 * time.Second).Nanoseconds(),
+					})
+					if err != nil {
+						t.Errorf("station %d join %d: %v", s, j, err)
+						return
+					}
+					mu.Lock()
+					if prev, dup := ids[ss.ID]; dup {
+						t.Errorf("session id %d assigned twice (%s and station %d)", ss.ID, prev, s)
+					}
+					ids[ss.ID] = fmt.Sprintf("station %d join %d", s, j)
+					mu.Unlock()
+					if j%2 == 1 {
+						// Leave mid-run; the hub answers with a terminal end.
+						_ = ss.Leave()
+					}
+					if _, ok := ss.Wait(30 * time.Second); !ok {
+						t.Errorf("station %d session %d never ended", s, ss.ID)
+					}
+				}(j)
+			}
+			sw.Wait()
+		}(s)
+	}
+	wg.Wait()
+	if len(ids) != stations*perStation {
+		t.Errorf("tracked %d unique sessions, want %d", len(ids), stations*perStation)
+	}
+	waitDrained(t, h, 10*time.Second)
+}
+
+// TestHubHostileBytes throws garbage at a served socket: the hub must
+// answer with a wire error (counted), close the connection, and keep
+// serving well-formed stations.
+func TestHubHostileBytes(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	h, addr := startHub(t, hub.Config{Turbo: true, Metrics: reg})
+
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write([]byte("\xff\xff\xff\xff totally not a frame")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 512)
+	_ = c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	n, _ := c.Read(buf) // hub sends kindError then closes
+	_ = c.Close()
+	if n == 0 {
+		t.Error("hub closed without a wire error reply")
+	}
+
+	// The hub survives: a well-formed station still gets service.
+	st, err := hub.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ss, err := st.Join(hub.JoinRequest{
+		Scenario:   "training",
+		Seed:       1,
+		DurationNS: (1 * time.Second).Nanoseconds(),
+	})
+	if err != nil {
+		t.Fatalf("join after hostile peer: %v", err)
+	}
+	if end, ok := ss.Wait(30 * time.Second); !ok || end.Reason != "completed" {
+		t.Fatalf("session after hostile peer: ok=%v end=%+v", ok, end)
+	}
+	waitDrained(t, h, 5*time.Second)
+}

@@ -1,0 +1,74 @@
+package rds
+
+import (
+	"bytes"
+	"slices"
+	"testing"
+	"time"
+
+	"teledrive/internal/sensors"
+)
+
+// TestDeltaReconstructionCanonicalCells proves the delta codec on real
+// scenario data: every canonical fingerprint cell is driven with delta
+// streaming on, and for every frame the station displays, an
+// independent shadow chain diffs the previous displayed view against
+// the current one and requires the reconstruction to re-marshal
+// byte-identical to the full frame. The wire win rides along: a
+// steady-state diff must beat the full frame it replaces.
+func TestDeltaReconstructionCanonicalCells(t *testing.T) {
+	for _, cell := range FingerprintCells() {
+		t.Run(cell.Name, func(t *testing.T) {
+			t.Parallel()
+			cfg := cell.Build()
+			cfg.DeltaStreaming = true
+
+			var prev sensors.WorldView
+			prevValid := false
+			frames, larger := 0, 0
+			cfg.OnStationFrame = func(view sensors.WorldView, _ time.Duration) {
+				frames++
+				full := sensors.MarshalWorldView(view)
+				if prevValid {
+					delta := sensors.MarshalWorldViewDelta(prev, view, sensors.DefaultVideoDeltaBytes)
+					var got sensors.WorldView
+					if err := sensors.ApplyWorldViewDelta(&got, prev, delta); err != nil {
+						t.Errorf("frame %d: apply: %v", view.Frame, err)
+						return
+					}
+					if !bytes.Equal(sensors.MarshalWorldView(got), full) {
+						t.Errorf("frame %d: delta reconstruction differs from full marshal", view.Frame)
+					}
+					if len(delta) >= len(full) {
+						larger++
+					}
+				}
+				// The client double-buffers the view it hands out, so the
+				// shadow base must be a deep copy.
+				prev.Frame, prev.SimTime, prev.VideoFill = view.Frame, view.SimTime, view.VideoFill
+				prev.Ego = view.Ego
+				prev.Others = slices.Grow(prev.Others[:0], len(view.Others))
+				prev.Others = append(prev.Others, view.Others...)
+				prevValid = true
+			}
+
+			out, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if frames < 100 {
+				t.Fatalf("only %d frames displayed", frames)
+			}
+			if out.ServerStats.DeltasSent == 0 || out.ClientStats.DeltasApplied == 0 {
+				t.Fatalf("delta streaming moved no diffs: server %+v client %+v",
+					out.ServerStats, out.ClientStats)
+			}
+			// Steady state dominates these drives: consecutive frames share
+			// the actor set, so practically every diff must beat the
+			// keyframe (the sender falls back to a full frame otherwise).
+			if larger*10 > frames {
+				t.Fatalf("%d/%d shadow diffs not smaller than the full frame", larger, frames)
+			}
+		})
+	}
+}

@@ -118,6 +118,16 @@ func RunFingerprintPooled(c FingerprintCell, scratch *session.RunScratch, arts *
 	if err != nil {
 		return "", fmt.Errorf("fingerprint cell %s: %w", c.Name, err)
 	}
+	return OutcomeDigest(out), nil
+}
+
+// OutcomeDigest renders the equivalence digest of a finished run: the
+// trace fingerprint plus the outcome scalars a refactor must preserve.
+// It reads Outcome.Log, so with a pooled scratch it must be taken before
+// the scratch is reused. The format is pinned by the goldens under
+// internal/session/testdata — extending it invalidates every recorded
+// fingerprint.
+func OutcomeDigest(out *Outcome) string {
 	return fmt.Sprintf(
 		"%s|completed=%v|timedout=%v|injected=%d|egocol=%d|station=%x|ticks=%d|frames=%d/%d|controls=%d|sent=%d/%d",
 		trace.Fingerprint(out.Log), out.Completed, out.TimedOut, out.Injected,
@@ -125,7 +135,7 @@ func RunFingerprintPooled(c FingerprintCell, scratch *session.RunScratch, arts *
 		out.ServerStats.FramesSent, out.ServerStats.FramesDropped,
 		out.ServerStats.ControlsApplied,
 		out.ClientStats.ControlsSent, out.ClientStats.ControlsDropped,
-	), nil
+	)
 }
 
 func mustSubject(name string) driver.Profile {

@@ -97,6 +97,19 @@ type BenchConfig struct {
 	// FrameInterval overrides the camera frame period (ablation; the
 	// paper's feed ran at 25-30 fps).
 	FrameInterval time.Duration
+	// DeltaStreaming ships the downlink as keyframe+diff world views
+	// (DESIGN.md §14) when the plant supports it. Delta streaming changes
+	// wire sizes — and therefore netem RNG draws and trajectories on an
+	// impaired link — so the canonical fingerprint cells leave it off.
+	DeltaStreaming bool
+	// KeyframeEvery bounds the diff chain length when DeltaStreaming is
+	// on (non-positive = bridge.DefaultKeyframeEvery).
+	KeyframeEvery int
+	// OnStationFrame, when non-nil, runs for every frame the station
+	// displays — after the spine's Frame observers, with the reconstructed
+	// view. Hub hosting and the delta equivalence tests tap it; the view
+	// is only valid during the call (the client double-buffers).
+	OnStationFrame func(view sensors.WorldView, latency time.Duration)
 	// Observers are appended to the session's spine after the trace
 	// recorder: they see every tick, frame, fault, collision and
 	// condition span of the run. Tick/Frame handlers must not allocate
@@ -284,6 +297,9 @@ func Run(cfg BenchConfig) (*Outcome, error) {
 	// them; latency observers ride along for free).
 	stack.Client.OnFrame = func(view sensors.WorldView, latency time.Duration) {
 		spine.Frame(clock.Now(), view.Frame, latency)
+		if cfg.OnStationFrame != nil {
+			cfg.OnStationFrame(view, latency)
+		}
 	}
 
 	var inj *faultinject.Injector
@@ -338,6 +354,13 @@ func Run(cfg BenchConfig) (*Outcome, error) {
 		Wire: func(spine session.Observers) error {
 			if cfg.FrameInterval > 0 {
 				stack.Plant.SetFrameInterval(cfg.FrameInterval)
+			}
+			if cfg.DeltaStreaming {
+				ds, ok := stack.Plant.(interface{ SetDeltaStreaming(bool, int) })
+				if !ok {
+					return fmt.Errorf("rds: delta streaming requested but plant %T cannot stream diffs", stack.Plant)
+				}
+				ds.SetDeltaStreaming(true, cfg.KeyframeEvery)
 			}
 			if cfg.PersistentRule != nil {
 				if faults == nil {

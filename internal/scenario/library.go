@@ -207,6 +207,27 @@ func FollowVehicleNight() *Scenario {
 	return s
 }
 
+// ByName returns a fresh instance of the library scenario with the
+// given name — the lookup remote stations and hub join requests use to
+// pick a drive by wire-friendly identifier. Scenarios hold single-use
+// worlds, so every call builds anew.
+func ByName(name string) (*Scenario, bool) {
+	switch name {
+	case "follow-vehicle":
+		return FollowVehicle(), true
+	case "follow-vehicle-night":
+		return FollowVehicleNight(), true
+	case "lane-change-slalom":
+		return LaneChangeSlalom(), true
+	case "overtake":
+		return Overtake(), true
+	case "training":
+		return Training(), true
+	default:
+		return nil, false
+	}
+}
+
 // TestScenarios returns the scenarios of a §V-E2 test run, in driving
 // order.
 func TestScenarios() []*Scenario {

@@ -254,3 +254,29 @@ func TestNightScenario(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestByNameCoversLibrary(t *testing.T) {
+	all := append(TestScenarios(), Training(), FollowVehicleNight())
+	for _, want := range all {
+		got, ok := ByName(want.Name)
+		if !ok {
+			t.Errorf("ByName(%q) not found", want.Name)
+			continue
+		}
+		if got.Name != want.Name {
+			t.Errorf("ByName(%q) returned %q", want.Name, got.Name)
+		}
+		if err := got.Validate(); err != nil {
+			t.Errorf("ByName(%q): %v", want.Name, err)
+		}
+	}
+	if _, ok := ByName("no-such-drive"); ok {
+		t.Fatal("unknown name resolved")
+	}
+	// Fresh instance per call: scenarios hold single-use worlds.
+	a, _ := ByName("training")
+	b, _ := ByName("training")
+	if a == b {
+		t.Fatal("ByName returned a shared instance")
+	}
+}

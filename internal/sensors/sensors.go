@@ -64,6 +64,10 @@ type Camera struct {
 	RearRange float64
 	// VideoFrameBytes is the synthetic video payload per frame.
 	VideoFrameBytes int
+	// VideoDeltaBytes is the synthetic video residual a delta frame
+	// ships instead of VideoFrameBytes when the bridge streams
+	// keyframe+diff views (DESIGN.md §14).
+	VideoDeltaBytes int
 
 	w   *world.World
 	ego *world.Actor
@@ -75,7 +79,7 @@ const DefaultFrameInterval = 36 * time.Millisecond
 
 // NewCamera creates a camera following the ego actor.
 func NewCamera(w *world.World, ego *world.Actor) *Camera {
-	return &Camera{Range: 150, RearRange: 30, VideoFrameBytes: DefaultVideoFrameBytes, w: w, ego: ego}
+	return &Camera{Range: 150, RearRange: 30, VideoFrameBytes: DefaultVideoFrameBytes, VideoDeltaBytes: DefaultVideoDeltaBytes, w: w, ego: ego}
 }
 
 // Capture snapshots the currently visible scene.

@@ -1,6 +1,6 @@
 #!/bin/sh
 # ci.sh — the one-command verification gate for a PR branch:
-# build + vet + lint + race + fingerprint + fingerprint-pooled, in
+# build + vet + lint + race + race-hub + fingerprint + fingerprint-pooled, in
 # order, stopping at the first failure. Slower batteries are separate opt-ins: `make fuzz`
 # (hostile-input budget), `make race-dist` (full distributed campaign
 # battery over localhost TCP), `make bench` (paper tables).
@@ -22,6 +22,8 @@ stage make lint
 make lint
 stage make race
 make race
+stage make race-hub
+make race-hub
 stage make fingerprint
 make fingerprint
 stage make fingerprint-pooled
