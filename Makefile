@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint lint-json race race-dist race-hub fuzz check ci bench fingerprint fingerprint-pooled fingerprint-update
+.PHONY: build test vet lint lint-json race race-dist race-hub race-search fuzz check ci bench fingerprint fingerprint-pooled fingerprint-update
 
 # Tier-1 verification: everything must build, vet clean, lint clean,
 # and pass.
@@ -55,6 +55,20 @@ race-hub:
 race-dist:
 	$(GO) test -race ./internal/campaignd
 
+# Adversarial-search determinism battery under the race detector: the
+# synthetic and real-drive any-worker-count identity tests, journal
+# resume, and the CLI gate — then a same-seed double run of
+# cmd/adversary (sequential vs pooled) whose reports must compare
+# byte-identical. Runs in CI (scripts/ci.sh) after race-hub.
+race-search:
+	$(GO) test -race -count=1 -run 'TestSearchDeterministicAcrossWorkers|TestSimSearchDeterministicAcrossWorkers|TestJournalResume|TestHTEstimateUnbiased' ./internal/search
+	$(GO) test -race -count=1 -run 'TestRunTinySearchDeterministic' ./cmd/adversary
+	@tmp=$$(mktemp -d); \
+	$(GO) run ./cmd/adversary -seed 4 -generations 2 -cells 4 -elites 2 -scenario follow-vehicle -workers 1 -progress=false -out $$tmp/a.txt && \
+	$(GO) run ./cmd/adversary -seed 4 -generations 2 -cells 4 -elites 2 -scenario follow-vehicle -workers 4 -progress=false -out $$tmp/b.txt && \
+	cmp $$tmp/a.txt $$tmp/b.txt && echo "race-search: same-seed reports byte-identical across worker counts"; \
+	status=$$?; rm -rf $$tmp; exit $$status
+
 # Short fuzz passes over the hostile-input surfaces: the lint
 # suppression parser (runs over every comment in the repo on each
 # `make lint`), the world-view decoder, the transport framing, the
@@ -91,7 +105,7 @@ ci:
 # benches runs once per invocation (sync.Once), so -count=5 only
 # repeats the cheap measurement loops.
 BENCHCOUNT ?= 5
-BENCHOUT ?= BENCH_PR9.json
+BENCHOUT ?= BENCH_PR10.json
 bench:
 	$(GO) test -run='^$$' -bench . -benchmem -count $(BENCHCOUNT) . | tee /dev/stderr | $(GO) run ./cmd/benchjson -o $(BENCHOUT)
 

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsUnknownSubject(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-subject", "nobody", "-progress=false"}, &buf); err == nil {
+		t.Fatal("accepted unknown subject")
+	}
+}
+
+func TestRunRejectsForeignScenario(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-scenario", "training", "-progress=false"}, &buf); err == nil {
+		t.Fatal("accepted scenario outside the search axis")
+	}
+}
+
+// TestRunTinySearchDeterministic drives a miniature real search through
+// the CLI twice with different worker counts: the reports must be
+// byte-identical and the journal must hold every cell.
+func TestRunTinySearchDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real drives in -short mode")
+	}
+	dir := t.TempDir()
+	var reports [][]byte
+	for i, workers := range []string{"1", "3"} {
+		journal := filepath.Join(dir, "search"+workers+".jsonl")
+		var buf bytes.Buffer
+		err := run([]string{
+			"-seed", "11", "-generations", "2", "-cells", "3", "-elites", "2",
+			"-scenario", "follow-vehicle", "-subject", "T3",
+			"-workers", workers, "-journal", journal, "-progress=false",
+		}, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(buf.String(), "Adversarial search report") {
+			t.Fatalf("report missing header:\n%s", buf.String())
+		}
+		data, err := os.ReadFile(journal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lines := bytes.Count(data, []byte("\n")); lines != 1+2*3 {
+			t.Fatalf("journal has %d lines, want header + 6 cells", lines)
+		}
+		reports = append(reports, buf.Bytes())
+		if i == 1 && !bytes.Equal(reports[0], reports[1]) {
+			t.Fatal("CLI report differs across -workers values")
+		}
+	}
+}

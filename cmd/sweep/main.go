@@ -38,6 +38,7 @@ func run(args []string) error {
 		workers   = fs.Int("workers", 0, "parallel sweep-point workers (0 = all CPUs, 1 = sequential); results are identical for any value")
 		telemAddr = fs.String("telemetry-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. localhost:9090); empty = off")
 		progress  = fs.Bool("progress", true, "repaint a live progress line (points done/total, elapsed, ETA) on stderr")
+		strict    = fs.Bool("strict", false, "exit nonzero when any sweep point's fault injection failed (invalid test executions)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -92,37 +93,56 @@ func run(args []string) error {
 	}
 	defer stopProgress()
 
+	failed := 0
 	for _, env := range envs {
+		n, err := 0, error(nil)
 		if *grid {
-			if err := runGrid(env, *seed, *workers); err != nil {
-				return err
-			}
-			continue
+			n, err = runGrid(env, *seed, *workers)
+		} else {
+			n, err = runLadders(env, *seed, *workers)
 		}
-		if err := runLadders(env, *seed, *workers); err != nil {
+		if err != nil {
 			return err
 		}
+		failed += n
 	}
+	return checkStrict(failed, *strict)
+}
+
+// checkStrict enforces -strict, mirroring cmd/campaign: a sweep point
+// whose fault injection was refused never experienced its nominal
+// magnitude, so its grade is an invalid test execution. Such points
+// always warn; with -strict they fail the sweep.
+func checkStrict(failed int, strict bool) error {
+	if failed == 0 {
+		return nil
+	}
+	if strict {
+		return fmt.Errorf("%d fault injection(s) failed (-strict)", failed)
+	}
+	fmt.Fprintf(os.Stderr, "sweep: warning: %d fault injection(s) failed; rerun with -strict to make this fatal\n", failed)
 	return nil
 }
 
-func runLadders(env validity.Env, seed int64, workers int) error {
+func runLadders(env validity.Env, seed int64, workers int) (int, error) {
 	delays := validity.PaperDelays()
 	if env.Name == "model-vehicle" {
 		delays = validity.ModelDelays()
 	}
 	points, err := validity.SweepWorkers(env, delays, validity.PaperLosses(), seed, workers)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	fmt.Printf("== %s ==\n", env.Name)
 	fmt.Printf("%-12s %-11s %6s %6s %9s %6s %5s\n", "condition", "grade", "SRR", "speed", "lateral", "crash", "dep")
+	failed := 0
 	for _, p := range points {
 		fmt.Printf("%-12s %-11s %6.1f %6.2f %9.3f %6d %5d\n",
 			p.Label, p.Grade, p.SRR, p.MeanSpeed, p.MeanAbsLateral, p.Collisions, p.LaneDepartures)
+		failed += p.FailedInjections
 	}
 	fmt.Println()
-	return nil
+	return failed, nil
 }
 
 // gradeGlyph maps a drivability grade to a heat-map cell.
@@ -141,7 +161,7 @@ func gradeGlyph(g validity.Drivability) string {
 	}
 }
 
-func runGrid(env validity.Env, seed int64, workers int) error {
+func runGrid(env validity.Env, seed int64, workers int) (int, error) {
 	delays := []time.Duration{0, 25 * time.Millisecond, 50 * time.Millisecond, 100 * time.Millisecond, 200 * time.Millisecond}
 	losses := []float64{0, 0.02, 0.05, 0.10}
 	if env.Name == "model-vehicle" {
@@ -149,7 +169,7 @@ func runGrid(env validity.Env, seed int64, workers int) error {
 	}
 	grid, err := validity.GridSweepWorkers(env, delays, losses, seed, workers)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	fmt.Printf("== %s: drivability heat map (. ok, o degraded, X difficult, ### impossible) ==\n", env.Name)
 	fmt.Printf("%12s", "delay \\ loss")
@@ -170,5 +190,9 @@ func runGrid(env validity.Env, seed int64, workers int) error {
 		fmt.Println()
 	}
 	fmt.Println()
-	return nil
+	failed := 0
+	for _, cell := range grid {
+		failed += cell.Point.FailedInjections
+	}
+	return failed, nil
 }

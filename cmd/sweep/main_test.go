@@ -1,6 +1,7 @@
 package main
 
 import (
+	"strings"
 	"testing"
 
 	"teledrive/internal/validity"
@@ -12,6 +13,26 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-env", "mars"}); err == nil {
 		t.Fatal("unknown environment accepted")
+	}
+}
+
+// TestStrictFailsOnFailedInjections mirrors cmd/campaign's -strict
+// regression test: a sweep whose points report refused fault injections
+// must exit nonzero under -strict and keep the legacy exit-0 (warn
+// only) behavior without it.
+func TestStrictFailsOnFailedInjections(t *testing.T) {
+	err := checkStrict(3, true)
+	if err == nil {
+		t.Fatal("-strict must fail when injections failed")
+	}
+	if !strings.Contains(err.Error(), "3 fault injection(s) failed") {
+		t.Fatalf("unhelpful -strict error: %v", err)
+	}
+	if err := checkStrict(3, false); err != nil {
+		t.Fatalf("non-strict mode must not fail: %v", err)
+	}
+	if err := checkStrict(0, true); err != nil {
+		t.Fatalf("clean sweep must pass -strict: %v", err)
 	}
 }
 

@@ -1,9 +1,11 @@
 package campaign
 
 import (
+	"math"
 	"sort"
 	"time"
 
+	"teledrive/internal/core"
 	"teledrive/internal/faultinject"
 	"teledrive/internal/metrics"
 )
@@ -328,4 +330,60 @@ func (r *Result) BuildFig4(subject string, scenarioIdx int) (Fig4Data, bool) {
 		}, true
 	}
 	return Fig4Data{}, false
+}
+
+// CellCriticalityRow is one drive's run-level safety-criticality
+// signals — the same quantities the adversarial search scores cells on
+// (internal/search), surfaced per campaign cell so the dangerous-TTC
+// exposure of any subject/scenario/run is visible in the report.
+type CellCriticalityRow struct {
+	Subject  string
+	Scenario string
+	// Kind is "golden" or "faulty".
+	Kind string
+	// TTCValid is false when the drive collected no gated TTC sample
+	// (the table's "-" case).
+	TTCValid bool
+	// MinTTC is the drive's pooled minimum gated TTC, s.
+	MinTTC float64
+	// DangerousShare is the fraction of gated samples under the 6 s
+	// threshold; DangerousTime the pooled exposure below it.
+	DangerousShare  float64
+	DangerousTime   time.Duration
+	Collisions      int
+	ControlsDropped uint64
+}
+
+// BuildCellCriticality lists every analysed drive's criticality signals
+// in protocol order (subject, scenario, golden before faulty).
+func (r *Result) BuildCellCriticality() []CellCriticalityRow {
+	var out []CellCriticalityRow
+	for _, sub := range r.Analysed() {
+		for _, run := range sub.Runs {
+			for _, cell := range []struct {
+				kind string
+				res  *core.Result
+			}{{"golden", run.Golden}, {"faulty", run.Faulty}} {
+				if cell.res == nil {
+					continue
+				}
+				a := cell.res.Analysis
+				row := CellCriticalityRow{
+					Subject:         sub.Profile.Name,
+					Scenario:        run.Scenario.Name,
+					Kind:            cell.kind,
+					DangerousShare:  a.DangerousTTCShare,
+					DangerousTime:   a.DangerousTTCTime,
+					Collisions:      a.EgoCollisions,
+					ControlsDropped: cell.res.Outcome.ControlsDropped,
+				}
+				if !math.IsInf(a.MinTTC, 1) {
+					row.TTCValid = true
+					row.MinTTC = a.MinTTC
+				}
+				out = append(out, row)
+			}
+		}
+	}
+	return out
 }

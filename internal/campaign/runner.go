@@ -234,7 +234,6 @@ func resolveWorkers(n int) int {
 // is returned.
 func (p *Plan) Execute() (*Result, error) {
 	started := time.Now() //lint:allow wallclock measures the bench's own cost (Result.Elapsed); simulated time comes from simclock
-	results := make([]*core.Result, len(p.Cells))
 
 	workers := resolveWorkers(p.Config.Workers)
 	if workers > len(p.Cells) {
@@ -256,6 +255,34 @@ func (p *Plan) Execute() (*Result, error) {
 	// scenario and is built once here instead of once per cell.
 	arts := scenario.NewArtifactCache()
 
+	specs := make([]core.RunSpec, len(p.Cells))
+	for ci, cell := range p.Cells {
+		specs[ci] = cell.Spec
+	}
+	results, failed, err := ExecuteCells(specs, workers, ins, arts)
+	if err != nil {
+		return nil, p.cellError(p.Cells[failed], err)
+	}
+	return p.assemble(results, started), nil
+}
+
+// ExecuteCells runs independent cell specs on a bounded worker pool:
+// the execute phase detached from campaign plans, shared with the
+// adversarial search driver. workers ≤ 1 is the exact legacy sequential
+// path (one run arena, first error aborts); otherwise a pool of that
+// many workers, each owning one run arena, with the first failure
+// cancelling outstanding work. Results come back indexed like specs.
+// On error the returned int is the lowest failing spec index —
+// deterministic even when several cells fail concurrently — and the
+// error is the bare cell error (callers add their own context). ins may
+// be nil (no telemetry); arts is the shared immutable-artifact cache
+// set on every spec alongside the worker's scratch arena.
+func ExecuteCells(specs []core.RunSpec, workers int, ins *Instruments, arts *scenario.ArtifactCache) ([]*core.Result, int, error) {
+	results := make([]*core.Result, len(specs))
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+
 	if workers <= 1 {
 		// Legacy path: strictly sequential, first error aborts. One run
 		// arena serves every cell.
@@ -264,27 +291,27 @@ func (p *Plan) Execute() (*Result, error) {
 		if ins != nil {
 			w0 = ins.WorkerCells(0)
 		}
-		for ci, cell := range p.Cells {
+		for ci := range specs {
 			if ins != nil {
 				ins.CellsInFlight.Inc()
 			}
-			spec := cell.Spec
+			spec := specs[ci]
 			spec.Scratch = scratch
 			spec.Artifacts = arts
 			r, err := core.RunOne(spec)
 			ins.cellDone(r, w0, err)
 			if err != nil {
-				return nil, p.cellError(cell, err)
+				return nil, ci, err
 			}
 			results[ci] = r
 		}
-		return p.assemble(results, started), nil
+		return results, -1, nil
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	jobs := make(chan int)
-	errs := make([]error, len(p.Cells))
+	errs := make([]error, len(specs))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -309,7 +336,7 @@ func (p *Plan) Execute() (*Result, error) {
 				if ins != nil {
 					ins.CellsInFlight.Inc()
 				}
-				spec := p.Cells[ci].Spec
+				spec := specs[ci]
 				spec.Scratch = scratch
 				spec.Artifacts = arts
 				r, err := core.RunOne(spec)
@@ -323,7 +350,7 @@ func (p *Plan) Execute() (*Result, error) {
 			}
 		}()
 	}
-	for ci := range p.Cells {
+	for ci := range specs {
 		jobs <- ci
 	}
 	close(jobs)
@@ -333,10 +360,10 @@ func (p *Plan) Execute() (*Result, error) {
 	// when several cells fail concurrently.
 	for ci, err := range errs {
 		if err != nil {
-			return nil, p.cellError(p.Cells[ci], err)
+			return nil, ci, err
 		}
 	}
-	return p.assemble(results, started), nil
+	return results, -1, nil
 }
 
 // Assemble folds externally executed per-cell results into the

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sort"
 	"time"
 
 	"teledrive/internal/faultinject"
@@ -40,6 +41,19 @@ type Analysis struct {
 	// (Fig 4: time to manoeuvre around the vehicles).
 	TaskTime   time.Duration
 	TaskTimeOK bool
+
+	// MinTTC is the minimum gated TTC over the whole run, pooled across
+	// every condition; +Inf when no gated sample was collected (no lead
+	// inside the gate — the table's "-" case).
+	MinTTC float64
+	// DangerousTTCShare is the fraction of gated TTC samples below the
+	// 6 s danger threshold, pooled across conditions (0 when no gated
+	// samples). With TET it is the run's criticality signal: how much of
+	// the lead-following exposure was spent in the dangerous band.
+	DangerousTTCShare float64
+	// DangerousTTCTime is the pooled time-exposed-below-threshold (TET)
+	// across conditions.
+	DangerousTTCTime time.Duration
 
 	// CollisionsByCondition counts ego collisions per condition label.
 	CollisionsByCondition map[string]int
@@ -131,10 +145,25 @@ func analyzeTTC(a *Analysis, log *trace.RunLog) {
 			headways = append(headways, metrics.HeadwayTime(best, ego.Speed))
 		}
 	}
-	for label, col := range collectors {
-		if res := col.Result(); res.Valid {
+	labels := make([]string, 0, len(collectors))
+	for label := range collectors {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	var pooled metrics.TTCResult
+	for _, label := range labels {
+		if res := collectors[label].Result(); res.Valid {
 			a.TTCByCondition[label] = res
+			pooled = metrics.Merge(pooled, res)
 		}
+	}
+	// Run-level criticality signals: the adversarial search scores cells
+	// on these, and the campaign report surfaces them per cell.
+	a.MinTTC = math.Inf(1)
+	if pooled.Valid {
+		a.MinTTC = pooled.Min
+		a.DangerousTTCShare = float64(pooled.Violations) / float64(pooled.N)
+		a.DangerousTTCTime = pooled.TET
 	}
 	if len(headways) > 0 {
 		a.MeanHeadway = metrics.Stats(headways).Mean

@@ -32,6 +32,9 @@ type RunSpec struct {
 	Seed     int64
 	// Faults assigns a condition to each scenario POI. nil = golden run.
 	Faults []faultinject.Condition
+	// FaultRules overrides Faults per POI with arbitrary labelled netem
+	// rules (adversarial search); nil entries fall back to Faults.
+	FaultRules []*faultinject.RuleAssignment
 	// Transport overrides the default reliable channel (ablations).
 	Transport *transport.Options
 	// Driver overrides the default driver configuration (model-vehicle
@@ -79,6 +82,7 @@ func RunOne(spec RunSpec) (*Result, error) {
 		Profile:          spec.Profile,
 		Seed:             spec.Seed,
 		FaultAssignments: spec.Faults,
+		FaultRules:       spec.FaultRules,
 		Transport:        spec.Transport,
 		NewStack:         spec.Stack,
 		DriverConfig:     spec.Driver,

@@ -130,6 +130,31 @@ func (d Direction) String() string {
 	}
 }
 
+// condCustom marks an injector whose active rule came from InjectRule
+// rather than one of the five canonical conditions. It is deliberately
+// not Valid(): only InjectRule can activate it, and its label comes
+// from the RuleAssignment, never from Condition.String().
+const condCustom Condition = -1
+
+// RuleAssignment is an arbitrary netem rule injected at one POI in
+// place of a canonical condition — the adversarial search's perturbed
+// fault space (delay/jitter/loss magnitudes between and beyond the
+// paper's five columns). Label names the rule in run logs and analysis
+// tables; it must be non-empty and must not collide with the canonical
+// labels unless the rule really is that condition.
+type RuleAssignment struct {
+	Rule  netem.Rule
+	Label string
+}
+
+// Validate reports structural errors.
+func (a *RuleAssignment) Validate() error {
+	if a.Label == "" {
+		return fmt.Errorf("faultinject: rule assignment needs a label")
+	}
+	return a.Rule.Validate()
+}
+
 // Injector applies fault conditions to a duplex link pair, mirroring
 // the paper's bidirectional loopback injection, and reports every rule
 // change to an optional log sink.
@@ -140,9 +165,10 @@ type Injector struct {
 	// Direction defaults to Bidirectional (the paper's setup).
 	Direction Direction
 
-	links  *netem.Duplex
-	active Condition
-	now    func() time.Duration
+	links       *netem.Duplex
+	active      Condition
+	activeLabel string // non-empty only while a custom rule is active
+	now         func() time.Duration
 }
 
 // NewInjector wires an injector to the session links. now supplies the
@@ -154,10 +180,19 @@ func NewInjector(links *netem.Duplex, now func() time.Duration) (*Injector, erro
 	inj := &Injector{links: links, now: now}
 	links.OnRuleChanged(func(t time.Duration, link, action, desc string) {
 		if inj.OnChange != nil {
-			inj.OnChange(t, link, action, desc, inj.active.String())
+			inj.OnChange(t, link, action, desc, inj.label())
 		}
 	})
 	return inj, nil
+}
+
+// label is the log label of the active injection: the custom rule's
+// label when one is active, else the canonical condition label.
+func (i *Injector) label() string {
+	if i.activeLabel != "" {
+		return i.activeLabel
+	}
+	return i.active.String()
 }
 
 // Active returns the currently injected condition (CondNFI when the
@@ -193,6 +228,35 @@ func (i *Injector) Inject(c Condition) error {
 	return nil
 }
 
+// InjectRule applies an arbitrary netem rule per the injector's
+// direction, labelled for the logs — the escape hatch the adversarial
+// search uses to explore fault magnitudes the five canonical conditions
+// never visit. Active() reports a non-NFI sentinel while the rule is
+// in force, so Clear and end-of-run teardown treat it exactly like a
+// canonical injection.
+func (i *Injector) InjectRule(a RuleAssignment) error {
+	if err := a.Validate(); err != nil {
+		return err
+	}
+	i.active = condCustom
+	i.activeLabel = a.Label
+	var err error
+	switch i.Direction {
+	case DownlinkOnly:
+		err = i.links.Down.AddRule(a.Rule)
+	case UplinkOnly:
+		err = i.links.Up.AddRule(a.Rule)
+	default:
+		err = i.links.ApplyBoth(a.Rule)
+	}
+	if err != nil {
+		i.active = CondNFI
+		i.activeLabel = ""
+		return fmt.Errorf("faultinject: inject rule %q: %w", a.Label, err)
+	}
+	return nil
+}
+
 // Clear removes any active rule from the directions this injector
 // touches.
 func (i *Injector) Clear() {
@@ -208,4 +272,5 @@ func (i *Injector) Clear() {
 		i.links.ClearBoth()
 	}
 	i.active = CondNFI
+	i.activeLabel = ""
 }

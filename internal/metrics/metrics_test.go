@@ -78,6 +78,99 @@ func TestTTCCollectorGating(t *testing.T) {
 	}
 }
 
+// TestTTCCollectorBoundaries pins the §VI-C gating rules exactly at
+// their edges: the gate is inclusive on both the 100 m distance and the
+// minimum closing speed, and co-moving or lead-less ticks are skipped
+// without poisoning the statistics.
+func TestTTCCollectorBoundaries(t *testing.T) {
+	t.Run("closing speed exactly MinClosingSpeed collected", func(t *testing.T) {
+		c := NewTTCCollector()
+		// vEgo − vLead = 1.0 = MinClosingSpeed: the guard is <, so the
+		// boundary sample is collected.
+		c.Record(0, 0, 11, 50, 11-MinClosingSpeed)
+		if len(c.Samples()) != 1 {
+			t.Fatal("closing speed exactly MinClosingSpeed was skipped")
+		}
+		if got := c.Samples()[0].Value; math.Abs(got-50) > 1e-12 {
+			t.Fatalf("TTC at boundary closing speed = %v, want 50", got)
+		}
+	})
+	t.Run("closing speed just below MinClosingSpeed skipped", func(t *testing.T) {
+		c := NewTTCCollector()
+		c.Record(0, 0, 11, 50, 11-MinClosingSpeed+1e-9)
+		if len(c.Samples()) != 0 {
+			t.Fatal("sub-threshold closing speed collected")
+		}
+	})
+	t.Run("distance exactly at 100 m gate collected", func(t *testing.T) {
+		c := NewTTCCollector()
+		c.Record(0, 0, 20, DefaultTTCGatingDistance, 10)
+		if len(c.Samples()) != 1 {
+			t.Fatal("distance exactly at the gate was skipped")
+		}
+		c2 := NewTTCCollector()
+		c2.Record(0, 0, 20, DefaultTTCGatingDistance+1e-9, 10)
+		if len(c2.Samples()) != 0 {
+			t.Fatal("distance just beyond the gate collected")
+		}
+	})
+	t.Run("co-moving pair skipped", func(t *testing.T) {
+		c := NewTTCCollector()
+		c.Record(0, 0, 15, 50, 15) // identical speeds
+		c.Record(0, 0, 15, 50, 16) // opening
+		if len(c.Samples()) != 0 {
+			t.Fatal("co-moving/opening pair collected")
+		}
+	})
+	t.Run("NaN lead resets exposure continuity", func(t *testing.T) {
+		c := NewTTCCollector()
+		// Below-threshold sample, NaN gap, below-threshold sample: the
+		// NaN breaks haveLast, so no TET accrues across the gap.
+		c.Record(0, 0, 20, 30, 10)
+		c.Record(time.Second, 0, 20, math.NaN(), math.NaN())
+		c.Record(2*time.Second, 0, 20, 30, 10)
+		if res := c.Result(); res.TET != 0 {
+			t.Fatalf("TET accrued across a lead-less gap: %v", res.TET)
+		}
+	})
+}
+
+// TestTTCResultOrderIndependent pins that the summary statistics are
+// functions of the sample multiset: N, Min, Avg, Max and Violations
+// must not change when the same ticks arrive in a different order.
+// (TET is sequence-defined — exposure between consecutive ticks — and
+// is deliberately excluded.)
+func TestTTCResultOrderIndependent(t *testing.T) {
+	// Exactly representable TTC values so Avg sums are exact in any
+	// order: gap/closing with closing 10 and gaps in multiples of 2.5.
+	gaps := []float64{25, 50, 75, 100, 40, 80, 30, 60}
+	collect := func(order []int) TTCResult {
+		c := NewTTCCollector()
+		now := time.Duration(0)
+		for _, i := range order {
+			c.Record(now, 0, 20, gaps[i], 10)
+			now += 20 * time.Millisecond
+		}
+		return c.Result()
+	}
+	fwd := make([]int, len(gaps))
+	rev := make([]int, len(gaps))
+	shuf := []int{3, 0, 6, 2, 7, 1, 5, 4}
+	for i := range gaps {
+		fwd[i] = i
+		rev[i] = len(gaps) - 1 - i
+	}
+	a, b, c := collect(fwd), collect(rev), collect(shuf)
+	for _, other := range []TTCResult{b, c} {
+		if a.N != other.N || a.Violations != other.Violations {
+			t.Fatalf("counts differ across orders: %+v vs %+v", a, other)
+		}
+		if a.Min != other.Min || a.Max != other.Max || a.Avg != other.Avg { //lint:allow floateq identical multisets of exactly-representable values must agree bit-for-bit
+			t.Fatalf("stats differ across orders: %+v vs %+v", a, other)
+		}
+	}
+}
+
 func TestTTCCollectorResult(t *testing.T) {
 	c := NewTTCCollector()
 	tick := 20 * time.Millisecond

@@ -74,6 +74,12 @@ type BenchConfig struct {
 	// FaultAssignments maps each scenario POI to the condition injected
 	// there. nil or all-CondNFI makes this a golden run.
 	FaultAssignments []faultinject.Condition
+	// FaultRules, when non-nil, overrides FaultAssignments per POI with
+	// arbitrary labelled netem rules (one entry per POI; nil entries fall
+	// back to the condition assignment). This is the adversarial search's
+	// perturbed fault space — delay/jitter/loss magnitudes between and
+	// beyond the paper's five conditions.
+	FaultRules []*faultinject.RuleAssignment
 	// Station defaults to PaperStation().
 	Station *StationSpec
 	// Transport defaults to the reliable (TCP-like) channel.
@@ -154,12 +160,28 @@ func (c *BenchConfig) Validate() error {
 	if c.FaultAssignments != nil && len(c.FaultAssignments) != len(c.Scenario.POIs) {
 		return fmt.Errorf("rds: %d fault assignments for %d POIs", len(c.FaultAssignments), len(c.Scenario.POIs))
 	}
+	if c.FaultRules != nil && len(c.FaultRules) != len(c.Scenario.POIs) {
+		return fmt.Errorf("rds: %d fault rules for %d POIs", len(c.FaultRules), len(c.Scenario.POIs))
+	}
+	for i, r := range c.FaultRules {
+		if r == nil {
+			continue
+		}
+		if err := r.Validate(); err != nil {
+			return fmt.Errorf("rds: fault rule for POI %d: %w", i, err)
+		}
+	}
 	return nil
 }
 
 // IsGolden reports whether the config describes a golden (no-fault)
 // run.
 func (c *BenchConfig) IsGolden() bool {
+	for _, r := range c.FaultRules {
+		if r != nil {
+			return false
+		}
+	}
 	for _, a := range c.FaultAssignments {
 		if a != faultinject.CondNFI {
 			return false
@@ -340,6 +362,7 @@ func Run(cfg BenchConfig) (*Outcome, error) {
 	}
 
 	sup := session.NewPOISupervisor(cfg.Scenario, built.Ego, built.Route, inj, cfg.FaultAssignments, spine)
+	sup.SetRuleAssignments(cfg.FaultRules)
 
 	sess := &session.Session{
 		Clock:         clock,

@@ -30,6 +30,8 @@ func WriteCampaignReport(w io.Writer, res *campaign.Result, fig4Subject string, 
 	fmt.Fprintln(w)
 	WriteCollisionAnalysis(w, res.BuildCollisionAnalysis())
 	fmt.Fprintln(w)
+	WriteCellCriticality(w, res.BuildCellCriticality())
+	fmt.Fprintln(w)
 	WriteQuestionnaire(w, questionnaire.Summarize(res))
 	fmt.Fprintln(w)
 	WriteSignificance(w, res.BuildSignificance())

@@ -10,6 +10,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"time"
 
 	"teledrive/internal/campaign"
 	"teledrive/internal/faultinject"
@@ -231,4 +232,22 @@ func WriteSignificance(w io.Writer, s campaign.Significance) {
 		fmt.Fprintf(w, "  Spearman rho(anticipation skill, SRR degradation) = %+.2f\n", s.AnticipationVsDegradation)
 	}
 	fmt.Fprintf(w, "  subjects analysed: %d\n", s.Subjects)
+}
+
+// WriteCellCriticality prints the per-cell criticality signals: minimum
+// gated TTC and dangerous-TTC exposure per drive — the campaign-side
+// view of the quantities the adversarial search (cmd/adversary) scores
+// and hunts.
+func WriteCellCriticality(w io.Writer, rows []campaign.CellCriticalityRow) {
+	fmt.Fprintln(w, "PER-CELL CRITICALITY (min TTC / dangerous-TTC exposure)")
+	fmt.Fprintln(w, "  subject  scenario            run     minTTC  danger-share  danger-time  coll  ctrl-drop")
+	for _, r := range rows {
+		minTTC := "     -"
+		if r.TTCValid {
+			minTTC = fmt.Sprintf("%6.2f", r.MinTTC)
+		}
+		fmt.Fprintf(w, "  %-7s  %-18s  %-6s  %s  %12.3f  %11s  %4d  %9d\n",
+			r.Subject, r.Scenario, r.Kind, minTTC, r.DangerousShare,
+			r.DangerousTime.Truncate(time.Millisecond), r.Collisions, r.ControlsDropped)
+	}
 }

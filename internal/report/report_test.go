@@ -168,3 +168,22 @@ func TestWriteFig4Empty(t *testing.T) {
 		t.Fatal("empty Fig4 should degrade gracefully")
 	}
 }
+
+func TestWriteCellCriticality(t *testing.T) {
+	rows := []campaign.CellCriticalityRow{
+		{Subject: "T1", Scenario: "follow-vehicle", Kind: "golden", TTCValid: true, MinTTC: 4.21, DangerousShare: 0.125, DangerousTime: 1530 * time.Millisecond},
+		{Subject: "T1", Scenario: "follow-vehicle", Kind: "faulty", Collisions: 1, ControlsDropped: 12},
+	}
+	var buf bytes.Buffer
+	WriteCellCriticality(&buf, rows)
+	out := buf.String()
+	for _, want := range []string{
+		"PER-CELL CRITICALITY",
+		"  T1       follow-vehicle      golden    4.21         0.125        1.53s     0          0",
+		"  T1       follow-vehicle      faulty       -         0.000           0s     1         12",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

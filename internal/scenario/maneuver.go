@@ -1,0 +1,98 @@
+package scenario
+
+import (
+	"fmt"
+
+	"teledrive/internal/world"
+)
+
+// Maneuver parameterizes the scripted traffic "negligence" of a
+// scenario around its nominal script, in the NADE/TeraSim sense: how
+// abruptly the scripted cars brake, how fast they drive, and where
+// their scripted stop events happen. The zero value leaves the scenario
+// untouched, so nominal cells and perturbed cells share one code path.
+//
+// Maneuvers mutate only the mutable half of a scenario (actor scripts);
+// the immutable artifact — map and blended route — is unaffected, so
+// perturbed cells still share cached artifacts with nominal ones.
+type Maneuver struct {
+	// BrakeScale multiplies the moving cars' MaxDecel (>1 = more abrupt
+	// emergency stops). 0 or 1 = unchanged.
+	BrakeScale float64
+	// SpeedScale multiplies the moving cars' profile speeds. 0 or 1 =
+	// unchanged.
+	SpeedScale float64
+	// StopShift moves every scripted Stop station by this many metres
+	// (negative = earlier).
+	StopShift float64
+	// StopHoldExtra adds this many seconds to every scripted stop hold.
+	StopHoldExtra float64
+}
+
+// IsZero reports whether the maneuver leaves the scenario untouched.
+func (m Maneuver) IsZero() bool { return m == (Maneuver{}) }
+
+// minProfileSpeed floors scaled profile speeds so a perturbed lead
+// still makes progress (a stalled lead deadlocks car-following runs
+// into the timeout instead of probing a near-crash).
+const minProfileSpeed = 0.5
+
+// Validate reports out-of-range maneuver parameters.
+func (m Maneuver) Validate() error {
+	switch {
+	case m.BrakeScale < 0 || m.BrakeScale > 10:
+		return fmt.Errorf("scenario: maneuver brake scale %v out of (0,10]", m.BrakeScale)
+	case m.SpeedScale < 0 || m.SpeedScale > 5:
+		return fmt.Errorf("scenario: maneuver speed scale %v out of (0,5]", m.SpeedScale)
+	case m.StopShift < -500 || m.StopShift > 500:
+		return fmt.Errorf("scenario: maneuver stop shift %v out of [-500,500]", m.StopShift)
+	case m.StopHoldExtra < 0 || m.StopHoldExtra > 60:
+		return fmt.Errorf("scenario: maneuver stop hold extra %v out of [0,60]", m.StopHoldExtra)
+	}
+	return nil
+}
+
+// Apply rewrites the scenario's scripted moving cars in place. Only
+// KindCar actors with a speed profile are touched — parked cars and
+// cyclists keep their nominal scripts (the paper's false-positive
+// actors stay false positives). Call on a fresh instance only: worlds
+// and their scenarios are single-use.
+func (m Maneuver) Apply(s *Scenario) error {
+	if m.IsZero() {
+		return nil
+	}
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	for ai := range s.Actors {
+		a := &s.Actors[ai]
+		if a.Kind != world.KindCar || len(a.Profile) == 0 {
+			continue
+		}
+		if m.BrakeScale > 0 {
+			decel := a.MaxDecel
+			if decel <= 0 {
+				decel = a.MaxAccel
+			}
+			a.MaxDecel = decel * m.BrakeScale
+		}
+		if m.SpeedScale > 0 {
+			for pi := range a.Profile {
+				v := a.Profile[pi].Speed * m.SpeedScale
+				if v < minProfileSpeed {
+					v = minProfileSpeed
+				}
+				a.Profile[pi].Speed = v
+			}
+		}
+		for si := range a.Stops {
+			st := a.Stops[si].Station + m.StopShift
+			if st < 1 {
+				st = 1
+			}
+			a.Stops[si].Station = st
+			a.Stops[si].Hold += m.StopHoldExtra
+		}
+	}
+	return nil
+}

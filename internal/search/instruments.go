@@ -1,0 +1,40 @@
+package search
+
+import "teledrive/internal/telemetry"
+
+// Instruments is the search driver's native telemetry. Like campaign
+// telemetry it is inert: the trajectory is bit-identical with or
+// without it. Rates and criticalities are exported in milli-units
+// (gauges are integers).
+type Instruments struct {
+	// Generations counts finished search generations.
+	Generations *telemetry.Counter
+	// CellsEvaluated / CellsCached split proposed cells by whether a
+	// simulation actually ran (cached = journal resume or repeated
+	// point).
+	CellsEvaluated *telemetry.Counter
+	CellsCached    *telemetry.Counter
+	// AcceptanceMilli is the cumulative acceptance rate ×1000 (cells
+	// beating the elite bar over all cells so far).
+	AcceptanceMilli *telemetry.Gauge
+	// BestCriticalityMilli is the best criticality found so far ×1000.
+	BestCriticalityMilli *telemetry.Gauge
+}
+
+// NewInstruments binds the search instrument set in reg. Binding is
+// idempotent: the driver and a progress display can each bind against
+// the same registry and observe the same series.
+func NewInstruments(reg *telemetry.Registry) *Instruments {
+	cells := reg.CounterVec("teledrive_search_cells_total",
+		"Search cells by evaluation path (evaluated/cached).", "path")
+	return &Instruments{
+		Generations: reg.Counter("teledrive_search_generations_total",
+			"Finished adversarial-search generations."),
+		CellsEvaluated: cells.With("evaluated"),
+		CellsCached:    cells.With("cached"),
+		AcceptanceMilli: reg.Gauge("teledrive_search_acceptance_rate_milli",
+			"Cumulative share of cells beating the elite bar, x1000."),
+		BestCriticalityMilli: reg.Gauge("teledrive_search_best_criticality_milli",
+			"Best cell criticality found so far, x1000."),
+	}
+}

@@ -1,0 +1,56 @@
+package search
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteReport renders the search report as deterministic text: same
+// trajectory, same bytes. No wall-clock, no host state — the CI
+// identity check diffs two renderings directly.
+func WriteReport(w io.Writer, rep *Report) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Adversarial search report\n")
+	fmt.Fprintf(&b, "=========================\n")
+	fmt.Fprintf(&b, "label: %s\n", rep.Label)
+	fmt.Fprintf(&b, "seed: %d  digest: %.12s\n", rep.Seed, rep.Digest)
+	fmt.Fprintf(&b, "space: %d points\n", rep.SpaceSize)
+	fmt.Fprintln(&b)
+
+	fmt.Fprintf(&b, "Trajectory\n")
+	fmt.Fprintf(&b, "  gen   eval  cached  accepted      best   best-so-far\n")
+	for _, g := range rep.Generations {
+		fmt.Fprintf(&b, "  %3d  %5d  %6d  %8d  %8.3f  %12.3f\n",
+			g.Gen, g.Evaluated, g.CachedCells, g.Accepted, g.Best, g.BestSoFar)
+	}
+	fmt.Fprintf(&b, "  cells: %d total, %d unique, %d accepted\n",
+		rep.TotalCells, rep.UniqueCells, rep.AcceptedCells)
+	fmt.Fprintln(&b)
+
+	fmt.Fprintf(&b, "Discovery\n")
+	fmt.Fprintf(&b, "  collision cells: %d distinct\n", rep.CollisionCells)
+	fmt.Fprintf(&b, "  dangerous-TTC cells (<6 s): %d distinct\n", rep.DangerousCells)
+	fmt.Fprintln(&b)
+
+	fmt.Fprintf(&b, "Uniform-grid estimates (Horvitz-Thompson over the importance-weighted trajectory)\n")
+	fmt.Fprintf(&b, "  collision-cell rate: %.6f +/- %.6f\n", rep.HTCollisionRate, rep.HTCollisionErr)
+	fmt.Fprintf(&b, "  dangerous-TTC-cell rate: %.6f +/- %.6f\n", rep.HTDangerousRate, rep.HTDangerousErr)
+	fmt.Fprintf(&b, "  uniform stratum cross-check (%d cells): collision %.6f, dangerous %.6f\n",
+		rep.UniformCells, rep.UniformCollisionRate, rep.UniformDangerousRate)
+	fmt.Fprintln(&b)
+
+	fmt.Fprintf(&b, "Most critical cells\n")
+	fmt.Fprintf(&b, "  rank  gen/slot      crit  coll  minTTC  dshare  drops  point\n")
+	for i, c := range rep.Best {
+		minTTC := "     -"
+		if c.Signals.TTCValid {
+			minTTC = fmt.Sprintf("%6.2f", c.Signals.MinTTC)
+		}
+		fmt.Fprintf(&b, "  %4d  %4d/%-4d %8.3f  %4d  %s  %6.3f  %5d  %v\n",
+			i+1, c.Gen, c.Slot, c.Criticality, c.Signals.Collisions,
+			minTTC, c.Signals.DangerousShare, c.Signals.ControlsDropped, c.Point)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,147 @@
+package search
+
+import (
+	"fmt"
+	"time"
+
+	"teledrive/internal/campaign"
+	"teledrive/internal/core"
+	"teledrive/internal/driver"
+	"teledrive/internal/faultinject"
+	"teledrive/internal/netem"
+	"teledrive/internal/scenario"
+	"teledrive/internal/telemetry"
+	"teledrive/internal/transport"
+)
+
+// SimEvaluator evaluates search points with real simulated drives on
+// the campaign cell executor: one fresh scenario instance per cell,
+// perturbed per the point's axes, run on the shared bounded worker
+// pool with shared immutable artifacts.
+type SimEvaluator struct {
+	Space   *Space
+	Profile driver.Profile
+	// Transport overrides the default reliable channel (nil = default).
+	Transport *transport.Options
+	// Metrics instruments cell execution with the standard campaign
+	// instruments (inert).
+	Metrics *telemetry.Registry
+
+	arts *scenario.ArtifactCache
+	ins  *campaign.Instruments
+}
+
+// NewSimEvaluator builds the evaluator for one search: the artifact
+// cache and campaign instruments live across every generation.
+func NewSimEvaluator(space *Space, profile driver.Profile, reg *telemetry.Registry) *SimEvaluator {
+	e := &SimEvaluator{
+		Space:   space,
+		Profile: profile,
+		Metrics: reg,
+		arts:    scenario.NewArtifactCache(),
+	}
+	if reg != nil {
+		e.ins = campaign.NewInstruments(reg)
+	}
+	return e
+}
+
+// RuleLabel names the perturbed netem rule injected at the chosen POI,
+// as it appears in condition spans, trace labels, and analysis tables.
+func RuleLabel(delayMS, jitterMS, lossPct float64) string {
+	return fmt.Sprintf("adv:d%gj%gl%g", delayMS, jitterMS, lossPct)
+}
+
+// BuildSpec translates one search point into a runnable cell spec: a
+// fresh scenario instance with the chosen POI's window shifted and
+// scaled, the traffic maneuver applied, and a labelled netem rule
+// assigned to that POI (all other POIs stay fault-free).
+func (e *SimEvaluator) BuildSpec(req Request) (core.RunSpec, error) {
+	p := req.Point
+	if !e.Space.Contains(p) {
+		return core.RunSpec{}, fmt.Errorf("search: point %v outside space", p)
+	}
+	name := e.Space.Scenarios[int(e.Space.Value(AxScenario, p))]
+	scn, ok := scenario.ByName(name)
+	if !ok {
+		return core.RunSpec{}, fmt.Errorf("search: unknown scenario %q", name)
+	}
+	if len(scn.POIs) == 0 {
+		return core.RunSpec{}, fmt.Errorf("search: scenario %q has no POIs", name)
+	}
+
+	// POI pick: the fraction axis maps onto this scenario's POI list, so
+	// one rectangular axis covers scenarios with different POI counts.
+	pi := int(e.Space.Value(AxPOI, p) * float64(len(scn.POIs)))
+	if pi >= len(scn.POIs) {
+		pi = len(scn.POIs) - 1
+	}
+
+	// Fault-window perturbation: shift the onset along the route and
+	// scale the window length, clamped to a sane in-route window. The
+	// scenario instance is fresh, so mutating the POI is cell-local.
+	poi := &scn.POIs[pi]
+	width := (poi.To - poi.From) * e.Space.Value(AxWindow, p)
+	if width < 1 {
+		width = 1
+	}
+	from := poi.From + e.Space.Value(AxOnset, p)
+	if from < 0 {
+		from = 0
+	}
+	poi.From = from
+	poi.To = from + width
+
+	man := scenario.Maneuver{
+		BrakeScale: e.Space.Value(AxBrake, p),
+		SpeedScale: e.Space.Value(AxSpeed, p),
+	}
+	if err := man.Apply(scn); err != nil {
+		return core.RunSpec{}, err
+	}
+
+	delay := e.Space.Value(AxDelay, p)
+	jitter := e.Space.Value(AxJitter, p)
+	loss := e.Space.Value(AxLoss, p)
+	rules := make([]*faultinject.RuleAssignment, len(scn.POIs))
+	rules[pi] = &faultinject.RuleAssignment{
+		Rule: netem.Rule{
+			Delay:  time.Duration(delay * float64(time.Millisecond)),
+			Jitter: time.Duration(jitter * float64(time.Millisecond)),
+			Loss:   loss / 100,
+		},
+		Label: RuleLabel(delay, jitter, loss),
+	}
+
+	return core.RunSpec{
+		Scenario:   scn,
+		Profile:    e.Profile,
+		Seed:       req.Seed,
+		FaultRules: rules,
+		Transport:  e.Transport,
+		Metrics:    e.Metrics,
+	}, nil
+}
+
+// Evaluate implements Evaluator: the batch runs on the campaign cell
+// executor (workers wide, per-worker run arenas, shared artifacts) and
+// the outcomes reduce to Signals.
+func (e *SimEvaluator) Evaluate(reqs []Request, workers int) ([]Signals, error) {
+	specs := make([]core.RunSpec, len(reqs))
+	for i, req := range reqs {
+		spec, err := e.BuildSpec(req)
+		if err != nil {
+			return nil, err
+		}
+		specs[i] = spec
+	}
+	results, failed, err := campaign.ExecuteCells(specs, workers, e.ins, e.arts)
+	if err != nil {
+		return nil, fmt.Errorf("search: cell %v: %w", reqs[failed].Point, err)
+	}
+	sigs := make([]Signals, len(results))
+	for i, r := range results {
+		sigs[i] = SignalsFrom(r)
+	}
+	return sigs, nil
+}

@@ -1,0 +1,157 @@
+package search
+
+import (
+	"bytes"
+	"testing"
+
+	"teledrive/internal/driver"
+	"teledrive/internal/scenario"
+)
+
+// simSpace restricts the default space to one scenario and a handful of
+// fault levels so real-drive tests stay fast.
+func simSpace() *Space {
+	return &Space{
+		Scenarios: []string{"follow-vehicle"},
+		Axes: [NumAxes]Axis{
+			AxScenario: {Name: "scenario", Values: []float64{0}},
+			AxPOI:      {Name: "poi_pick", Values: []float64{0.125, 0.625}},
+			AxDelay:    {Name: "delay_ms", Values: []float64{0, 50, 150}},
+			AxJitter:   {Name: "jitter_ms", Values: []float64{0, 20}},
+			AxLoss:     {Name: "loss_pct", Values: []float64{0, 5}},
+			AxOnset:    {Name: "onset_shift_m", Values: []float64{-20, 0, 20}},
+			AxWindow:   {Name: "window_scale", Values: []float64{1, 1.5}},
+			AxBrake:    {Name: "brake_scale", Values: []float64{1, 2}},
+			AxSpeed:    {Name: "speed_scale", Values: []float64{1, 1.2}},
+		},
+	}
+}
+
+func testProfile(t *testing.T) driver.Profile {
+	t.Helper()
+	prof, ok := driver.SubjectByName("T3")
+	if !ok {
+		t.Fatal("no subject T3")
+	}
+	return prof
+}
+
+func TestBuildSpecPerturbations(t *testing.T) {
+	s := simSpace()
+	ev := NewSimEvaluator(s, testProfile(t), nil)
+	nominal, _ := scenario.ByName("follow-vehicle")
+
+	// Max perturbation on every axis: last index everywhere.
+	var p Point
+	for ai := range s.Axes {
+		p[ai] = len(s.Axes[ai].Values) - 1
+	}
+	spec, err := ev.BuildSpec(Request{Point: p, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Scenario == nominal {
+		t.Fatal("BuildSpec reused the library instance — scenarios must be fresh")
+	}
+	if len(spec.FaultRules) != len(spec.Scenario.POIs) {
+		t.Fatalf("%d fault rules for %d POIs", len(spec.FaultRules), len(spec.Scenario.POIs))
+	}
+	assigned := -1
+	for i, r := range spec.FaultRules {
+		if r == nil {
+			continue
+		}
+		if assigned >= 0 {
+			t.Fatal("more than one POI assigned a rule")
+		}
+		assigned = i
+		if r.Label != RuleLabel(150, 20, 5) {
+			t.Fatalf("rule label %q", r.Label)
+		}
+		if err := r.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if assigned < 0 {
+		t.Fatal("no POI assigned a rule")
+	}
+	// poi_pick 0.625 of the follow-vehicle POI list.
+	wantPOI := int(0.625 * float64(len(nominal.POIs)))
+	if assigned != wantPOI {
+		t.Fatalf("rule on POI %d, want %d", assigned, wantPOI)
+	}
+	// Onset +20 m, window x1.5 against the nominal POI.
+	nom := nominal.POIs[wantPOI]
+	got := spec.Scenario.POIs[wantPOI]
+	if got.From != nom.From+20 {
+		t.Fatalf("POI from %v, want %v", got.From, nom.From+20)
+	}
+	if want := (nom.To - nom.From) * 1.5; got.To-got.From != want {
+		t.Fatalf("POI width %v, want %v", got.To-got.From, want)
+	}
+	if spec.Seed != 7 {
+		t.Fatalf("seed %d", spec.Seed)
+	}
+
+	// The zero point must leave the scenario nominal (golden-compatible
+	// spec apart from the labelled no-op rule).
+	zero, err := ev.BuildSpec(Request{Point: Point{}, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zp := zero.Scenario.POIs[int(0.125*float64(len(nominal.POIs)))]
+	np := nominal.POIs[int(0.125*float64(len(nominal.POIs)))]
+	if zp.From != np.From-20 {
+		t.Fatalf("zero-point POI from %v, want onset -20 → %v", zp.From, np.From-20)
+	}
+}
+
+func TestBuildSpecClampsOnsetBelowZero(t *testing.T) {
+	s := simSpace()
+	s.Axes[AxOnset].Values = []float64{-1e6}
+	ev := NewSimEvaluator(s, testProfile(t), nil)
+	spec, err := ev.BuildSpec(Request{Point: Point{}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, poi := range spec.Scenario.POIs {
+		if poi.From < 0 || poi.To <= poi.From {
+			t.Fatalf("POI window [%v,%v] not clamped sane", poi.From, poi.To)
+		}
+	}
+}
+
+// TestSimSearchDeterministicAcrossWorkers runs a miniature real-drive
+// search twice — sequential and pooled — and requires byte-identical
+// reports: the end-to-end version of the synthetic determinism test
+// (make race-search runs it under the race detector).
+func TestSimSearchDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real drives in -short mode")
+	}
+	var reports [][]byte
+	for _, workers := range []int{1, 3} {
+		opts := Options{
+			Space:       simSpace(),
+			Seed:        11,
+			Generations: 2,
+			CellsPerGen: 3,
+			Elites:      2,
+			Workers:     workers,
+			Label:       "sim/T3",
+		}
+		ev := NewSimEvaluator(opts.Space, testProfile(t), nil)
+		rep, err := Run(opts, ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteReport(&buf, rep); err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, buf.Bytes())
+	}
+	if !bytes.Equal(reports[0], reports[1]) {
+		t.Fatalf("sim search report differs across worker counts:\n--- w1\n%s\n--- w3\n%s", reports[0], reports[1])
+	}
+}

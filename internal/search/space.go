@@ -1,0 +1,282 @@
+// Package search is the adversarial scenario search: a deterministic
+// criticality-guided loop over a discrete perturbation space of fault
+// timings, netem parameters, and scripted-traffic maneuvers, wrapping
+// the campaign execute machinery (NADE/TeraSim-style naturalistic-
+// adversarial testing on top of the paper's §V-E protocol).
+//
+// The space is a finite rectangular grid, so both the uniform sampling
+// probability and the proposal kernel's probability of any point are
+// exactly computable — that is what makes the Horvitz–Thompson
+// reweighting in the report unbiased rather than merely plausible.
+package search
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Axis indices of the perturbation space. Every point perturbs one run
+// along all of these at once.
+const (
+	// AxScenario indexes Space.Scenarios.
+	AxScenario = iota
+	// AxPOI picks the perturbed POI as a fraction of the scenario's POI
+	// list (a fraction, not an index, keeps the space rectangular across
+	// scenarios with different POI counts).
+	AxPOI
+	// AxDelay / AxJitter / AxLoss are the netem rule injected at the
+	// chosen POI (ms, ms, percent).
+	AxDelay
+	AxJitter
+	AxLoss
+	// AxOnset shifts the chosen POI's fault window along the route (m).
+	AxOnset
+	// AxWindow scales the chosen POI's fault-window length.
+	AxWindow
+	// AxBrake / AxSpeed are the scripted-traffic negligence maneuver
+	// (scenario.Maneuver BrakeScale / SpeedScale).
+	AxBrake
+	AxSpeed
+
+	// NumAxes is the dimensionality of the space.
+	NumAxes
+)
+
+// Point is one grid point: an index into each axis' value list.
+type Point [NumAxes]int
+
+// Axis is one dimension of the space: a name and its discrete values.
+type Axis struct {
+	Name   string
+	Values []float64
+}
+
+// Space is the discrete perturbation space. Axes[AxScenario].Values
+// must be 0..len(Scenarios)-1.
+type Space struct {
+	// Scenarios lists the scenario library names the scenario axis
+	// indexes into.
+	Scenarios []string
+	Axes      [NumAxes]Axis
+}
+
+// DefaultSpace is the paper-adjacent perturbation grid: netem delay /
+// jitter / loss spanning the dangerous region found by the uniform
+// campaign, fault windows shifted and stretched around the nominal
+// POIs, and lead-vehicle negligence up to 3× braking abruptness.
+func DefaultSpace() *Space {
+	return &Space{
+		Scenarios: []string{"follow-vehicle", "lane-change-slalom", "overtake"},
+		Axes: [NumAxes]Axis{
+			AxScenario: {Name: "scenario", Values: []float64{0, 1, 2}},
+			AxPOI:      {Name: "poi_pick", Values: []float64{0.125, 0.375, 0.625, 0.875}},
+			AxDelay:    {Name: "delay_ms", Values: []float64{0, 5, 10, 25, 50, 75, 100, 150}},
+			AxJitter:   {Name: "jitter_ms", Values: []float64{0, 5, 10, 20, 40}},
+			AxLoss:     {Name: "loss_pct", Values: []float64{0, 1, 2, 5, 10, 20}},
+			AxOnset:    {Name: "onset_shift_m", Values: []float64{-40, -20, -10, 0, 10, 20, 40}},
+			AxWindow:   {Name: "window_scale", Values: []float64{0.5, 0.75, 1, 1.5, 2}},
+			AxBrake:    {Name: "brake_scale", Values: []float64{1, 1.5, 2, 3}},
+			AxSpeed:    {Name: "speed_scale", Values: []float64{0.8, 1, 1.2, 1.4}},
+		},
+	}
+}
+
+// Validate checks the space is well-formed.
+func (s *Space) Validate() error {
+	if len(s.Scenarios) == 0 {
+		return fmt.Errorf("search: space has no scenarios")
+	}
+	for ai, ax := range s.Axes {
+		if len(ax.Values) == 0 {
+			return fmt.Errorf("search: axis %d (%s) has no values", ai, ax.Name)
+		}
+	}
+	if len(s.Axes[AxScenario].Values) != len(s.Scenarios) {
+		return fmt.Errorf("search: scenario axis has %d values for %d scenarios",
+			len(s.Axes[AxScenario].Values), len(s.Scenarios))
+	}
+	return nil
+}
+
+// Size is the number of grid points.
+func (s *Space) Size() int {
+	n := 1
+	for _, ax := range s.Axes {
+		n *= len(ax.Values)
+	}
+	return n
+}
+
+// Contains reports whether p is inside the grid.
+func (s *Space) Contains(p Point) bool {
+	for ai, ax := range s.Axes {
+		if p[ai] < 0 || p[ai] >= len(ax.Values) {
+			return false
+		}
+	}
+	return true
+}
+
+// Index flattens a point to its row-major grid index in [0, Size).
+func (s *Space) Index(p Point) int {
+	idx := 0
+	for ai, ax := range s.Axes {
+		idx = idx*len(ax.Values) + p[ai]
+	}
+	return idx
+}
+
+// At unflattens a grid index back to its point.
+func (s *Space) At(idx int) Point {
+	var p Point
+	for ai := NumAxes - 1; ai >= 0; ai-- {
+		n := len(s.Axes[ai].Values)
+		p[ai] = idx % n
+		idx /= n
+	}
+	return p
+}
+
+// Value resolves the concrete axis value at a point.
+func (s *Space) Value(ax int, p Point) float64 {
+	return s.Axes[ax].Values[p[ax]]
+}
+
+// UniformProb is the probability of any single point under uniform
+// sampling: 1/Size.
+func (s *Space) UniformProb() float64 {
+	return 1 / float64(s.Size())
+}
+
+// UniformDraw samples one point uniformly, consuming one rng draw per
+// axis in axis order (the determinism contract: every draw in the
+// search comes from one sequentially-consumed rng).
+func (s *Space) UniformDraw(rng *rand.Rand) Point {
+	var p Point
+	for ai, ax := range s.Axes {
+		p[ai] = rng.Intn(len(ax.Values))
+	}
+	return p
+}
+
+// Kernel is the proposal distribution around an elite point: per axis,
+// an index offset d with |d| ≤ Radius is drawn with weight Rho^|d|
+// (truncated at the axis bounds and renormalized), independently per
+// axis. Because weights are renormalized over the in-range offsets, the
+// kernel is an exact probability mass function — AxisProb/Prob return
+// the true sampling probability, which the Horvitz–Thompson weights in
+// the report rely on.
+type Kernel struct {
+	Radius int
+	Rho    float64
+}
+
+// DefaultKernel steps at most 2 grid cells per axis, halving weight per
+// step.
+func DefaultKernel() Kernel { return Kernel{Radius: 2, Rho: 0.5} }
+
+// Validate checks kernel shape parameters.
+func (k Kernel) Validate() error {
+	if k.Radius < 0 {
+		return fmt.Errorf("search: kernel radius %d negative", k.Radius)
+	}
+	if k.Rho <= 0 || k.Rho > 1 {
+		return fmt.Errorf("search: kernel rho %v out of (0,1]", k.Rho)
+	}
+	return nil
+}
+
+// axisNorm sums the truncated offset weights for an axis of n values
+// centered at c.
+func (k Kernel) axisNorm(n, c int) float64 {
+	total := 0.0
+	for d := -k.Radius; d <= k.Radius; d++ {
+		if x := c + d; x >= 0 && x < n {
+			total += k.pow(d)
+		}
+	}
+	return total
+}
+
+// pow is Rho^|d| without math.Pow (exact repeated multiplication keeps
+// probabilities bit-reproducible across platforms).
+func (k Kernel) pow(d int) float64 {
+	if d < 0 {
+		d = -d
+	}
+	w := 1.0
+	for i := 0; i < d; i++ {
+		w *= k.Rho
+	}
+	return w
+}
+
+// AxisProb is the exact probability that the kernel centered at index c
+// on an axis of n values lands on index x.
+func (k Kernel) AxisProb(n, c, x int) float64 {
+	d := x - c
+	if d < -k.Radius || d > k.Radius || x < 0 || x >= n {
+		return 0
+	}
+	return k.pow(d) / k.axisNorm(n, c)
+}
+
+// Prob is the exact probability that the kernel centered at elite e
+// proposes point p: the product of the per-axis probabilities.
+func (k Kernel) Prob(s *Space, e, p Point) float64 {
+	prob := 1.0
+	for ai, ax := range s.Axes {
+		ap := k.AxisProb(len(ax.Values), e[ai], p[ai])
+		if ap == 0 { //lint:allow floateq AxisProb returns the literal constant 0 outside the truncation radius, never a computed near-zero
+			return 0
+		}
+		prob *= ap
+	}
+	return prob
+}
+
+// Draw samples one point from the kernel centered at e, consuming one
+// rng draw per axis in axis order.
+func (k Kernel) Draw(rng *rand.Rand, s *Space, e Point) Point {
+	var p Point
+	for ai, ax := range s.Axes {
+		n := len(ax.Values)
+		c := e[ai]
+		u := rng.Float64() * k.axisNorm(n, c)
+		acc := 0.0
+		pick := c
+		for d := -k.Radius; d <= k.Radius; d++ {
+			x := c + d
+			if x < 0 || x >= n {
+				continue
+			}
+			acc += k.pow(d)
+			if u < acc {
+				pick = x
+				break
+			}
+		}
+		p[ai] = pick
+	}
+	return p
+}
+
+// MixtureProb is the exact probability of p under the generation's
+// proposal distribution: with probability eps a uniform draw, otherwise
+// a kernel draw around an elite chosen uniformly from elites. With no
+// elites the proposal degenerates to pure uniform. The eps floor
+// guarantees q > 0 everywhere — without it, points outside every
+// elite's kernel support would have zero proposal probability and the
+// Horvitz–Thompson estimate would be biased, not just noisy.
+func MixtureProb(s *Space, k Kernel, elites []Point, eps float64, p Point) float64 {
+	u := s.UniformProb()
+	if len(elites) == 0 {
+		return u
+	}
+	kp := 0.0
+	for _, e := range elites {
+		kp += k.Prob(s, e, p)
+	}
+	kp /= float64(len(elites))
+	return eps*u + (1-eps)*kp
+}

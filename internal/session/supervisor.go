@@ -23,6 +23,7 @@ type POISupervisor struct {
 	proj   *geom.Projector
 	inj    *faultinject.Injector
 	assign []faultinject.Condition
+	rules  []*faultinject.RuleAssignment
 	spine  Observers
 
 	activePOI int
@@ -51,6 +52,23 @@ func NewPOISupervisor(scn *scenario.Scenario, ego *world.Actor, route *geom.Path
 	}
 }
 
+// SetRuleAssignments installs per-POI netem-rule overrides: a non-nil
+// entry replaces the POI's canonical condition with an arbitrary rule
+// (the adversarial search's perturbed fault space); nil entries fall
+// back to the condition assignment. rules must be nil or one entry per
+// scenario POI.
+func (s *POISupervisor) SetRuleAssignments(rules []*faultinject.RuleAssignment) {
+	s.rules = rules
+}
+
+// ruleAt returns the rule override for POI i, if any.
+func (s *POISupervisor) ruleAt(i int) *faultinject.RuleAssignment {
+	if i < 0 || i >= len(s.rules) {
+		return nil
+	}
+	return s.rules[i]
+}
+
 // OnTick implements Supervisor: POI transitions and end detection.
 func (s *POISupervisor) OnTick(now time.Duration) {
 	st, _ := s.proj.Project(s.ego.Pose().Pos)
@@ -70,18 +88,31 @@ func (s *POISupervisor) OnTick(now time.Duration) {
 				s.spine.Condition(now, "")
 			}
 			s.activePOI = cur
-			if cur >= 0 && !s.fired[cur] && s.assign != nil {
-				s.fired[cur] = true
-				if cond := s.assign[cur]; cond != faultinject.CondNFI {
-					if err := s.inj.Inject(cond); err != nil {
+			if cur >= 0 && !s.fired[cur] {
+				switch {
+				case s.ruleAt(cur) != nil:
+					s.fired[cur] = true
+					r := s.ruleAt(cur)
+					if err := s.inj.InjectRule(*r); err != nil {
 						// A refused injection is a test-execution fault,
 						// not a silent no-op: log it and count it so the
 						// outcome can flag the cell invalid.
 						s.failed++
-						s.spine.Fault(now, "both", "error", err.Error(), cond.String())
+						s.spine.Fault(now, "both", "error", err.Error(), r.Label)
 					} else {
-						s.spine.Condition(now, cond.String())
+						s.spine.Condition(now, r.Label)
 						s.injected++
+					}
+				case s.assign != nil:
+					s.fired[cur] = true
+					if cond := s.assign[cur]; cond != faultinject.CondNFI {
+						if err := s.inj.Inject(cond); err != nil {
+							s.failed++
+							s.spine.Fault(now, "both", "error", err.Error(), cond.String())
+						} else {
+							s.spine.Condition(now, cond.String())
+							s.injected++
+						}
 					}
 				}
 			}

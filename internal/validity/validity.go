@@ -119,10 +119,15 @@ type Point struct {
 	Completed      bool
 	Collisions     int
 	LaneDepartures int
-	SRR            float64
-	MeanSpeed      float64
-	TaskDuration   time.Duration
-	MeanAbsLateral float64
+	// FailedInjections counts fault injections the plant refused during
+	// this point: the injected magnitude was never experienced, so the
+	// measurement is an invalid test execution (cmd/sweep -strict fails
+	// the sweep when any point reports one).
+	FailedInjections int
+	SRR              float64
+	MeanSpeed        float64
+	TaskDuration     time.Duration
+	MeanAbsLateral   float64
 	// LaneWidth scales the lateral-error thresholds (a 7 cm wander is
 	// nothing on a 3.5 m lane and severe on a 0.6 m model track).
 	LaneWidth float64
@@ -161,13 +166,14 @@ func RunPoint(env Env, rule netem.Rule, label string, seed int64) (Point, error)
 		return Point{}, err
 	}
 	p := Point{
-		Env:          env.Name,
-		Label:        label,
-		Rule:         injected,
-		Completed:    out.Completed,
-		Collisions:   out.EgoCollisions,
-		TaskDuration: out.Log.Duration(),
-		LaneWidth:    laneWidth,
+		Env:              env.Name,
+		Label:            label,
+		Rule:             injected,
+		Completed:        out.Completed,
+		Collisions:       out.EgoCollisions,
+		FailedInjections: out.FailedInjections,
+		TaskDuration:     out.Log.Duration(),
+		LaneWidth:        laneWidth,
 	}
 	var steer []float64
 	var absLat, speedSum float64

@@ -1,7 +1,7 @@
 #!/bin/sh
 # ci.sh — the one-command verification gate for a PR branch:
-# build + vet + lint + race + race-hub + fingerprint + fingerprint-pooled, in
-# order, stopping at the first failure. Slower batteries are separate opt-ins: `make fuzz`
+# build + vet + lint + race + race-hub + race-search + fingerprint +
+# fingerprint-pooled, in order, stopping at the first failure. Slower batteries are separate opt-ins: `make fuzz`
 # (hostile-input budget), `make race-dist` (full distributed campaign
 # battery over localhost TCP), `make bench` (paper tables).
 #
@@ -24,6 +24,8 @@ stage make race
 make race
 stage make race-hub
 make race-hub
+stage make race-search
+make race-search
 stage make fingerprint
 make fingerprint
 stage make fingerprint-pooled

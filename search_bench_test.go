@@ -1,0 +1,61 @@
+package teledrive_test
+
+import (
+	"testing"
+
+	"teledrive/internal/search"
+)
+
+// benchSearchEvaluator returns cheap deterministic signals so the
+// benchmark isolates the search machinery itself — proposal draws,
+// mixture probabilities, importance weights, elite maintenance,
+// scoring, and report bookkeeping — from the simulation budget the
+// search allocates (FullScenarioRun measures one unit of that budget).
+type benchSearchEvaluator struct{ space *search.Space }
+
+func (e *benchSearchEvaluator) Evaluate(reqs []search.Request, workers int) ([]search.Signals, error) {
+	sigs := make([]search.Signals, len(reqs))
+	for i, req := range reqs {
+		delay := e.space.Value(search.AxDelay, req.Point)
+		loss := e.space.Value(search.AxLoss, req.Point)
+		sigs[i] = search.Signals{
+			TTCValid:       true,
+			MinTTC:         9 - 3*delay/150 - 2*loss/20,
+			DangerousShare: loss / 40,
+			Completed:      true,
+		}
+		if delay >= 150 && loss >= 20 {
+			sigs[i].Collisions = 1
+		}
+	}
+	return sigs, nil
+}
+
+// BenchmarkSearchGeneration measures the per-generation overhead of
+// the adversarial search driver over the full ~1.6 M-point default
+// space: us_per_generation is the search-side cost added on top of
+// each generation's simulation work, cells_per_s the proposal/scoring
+// throughput.
+func BenchmarkSearchGeneration(b *testing.B) {
+	const gens, cells = 8, 64
+	space := search.DefaultSpace()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := search.Run(search.Options{
+			Space:       space,
+			Seed:        int64(100 + i),
+			Generations: gens,
+			CellsPerGen: cells,
+			Label:       "bench",
+		}, &benchSearchEvaluator{space: space})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.TotalCells != gens*cells {
+			b.Fatalf("search evaluated %d cells, want %d", rep.TotalCells, gens*cells)
+		}
+	}
+	elapsed := b.Elapsed().Seconds()
+	b.ReportMetric(elapsed/float64(gens*b.N)*1e6, "us_per_generation")
+	b.ReportMetric(float64(gens*cells*b.N)/elapsed, "cells_per_s")
+}
